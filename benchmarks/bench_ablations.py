@@ -1,0 +1,31 @@
+"""Design-choice ablations (DESIGN.md §6): pulse, threshold, whitening."""
+
+from repro.experiments import ablations
+
+from conftest import run_once
+
+
+def test_ablation_pulse_size(benchmark, report):
+    result = run_once(benchmark, ablations.pulse_size)
+    report(result)
+    rows = {row[0]: row for row in result.rows()}
+    # long pulses leak cells outside the natural envelope — the tell
+    assert rows[1.5][4] > rows[0.6][4]
+    # short pulses converge slower at step 1
+    assert rows[0.3][1] > rows[1.5][1]
+
+
+def test_ablation_threshold_placement(benchmark, report):
+    result = run_once(benchmark, ablations.threshold_placement)
+    report(result)
+    naturals = [row[1] for row in result.rows()]
+    # the natural budget shrinks monotonically as the threshold rises
+    assert naturals == sorted(naturals, reverse=True)
+
+
+def test_ablation_whitening(benchmark, report):
+    result = run_once(benchmark, ablations.whitening)
+    report(result)
+    whitened, biased = result.rows()
+    # a biased payload charges far more cells than the design point
+    assert biased[2] > 1.5 * whitened[2]

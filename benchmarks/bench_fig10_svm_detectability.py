@@ -1,0 +1,33 @@
+"""Fig. 10: SVM detection accuracy vs wear (standard config).
+
+The heaviest benchmark: builds cross-chip voltage datasets at several wear
+points and runs the grid-searched SVM attacker.  Accuracy must sit near
+coin-flip on the wear-matched diagonal and climb with the wear gap.
+"""
+
+from repro.analysis import DatasetScale
+from repro.experiments import fig10
+
+from conftest import run_once
+
+SCALE = DatasetScale(page_divisor=8, pages_per_block=6, blocks_per_class=12)
+
+
+def test_fig10_svm_detectability(benchmark, report):
+    result = run_once(
+        benchmark,
+        fig10.run,
+        hidden_pecs=(0, 1000, 2000),
+        normal_pecs=(0, 1000, 2000),
+        scale=SCALE,
+        seed=3,
+    )
+    report(result)
+    matched = [result.accuracy(p, p) for p in (0, 1000, 2000)]
+    mismatched = [
+        result.accuracy(0, 2000),
+        result.accuracy(2000, 0),
+    ]
+    # §7: matched wear -> ~50%; thousands of PEC apart -> near-certain.
+    assert sum(matched) / len(matched) < 0.75
+    assert min(mismatched) > 0.8

@@ -1,0 +1,21 @@
+"""Fig. 11: retention over 1 day / 1 month / 4 months (bake-emulated)."""
+
+from repro.experiments import fig11
+
+from conftest import run_once
+
+
+def test_fig11_retention(benchmark, report):
+    result = run_once(
+        benchmark, fig11.run, pec_levels=(0, 1000, 2000), pages=6
+    )
+    report(result)
+    fresh_hidden, _ = result.normalized[(0, "4 month")]
+    worn_hidden, worn_normal = result.normalized[(2000, "4 month")]
+    # "retention time has no significant effect ... for fresh cells"
+    assert fresh_hidden < 2.0
+    # "for 2000 PEC ... rises to 6.3x" (hidden) vs 2.3x (normal): worn
+    # hidden data degrades by a large factor, and faster than public data.
+    assert worn_hidden > 2.5
+    zero_h, zero_n = result.zero_time[2000]
+    assert worn_hidden * zero_h - zero_h > worn_normal * zero_n - zero_n

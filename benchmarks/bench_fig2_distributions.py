@@ -1,0 +1,28 @@
+"""Fig. 2: voltage distributions across chip samples."""
+
+from repro.experiments import fig2
+from repro.experiments.figures import render_overlay
+
+from conftest import run_once
+
+
+def test_fig2_distributions(benchmark, report, capsys):
+    result = run_once(
+        benchmark, fig2.run, n_samples=4, pages_per_block=8
+    )
+    report(result)
+    with capsys.disabled():
+        print("erased (block level, 4 samples):")
+        print(render_overlay(
+            {f"s{i}": h for i, h in enumerate(result.block_erased)},
+            height=8,
+        ))
+        print("\nprogrammed (block level, 4 samples):")
+        print(render_overlay(
+            {f"s{i}": h for i, h in enumerate(result.block_programmed)},
+            height=8,
+        ))
+    noise = fig2.page_vs_block_noisiness(result)
+    assert noise["page"] > noise["block"]
+    for row in result.rows():
+        assert row[3] >= 0.999

@@ -1,0 +1,20 @@
+"""Fig. 3: distribution drift with PEC."""
+
+from repro.experiments import fig3
+from repro.experiments.figures import render_overlay
+
+from conftest import run_once
+
+
+def test_fig3_wear_drift(benchmark, report, capsys):
+    result = run_once(
+        benchmark, fig3.run, pec_levels=(0, 1000, 2000, 3000)
+    )
+    report(result)
+    with capsys.disabled():
+        print(render_overlay(
+            {f"PEC {pec}": hist for pec, hist in result.erased.items()},
+            height=8,
+        ))
+    means = result.erased_means()
+    assert means == sorted(means)

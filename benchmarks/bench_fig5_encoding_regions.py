@@ -1,0 +1,13 @@
+"""Fig. 5: hidden encoding regions inside the erased distribution."""
+
+from repro.experiments import fig5
+
+from conftest import run_once
+
+
+def test_fig5_encoding_regions(benchmark, report):
+    result = run_once(benchmark, fig5.run, bits=256)
+    report(result)
+    rows = {row[0]: row for row in result.rows()}
+    assert rows["hidden '0'"][5] == 1.0
+    assert rows["hidden '0'"][6] == 0.0

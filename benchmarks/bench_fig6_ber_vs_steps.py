@@ -1,0 +1,22 @@
+"""Fig. 6: hidden BER vs PP steps across configurations."""
+
+from repro.experiments import fig6
+
+from conftest import run_once
+
+
+def test_fig6_ber_vs_steps(benchmark, report):
+    result = run_once(
+        benchmark,
+        fig6.run,
+        page_intervals=(0, 1, 2, 4),
+        bit_counts=(32, 128, 512),
+        max_steps=15,
+        blocks_per_config=2,
+    )
+    report(result)
+    # "after roughly ten PP steps the BER converges to less than 1%
+    # ... regardless of the number of hidden bits or the page interval"
+    for curve in result.curves.values():
+        assert curve[9] < 0.05
+        assert curve[9] < curve[0]

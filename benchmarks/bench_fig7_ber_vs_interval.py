@@ -1,0 +1,20 @@
+"""Fig. 7: hidden BER with ten PP steps vs interval and bit count."""
+
+from repro.experiments import fig7
+
+from conftest import run_once
+
+
+def test_fig7_ber_vs_interval(benchmark, report):
+    result = run_once(
+        benchmark,
+        fig7.run,
+        page_intervals=(0, 1, 2, 4),
+        bit_counts=(32, 128, 512),
+        blocks_per_config=2,
+    )
+    report(result)
+    # "the variation in bit error rate is small and generally insensitive
+    # to the number of hidden cells"
+    for value in result.points.values():
+        assert value < 0.05

@@ -1,0 +1,18 @@
+"""Fig. 8: block distribution shift vs hidden-bit density."""
+
+from repro.experiments import fig8
+
+from conftest import run_once
+
+
+def test_fig8_distribution_shift(benchmark, report):
+    result = run_once(
+        benchmark,
+        fig8.run,
+        densities=(0, 32, 64, 128, 256),
+        blocks_per_density=3,
+    )
+    report(result)
+    shifts = {row[0]: row[2] for row in result.rows()}
+    # "hiding data using VT-HI creates only a tiny shift"
+    assert abs(shifts[256]) < 1.0

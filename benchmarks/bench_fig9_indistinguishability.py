@@ -1,0 +1,11 @@
+"""Fig. 9: hidden vs normal distributions, three chips."""
+
+from repro.experiments import fig9
+
+from conftest import run_once
+
+
+def test_fig9_indistinguishability(benchmark, report):
+    result = run_once(benchmark, fig9.run, n_chips=3)
+    report(result)
+    assert max(result.hidden_vs_normal_ks) < 3 * result.cross_chip_ks

@@ -1,0 +1,12 @@
+"""§6.2: the MLC extension — coarse PP fails, in-controller PP works."""
+
+from repro.experiments import mlc_extension
+
+from conftest import run_once
+
+
+def test_sec62_mlc_extension(benchmark, report):
+    result = run_once(benchmark, mlc_extension.run)
+    report(result)
+    assert result.coarse_public_flips > result.precise_public_flips
+    assert result.precise_hidden_ber < 0.05

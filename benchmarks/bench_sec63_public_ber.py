@@ -1,0 +1,14 @@
+"""§6.3: public BER penalty vs page interval (+20% at 0, +10% at 1)."""
+
+from repro.experiments import public_interference
+
+from conftest import run_once
+
+
+def test_sec63_public_ber(benchmark, report):
+    result = run_once(
+        benchmark, public_interference.run, blocks=12, pages_per_block=8
+    )
+    report(result)
+    assert result.penalty(0) > 0.05
+    assert result.penalty(0) >= result.penalty(1) - 0.05

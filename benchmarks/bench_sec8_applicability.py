@@ -1,0 +1,13 @@
+"""§8 applicability: the second vendor's chip hides at ~1% BER too."""
+
+from repro.experiments import applicability
+
+from conftest import run_once
+
+
+def test_sec8_applicability(benchmark, report):
+    result = run_once(benchmark, applicability.run, pages=6)
+    report(result)
+    assert 0 < result.vendor_b_ber < 0.05
+    # within the same order of magnitude as the primary chip
+    assert result.vendor_b_ber < 5 * max(result.vendor_a_ber, 0.004)

@@ -1,0 +1,15 @@
+"""§8 energy: 1.1 mJ vs 43 mJ per hidden page (37x)."""
+
+import pytest
+
+from repro.experiments import energy
+
+from conftest import run_once
+
+
+def test_sec8_energy(benchmark, report):
+    result = run_once(benchmark, energy.run)
+    report(result)
+    assert result.vthi_mj_per_page == pytest.approx(1.1, rel=0.05)
+    assert result.pthi_mj_per_page == pytest.approx(43, rel=0.05)
+    assert result.efficiency_ratio == pytest.approx(37, rel=0.1)

@@ -1,0 +1,16 @@
+"""§8 reliability: hidden BER vs wear at write time (~0.011-0.013)."""
+
+from repro.experiments import reliability
+
+from conftest import run_once
+
+
+def test_sec8_reliability(benchmark, report):
+    result = run_once(
+        benchmark, reliability.run,
+        pec_levels=(0, 1000, 2000, 3000), n_chips=3, pages=4,
+    )
+    report(result)
+    # "BER is low and not affected by wear" — order 1e-2, no blow-up.
+    for ber in result.ber_by_pec.values():
+        assert 0 < ber < 0.03

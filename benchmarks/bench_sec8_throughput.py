@@ -1,0 +1,15 @@
+"""§8 throughput: 35Kb/s vs 1.4Kb/s encode; 2.7Mb/s vs 54Kb/s decode."""
+
+import pytest
+
+from repro.experiments import throughput
+
+from conftest import run_once
+
+
+def test_sec8_throughput(benchmark, report):
+    result = run_once(benchmark, throughput.run)
+    report(result)
+    # §1's headline ratios: 24x encode, 50x decode.
+    assert result.encode_speedup == pytest.approx(25, rel=0.1)
+    assert result.decode_speedup == pytest.approx(50, rel=0.1)

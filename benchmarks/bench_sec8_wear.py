@@ -1,0 +1,12 @@
+"""§8 wear amplification: 10x (VT-HI) vs 625x (PT-HI)."""
+
+from repro.experiments import wear
+
+from conftest import run_once
+
+
+def test_sec8_wear(benchmark, report):
+    result = run_once(benchmark, wear.run)
+    report(result)
+    assert result.vthi_program_ops_per_page <= 10
+    assert result.pthi_block_pec_after_encode == 625

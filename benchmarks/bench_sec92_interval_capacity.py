@@ -1,0 +1,13 @@
+"""§9.2's capacity endgame: TLC-in-MLC interval hiding."""
+
+from repro.experiments import interval_capacity
+
+from conftest import run_once
+
+
+def test_sec92_interval_capacity(benchmark, report):
+    result = run_once(benchmark, interval_capacity.run)
+    report(result)
+    assert result.capacity_ratio >= 8.0
+    assert result.fresh_ber < 0.05
+    assert result.aged_ber >= result.fresh_ber

@@ -1,0 +1,11 @@
+"""Table 1: qualitative VT-HI vs PT-HI comparison."""
+
+from repro.experiments import table1
+
+from conftest import run_once
+
+
+def test_table1_comparison(benchmark, report):
+    result = run_once(benchmark, table1.run)
+    report(result)
+    assert len(result.rows()) == 6

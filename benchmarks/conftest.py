@@ -1,0 +1,32 @@
+"""Benchmark harness helpers.
+
+Each benchmark regenerates one of the paper's tables/figures (DESIGN.md §3)
+and prints the rows/series alongside the timing.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Benchmarks run the experiment once (``pedantic`` with one round): the
+interesting output is the reproduced result, the timing is bookkeeping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print an experiment result table outside of pytest's capture."""
+
+    def emit(result) -> None:
+        with capsys.disabled():
+            print("\n\n" + result.summary.render() + "\n")
+
+    return emit
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(
+        fn, kwargs=kwargs, iterations=1, rounds=1, warmup_rounds=0
+    )

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Play the adversary: the §7 SVM detectability analysis.
+
+You have confiscated a device.  You can probe every cell's voltage, you
+know VT-HI exists, and you even know its exact configuration.  Can you
+tell whether anything is hidden?
+
+This script runs the paper's attack end-to-end: build labelled voltage
+datasets from simulated chip samples, grid-search an RBF SVM with 3-fold
+cross-validation, train on two chips, classify blocks of a third — once
+with matched wear (the defended regime) and once with mismatched wear
+(where the classifier wins, because wear is visible even without hiding).
+
+Run:  python examples/detectability_analysis.py        (~30 s)
+"""
+
+from repro.analysis import DatasetScale, detect_at
+from repro.hiding import STANDARD_CONFIG
+
+SCALE = DatasetScale(page_divisor=8, pages_per_block=6, blocks_per_class=12)
+
+
+def main() -> None:
+    print("The attacker's view (train on 2 chips, classify a 3rd):\n")
+
+    print("1. wear-matched blocks (hidden and normal both at 1000 PEC)...")
+    matched = detect_at(
+        STANDARD_CONFIG, normal_pec=1000, hidden_pec=1000,
+        scale=SCALE, seed=11,
+    )
+    print(f"   SVM accuracy: {100*matched.accuracy:.1f}%  "
+          f"(grid-searched params: {matched.best_params})")
+    print("   -> statistically a coin flip: the hidden data is inside "
+          "natural variation (paper: 50-53%)\n")
+
+    print("2. wear-mismatched blocks (hidden at 2000 PEC, normal at 0)...")
+    mismatched = detect_at(
+        STANDARD_CONFIG, normal_pec=0, hidden_pec=2000,
+        scale=SCALE, seed=11,
+    )
+    print(f"   SVM accuracy: {100*mismatched.accuracy:.1f}%")
+    print("   -> the classifier separates them easily — but it is seeing "
+          "WEAR, not hidden data (Fig. 10's cliff)\n")
+
+    print("3. the characteristics attack (BER / mean voltage / std, §7)...")
+    summary = detect_at(
+        STANDARD_CONFIG, normal_pec=1000, hidden_pec=1000,
+        scale=SCALE, seed=11, feature="summary",
+    )
+    print(f"   SVM accuracy: {100*summary.accuracy:.1f}%")
+    print("   -> summary statistics fare no better "
+          "(paper: 'also unsuccessful')\n")
+
+    print("Operational lesson (§5.2): keep hidden blocks within a few "
+          "hundred PEC of the public wear band.")
+
+
+if __name__ == "__main__":
+    main()

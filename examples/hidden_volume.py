@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""A steganographic hidden volume riding inside a normal SSD (§9.2).
+
+Scenario: a journalist's device.  The public volume holds ordinary files;
+a hidden volume — addressable by block, mounted with a passphrase — lives
+inside the analog voltage levels of the cells storing those files.  The
+FTL churns data around (overwrites, garbage collection, wear levelling)
+and the hidden volume keeps its contents alive by re-embedding, exactly
+the obligation §5.1 describes.
+
+Run:  python examples/hidden_volume.py
+"""
+
+import numpy as np
+
+from repro import FlashChip, TEST_MODEL
+from repro.crypto import HidingKey
+from repro.ecc.page import PagePipeline
+from repro.ftl import Ftl
+from repro.hiding import STANDARD_CONFIG, VtHi
+from repro.stego import HiddenVolume, RefreshPolicy, refresh_volume
+from repro.units import MONTH
+
+
+def main() -> None:
+    chip = FlashChip(TEST_MODEL.geometry, TEST_MODEL.params, seed=7)
+    pipeline = PagePipeline(chip.geometry.cells_per_page, ecc_m=13, ecc_t=8)
+    ftl = Ftl(chip, pipeline, overprovision_blocks=4)
+
+    key = HidingKey.from_passphrase("the girl with the dragonfly tattoo")
+    vthi = VtHi(
+        chip,
+        STANDARD_CONFIG.replace(bits_per_page=512, ecc_m=10, ecc_t=18),
+        public_codec=pipeline,
+    )
+    volume = HiddenVolume(ftl, vthi, key)
+
+    # --- the public life of the device -------------------------------
+    rng = np.random.default_rng(0)
+    print("writing public files...")
+    for lpa in range(60):
+        ftl.write(lpa, bytes(rng.integers(0, 256, 500).astype(np.uint8)))
+    print(f"  hidden slot capacity: {volume.capacity_slots()} slots of "
+          f"{volume.slot_data_bytes} bytes")
+
+    # --- the hidden life ----------------------------------------------
+    notes = {
+        0: b"src: DT-2, verified",
+        1: b"docs at drop Bravo",
+        2: b"mtg moved to 14th",
+    }
+    for lba, text in notes.items():
+        volume.write(lba, text)
+    print(f"hidden volume: {len(notes)} blocks written")
+
+    # --- months of ordinary use ---------------------------------------
+    print("simulating public churn (overwrites, GC relocations)...")
+    for i in range(200):
+        lpa = int(rng.integers(0, 60))
+        ftl.write(lpa, bytes(rng.integers(0, 256, 400).astype(np.uint8)))
+    print(f"  FTL stats: {ftl.stats.gc_erases} GC erases, "
+          f"WAF {ftl.stats.write_amplification:.2f}")
+
+    chip.advance_time(3 * MONTH)
+    refreshed = refresh_volume(
+        volume, RefreshPolicy(max_age_s=2 * MONTH, min_pec=0)
+    )
+    print(f"retention refresh re-embedded {refreshed} slots (§8)")
+
+    # --- power-cycle: remount from the passphrase alone ----------------
+    found = volume.mount()
+    print(f"remounted: found {found} hidden blocks")
+    for lba, text in notes.items():
+        got = volume.read(lba)
+        status = "OK" if got == text else "LOST"
+        print(f"  block {lba}: {status}  {got!r}")
+        assert got == text
+
+    # --- the confiscation scenario -------------------------------------
+    impostor_key = HidingKey.from_passphrase("password123")
+    impostor_vthi = VtHi(
+        chip,
+        STANDARD_CONFIG.replace(bits_per_page=512, ecc_m=10, ecc_t=18),
+        public_codec=pipeline,
+    )
+    impostor = HiddenVolume(ftl, impostor_vthi, impostor_key)
+    print(f"adversary mounting with the wrong passphrase finds: "
+          f"{impostor.mount()} blocks")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Detectability analysis: distributions, attacker datasets, SVM attack."""
+
+from .datasets import (
+    BENCH_SCALE,
+    PAPER_SCALE,
+    DatasetScale,
+    build_detection_dataset,
+    collect_block_sample,
+    make_chips,
+)
+from .detect import (
+    SMALL_GRID,
+    DetectionOutcome,
+    detect_at,
+    sweep_normal_pec,
+    train_on_two_classify_third,
+)
+from .roc import RocCurve, detector_auc, roc_curve
+from .snapshots import (
+    DeviceSnapshot,
+    SnapshotAdversary,
+    SnapshotFinding,
+)
+from .distributions import (
+    Histogram,
+    average_histograms,
+    ks_distance,
+    tail_mass,
+    voltage_histogram,
+)
+
+__all__ = [
+    "BENCH_SCALE",
+    "DatasetScale",
+    "DetectionOutcome",
+    "DeviceSnapshot",
+    "SnapshotAdversary",
+    "SnapshotFinding",
+    "Histogram",
+    "PAPER_SCALE",
+    "RocCurve",
+    "detector_auc",
+    "roc_curve",
+    "SMALL_GRID",
+    "average_histograms",
+    "build_detection_dataset",
+    "collect_block_sample",
+    "detect_at",
+    "ks_distance",
+    "make_chips",
+    "sweep_normal_pec",
+    "tail_mass",
+    "train_on_two_classify_third",
+    "voltage_histogram",
+]

@@ -1,0 +1,179 @@
+"""Labelled voltage datasets for the §7 SVM attacker.
+
+The paper's procedure: obtain several chip samples; pre-cycle blocks to a
+wear level; program pseudorandom data; optionally hide data with VT-HI at
+the chosen configuration; collect per-block (or per-page) voltage data.
+Training happens on some chips and classification on a held-out chip.
+
+A ``DatasetScale`` controls the simulation cost: the paper uses full
+18048-byte pages and 31+ blocks per class; the default benchmark scale
+divides the page (hidden bits are scaled proportionally, preserving the
+hidden-mass *fraction* the attacker is looking for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..crypto.keys import HidingKey
+from ..hiding.config import HidingConfig
+from ..hiding.vthi import VtHi
+from ..nand.chip import FlashChip
+from ..nand.vendor import VENDOR_A, ChipModel, scaled_model
+from ..rng import substream
+from ..ml.features import histogram_features, summary_features
+
+
+@dataclass(frozen=True)
+class DatasetScale:
+    """Simulation-cost knobs for attacker datasets."""
+
+    #: Page-size divisor relative to the paper's 18048-byte pages.
+    page_divisor: int = 8
+    #: Pages per block actually simulated.
+    pages_per_block: int = 8
+    #: Blocks sampled per (class, chip).
+    blocks_per_class: int = 10
+    #: Histogram bins for block features.
+    bins: int = 64
+
+    def scale_config(self, config: HidingConfig) -> HidingConfig:
+        """Scale hidden bits with the page so the hidden fraction holds."""
+        return config.replace(
+            bits_per_page=max(config.bits_per_page // self.page_divisor, 1),
+            ecc_t=0,
+        )
+
+    def chip_model(self, base: ChipModel = VENDOR_A) -> ChipModel:
+        return scaled_model(
+            base,
+            n_blocks=max(4 * self.blocks_per_class, 8),
+            pages_per_block=self.pages_per_block,
+            page_divisor=self.page_divisor,
+            suffix="svm",
+        )
+
+
+#: The paper-fidelity scale (full pages, 31 blocks/class) — slow.
+PAPER_SCALE = DatasetScale(
+    page_divisor=1, pages_per_block=16, blocks_per_class=31
+)
+
+#: Default benchmark scale.
+BENCH_SCALE = DatasetScale()
+
+
+def make_chips(
+    model: ChipModel, n_chips: int, base_seed: int = 100
+) -> List[FlashChip]:
+    """Distinct manufacturing samples of one chip model."""
+    return [
+        FlashChip(model.geometry, model.params, seed=base_seed + i)
+        for i in range(n_chips)
+    ]
+
+
+def collect_block_sample(
+    chip: FlashChip,
+    block: int,
+    pec: int,
+    hide_config: Optional[HidingConfig],
+    key: HidingKey,
+    seed: int,
+    bins: int = 64,
+    feature: str = "histogram",
+) -> np.ndarray:
+    """One labelled sample: cycle, program random data, optionally hide,
+    probe the whole block, featurise, and release the block's memory.
+
+    `feature` is "histogram" (the main §7 attack) or "summary" (the
+    BER/mean/std characteristics attack).
+    """
+    rng = substream(seed, "svm-data", chip.seed, block, pec)
+    chip.age_block(block, pec)
+    geometry = chip.geometry
+    pages = geometry.pages_per_block
+    expected = np.empty((pages, geometry.cells_per_page), dtype=np.uint8)
+    for page in range(pages):
+        bits = (rng.random(geometry.cells_per_page) < 0.5).astype(np.uint8)
+        chip.program_page(block, page, bits)
+        expected[page] = bits
+    if hide_config is not None:
+        vthi = VtHi(chip, hide_config)
+        for page in vthi.hidden_pages(block):
+            hidden = (
+                rng.random(hide_config.bits_per_page) < 0.5
+            ).astype(np.uint8)
+            vthi.embed_bits(
+                block, page, hidden, key, public_bits=expected[page]
+            )
+    voltages = np.stack(
+        [chip.probe_voltages(block, page) for page in range(pages)]
+    )
+    if feature == "histogram":
+        sample = histogram_features(voltages, bins=bins)
+    elif feature == "summary":
+        ber = float(
+            np.mean(
+                [
+                    (chip.read_page(block, page) != expected[page]).mean()
+                    for page in range(pages)
+                ]
+            )
+        )
+        sample = summary_features(voltages, ber=ber)
+    else:
+        raise ValueError(f"unknown feature kind {feature!r}")
+    chip.release_block(block)
+    return sample
+
+
+def build_detection_dataset(
+    chips: Sequence[FlashChip],
+    scale: DatasetScale,
+    config: HidingConfig,
+    normal_pec: int,
+    hidden_pec: int,
+    key: HidingKey,
+    seed: int = 0,
+    feature: str = "histogram",
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Features, labels (1 = hidden), and chip index per sample.
+
+    Normal blocks are cycled to `normal_pec`; hidden blocks to
+    `hidden_pec` — the two axes of Fig. 10.
+    """
+    scaled_config = scale.scale_config(config)
+    features: List[np.ndarray] = []
+    labels: List[int] = []
+    chip_ids: List[int] = []
+    for chip_index, chip in enumerate(chips):
+        for sample_index in range(scale.blocks_per_class):
+            block = (2 * sample_index) % chip.geometry.n_blocks
+            features.append(
+                collect_block_sample(
+                    chip, block, normal_pec, None, key,
+                    seed=seed + sample_index, bins=scale.bins,
+                    feature=feature,
+                )
+            )
+            labels.append(0)
+            chip_ids.append(chip_index)
+            block = (2 * sample_index + 1) % chip.geometry.n_blocks
+            features.append(
+                collect_block_sample(
+                    chip, block, hidden_pec, scaled_config, key,
+                    seed=seed + 7919 + sample_index, bins=scale.bins,
+                    feature=feature,
+                )
+            )
+            labels.append(1)
+            chip_ids.append(chip_index)
+    return (
+        np.asarray(features),
+        np.asarray(labels),
+        np.asarray(chip_ids),
+    )

@@ -1,0 +1,80 @@
+"""Distribution analysis utilities for the paper's figures.
+
+The paper's figures plot "% of cells in block/page" against normalised
+voltage; these helpers produce those series plus the scalar distances the
+reproduction uses to quantify "the human eye has difficulty distinguishing"
+(Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """A voltage histogram in percent-of-cells, like the paper's plots."""
+
+    bin_edges: np.ndarray  # length bins+1
+    percent: np.ndarray  # length bins
+
+    @property
+    def centers(self) -> np.ndarray:
+        return (self.bin_edges[:-1] + self.bin_edges[1:]) / 2.0
+
+    def restricted(self, low: float, high: float) -> "Histogram":
+        """The sub-histogram over [low, high)."""
+        mask = (self.bin_edges[:-1] >= low) & (self.bin_edges[:-1] < high)
+        edges = np.append(
+            self.bin_edges[:-1][mask], self.bin_edges[1:][mask][-1:]
+        )
+        return Histogram(edges, self.percent[mask])
+
+
+def voltage_histogram(
+    voltages: np.ndarray,
+    bins: int = 256,
+    value_range: Tuple[float, float] = (0.0, 256.0),
+) -> Histogram:
+    """Histogram of probed voltages in percent of cells."""
+    flat = np.asarray(voltages).ravel()
+    if flat.size == 0:
+        raise ValueError("no voltage data")
+    counts, edges = np.histogram(flat, bins=bins, range=value_range)
+    return Histogram(edges, 100.0 * counts / flat.size)
+
+
+def average_histograms(histograms) -> Histogram:
+    """Mean of same-shaped histograms (the paper's Fig. 8 averaging)."""
+    histograms = list(histograms)
+    if not histograms:
+        raise ValueError("no histograms to average")
+    edges = histograms[0].bin_edges
+    for hist in histograms[1:]:
+        if not np.array_equal(hist.bin_edges, edges):
+            raise ValueError("histograms have mismatched bins")
+    stacked = np.stack([hist.percent for hist in histograms])
+    return Histogram(edges, stacked.mean(axis=0))
+
+
+def ks_distance(sample_a: np.ndarray, sample_b: np.ndarray) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic (max CDF distance)."""
+    a = np.sort(np.asarray(sample_a, dtype=np.float64).ravel())
+    b = np.sort(np.asarray(sample_b, dtype=np.float64).ravel())
+    if a.size == 0 or b.size == 0:
+        raise ValueError("samples must be non-empty")
+    grid = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, grid, side="right") / a.size
+    cdf_b = np.searchsorted(b, grid, side="right") / b.size
+    return float(np.abs(cdf_a - cdf_b).max())
+
+
+def tail_mass(voltages: np.ndarray, threshold: float) -> float:
+    """Fraction of cells above a threshold (the hiding band occupancy)."""
+    flat = np.asarray(voltages).ravel()
+    if flat.size == 0:
+        raise ValueError("no voltage data")
+    return float((flat > threshold).mean())

@@ -1,0 +1,109 @@
+"""The multiple-snapshot adversary (§9.2) and its mitigation.
+
+"A stricter threat model involves an adversary capable of comparing
+multiple snapshots of the device taken over time.  In this case, storing
+hidden data while leaving the public data unchanged leaves telltale signs
+of voltage manipulations..."  The paper's mitigation: "the hiding firmware
+can piggyback [on] public data writes" so every voltage change is
+explained by a visible public write.
+
+:class:`SnapshotAdversary` implements the attack: diff two per-cell
+voltage snapshots and flag pages whose voltages *rose* without an
+intervening public write (legitimate physics only moves voltages down
+between writes — retention leakage; a positive jump on a page whose
+public content is unchanged is a smoking gun).
+
+:func:`suspicious_pages` is what the hiding policy must drive to zero:
+the cover-traffic rule in :mod:`repro.stego.cover` embeds only into pages
+freshly programmed by public activity, which this adversary cannot
+distinguish from the write itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..nand.chip import FlashChip
+
+Location = Tuple[int, int]
+
+
+@dataclass
+class DeviceSnapshot:
+    """A full per-cell voltage image plus the public bit image."""
+
+    voltages: Dict[Location, np.ndarray]
+    public_bits: Dict[Location, np.ndarray]
+
+    @classmethod
+    def capture(cls, chip: FlashChip, blocks: List[int]) -> "DeviceSnapshot":
+        """Probe every programmed page of the listed blocks."""
+        voltages: Dict[Location, np.ndarray] = {}
+        bits: Dict[Location, np.ndarray] = {}
+        for block in blocks:
+            for page in range(chip.geometry.pages_per_block):
+                if not chip.is_page_programmed(block, page):
+                    continue
+                location = (block, page)
+                voltages[location] = chip.probe_voltages(block, page)
+                bits[location] = chip.read_page(block, page)
+        return cls(voltages, bits)
+
+
+@dataclass(frozen=True)
+class SnapshotFinding:
+    """One page the adversary flags."""
+
+    location: Location
+    raised_cells: int
+    max_rise: float
+
+
+class SnapshotAdversary:
+    """Diff snapshots for unexplained voltage increases."""
+
+    def __init__(
+        self,
+        rise_threshold: float = 4.0,
+        min_raised_cells: int = 8,
+    ) -> None:
+        #: Minimum per-cell voltage increase to count (probe quantisation
+        #: and read noise sit below this).
+        self.rise_threshold = rise_threshold
+        #: Pages need at least this many raised cells to be flagged —
+        #: scattered single-cell disturb events are normal.
+        self.min_raised_cells = min_raised_cells
+
+    def compare(
+        self, before: DeviceSnapshot, after: DeviceSnapshot
+    ) -> List[SnapshotFinding]:
+        """Pages whose voltage rose with *unchanged public content*.
+
+        Pages rewritten in between (public bits differ, or the page is
+        new) are excluded: a fresh program explains any voltage change.
+        """
+        findings = []
+        for location, old_voltages in before.voltages.items():
+            new_voltages = after.voltages.get(location)
+            if new_voltages is None:
+                continue  # erased since: nothing to compare
+            old_bits = before.public_bits[location]
+            new_bits = after.public_bits.get(location)
+            if new_bits is None or not np.array_equal(old_bits, new_bits):
+                continue  # rewritten: changes are explained
+            rise = new_voltages.astype(np.int32) - old_voltages.astype(
+                np.int32
+            )
+            raised = rise > self.rise_threshold
+            if int(raised.sum()) >= self.min_raised_cells:
+                findings.append(
+                    SnapshotFinding(
+                        location=location,
+                        raised_cells=int(raised.sum()),
+                        max_rise=float(rise.max()),
+                    )
+                )
+        return findings

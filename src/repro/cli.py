@@ -1,0 +1,354 @@
+"""repro-stash: a command-line front end to the VT-HI stack.
+
+Operates a *simulated* device persisted to a file.  The device file holds
+only the public world (chip voltages, FTL state) — never the hiding key:
+hidden data is located purely by re-deriving the selection map from the
+passphrase and scanning, exactly the §9.2 mount model.  Confiscating the
+device file therefore reveals nothing, and ``mount`` with the wrong
+passphrase finds nothing.
+
+    repro-stash init dev.stash
+    repro-stash public-write dev.stash 0 "my day planner"
+    repro-stash hide dev.stash -p "s3cret" 0 "meet at dawn"
+    repro-stash mount dev.stash -p "s3cret"
+    repro-stash reveal dev.stash -p "s3cret" 0
+    repro-stash stats dev.stash
+    repro-stash experiment fig3
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+from dataclasses import dataclass
+from typing import Optional
+
+from .crypto import HidingKey
+from .ecc.page import PagePipeline
+from .ftl import Ftl
+from .hiding import STANDARD_CONFIG, VtHi
+from .nand import TEST_MODEL, BENCH_MODEL, FlashChip
+from .stego import HiddenVolume
+
+#: Hiding configuration used by the CLI (test-geometry scaled standard).
+CLI_CONFIG = STANDARD_CONFIG.replace(bits_per_page=512, ecc_m=10, ecc_t=18)
+
+MODELS = {"test": TEST_MODEL, "bench": BENCH_MODEL}
+
+
+@dataclass
+class Device:
+    """The persisted public world: a chip and its FTL."""
+
+    model_name: str
+    chip: FlashChip
+    ftl: Ftl
+
+    def save(self, path: str) -> None:
+        with open(path, "wb") as handle:
+            pickle.dump(self, handle)
+
+    @classmethod
+    def load(cls, path: str) -> "Device":
+        try:
+            with open(path, "rb") as handle:
+                device = pickle.load(handle)
+        except FileNotFoundError:
+            raise SystemExit(
+                f"no device file at {path} (create one with "
+                f"`repro-stash init {path}`)"
+            ) from None
+        if not isinstance(device, cls):
+            raise SystemExit(f"{path} is not a repro-stash device file")
+        return device
+
+    def volume(self, passphrase: str) -> HiddenVolume:
+        key = HidingKey.from_passphrase(passphrase)
+        vthi = VtHi(self.chip, CLI_CONFIG, public_codec=self.ftl.pipeline)
+        volume = HiddenVolume(self.ftl, vthi, key)
+        volume.mount()
+        return volume
+
+
+def _cmd_init(args) -> int:
+    model = MODELS[args.model]
+    chip = FlashChip(model.geometry, model.params, seed=args.seed)
+    pipeline = PagePipeline(chip.geometry.cells_per_page, ecc_m=13, ecc_t=8)
+    ftl = Ftl(chip, pipeline, overprovision_blocks=args.overprovision)
+    Device(args.model, chip, ftl).save(args.device)
+    print(
+        f"initialised {args.device}: model {model.name}, "
+        f"{ftl.logical_pages} logical pages of {ftl.page_data_bytes} bytes"
+    )
+    return 0
+
+
+def _payload_from(args) -> bytes:
+    if args.file:
+        with open(args.data, "rb") as handle:
+            return handle.read()
+    return args.data.encode("utf-8")
+
+
+def _cmd_public_write(args) -> int:
+    device = Device.load(args.device)
+    data = _payload_from(args)
+    if len(data) > device.ftl.page_data_bytes:
+        raise SystemExit(
+            f"payload of {len(data)} bytes exceeds the logical page "
+            f"({device.ftl.page_data_bytes} bytes)"
+        )
+    device.ftl.write(args.lpa, data)
+    device.save(args.device)
+    print(f"wrote {len(data)} bytes to public page {args.lpa}")
+    return 0
+
+
+def _cmd_public_read(args) -> int:
+    device = Device.load(args.device)
+    data = device.ftl.read(args.lpa)
+    if data is None:
+        print(f"public page {args.lpa}: (never written)")
+        return 1
+    sys.stdout.buffer.write(data.rstrip(b"\x00") + b"\n")
+    return 0
+
+
+def _cmd_hide(args) -> int:
+    device = Device.load(args.device)
+    volume = device.volume(args.passphrase)
+    data = _payload_from(args)
+    if len(data) > volume.slot_data_bytes:
+        raise SystemExit(
+            f"hidden payload of {len(data)} bytes exceeds the slot "
+            f"({volume.slot_data_bytes} bytes)"
+        )
+    volume.write(args.lba, data)
+    device.save(args.device)
+    print(
+        f"hidden block {args.lba} embedded "
+        f"({len(data)} of {volume.slot_data_bytes} bytes)"
+    )
+    return 0
+
+
+def _cmd_reveal(args) -> int:
+    device = Device.load(args.device)
+    volume = device.volume(args.passphrase)
+    data = volume.read(args.lba)
+    if data is None:
+        print(f"hidden block {args.lba}: nothing found with this key")
+        return 1
+    sys.stdout.buffer.write(data + b"\n")
+    return 0
+
+
+def _cmd_mount(args) -> int:
+    device = Device.load(args.device)
+    volume = device.volume(args.passphrase)
+    slots = sorted(volume._slots.items())
+    print(
+        f"hidden volume: {len(slots)} blocks "
+        f"(capacity {volume.capacity_slots()} slots x "
+        f"{volume.slot_data_bytes} bytes)"
+    )
+    for lba, (host, length, _seq) in slots:
+        print(f"  lba {lba}: {length} bytes at block {host[0]} "
+              f"page {host[1]}")
+    return 0
+
+
+def _cmd_delete(args) -> int:
+    device = Device.load(args.device)
+    volume = device.volume(args.passphrase)
+    volume.delete(args.lba)
+    device.save(args.device)
+    print(f"hidden block {args.lba} deleted (tombstoned)")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    device = Device.load(args.device)
+    ftl, chip = device.ftl, device.chip
+    stats = ftl.stats
+    print(f"device model: {device.model_name} "
+          f"({chip.geometry.n_blocks} blocks x "
+          f"{chip.geometry.pages_per_block} pages x "
+          f"{chip.geometry.page_bytes} B)")
+    print(f"host writes {stats.host_writes}, flash writes "
+          f"{stats.flash_writes} (WAF {stats.write_amplification:.2f}), "
+          f"GC erases {stats.gc_erases}")
+    ops = chip.counters
+    print(f"chip ops: {ops.reads} reads, {ops.programs} programs, "
+          f"{ops.erases} erases, {ops.partial_programs} partial programs")
+    print(f"busy time {ops.busy_time_s*1e3:.1f} ms, "
+          f"energy {ops.energy_j*1e3:.2f} mJ")
+    return 0
+
+
+def _cmd_probe(args) -> int:
+    device = Device.load(args.device)
+    chip = device.chip
+    voltages = chip.probe_voltages(args.block, args.page)
+    device.save(args.device)  # probing costs a read
+    import numpy as np
+
+    counts, edges = np.histogram(voltages, bins=16, range=(0, 256))
+    peak = counts.max() or 1
+    print(f"voltage histogram, block {args.block} page {args.page} "
+          f"(PEC {chip.block_pec(args.block)}):")
+    for count, left, right in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(40 * count / peak)
+        print(f"  [{int(left):3d}-{int(right):3d})  {bar} {count}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from . import experiments
+
+    module = getattr(experiments, args.name, None)
+    if module is None or not hasattr(module, "run"):
+        names = [
+            name for name in experiments.__all__
+            if hasattr(getattr(experiments, name), "run")
+        ]
+        raise SystemExit(
+            f"unknown experiment {args.name!r}; available: "
+            f"{', '.join(sorted(names))}"
+        )
+    result = module.run()
+    print(result.summary.render())
+    _render_curves(args.name, result)
+    return 0
+
+
+def _render_curves(name: str, result) -> None:
+    """Distribution experiments also draw their curves in ASCII."""
+    from .experiments.figures import render_overlay
+
+    try:
+        if name == "fig2":
+            print()
+            print(render_overlay(
+                {f"s{i}": h for i, h in enumerate(result.block_erased)},
+                height=8,
+            ))
+        elif name == "fig3":
+            print()
+            print(render_overlay(
+                {f"PEC {p}": h for p, h in result.erased.items()}, height=8
+            ))
+        elif name == "fig8":
+            print()
+            print(render_overlay(
+                {f"{d} bits": h for d, h in result.histograms.items()},
+                height=8,
+            ))
+    except Exception:  # pragma: no cover - rendering is best-effort
+        pass
+
+
+def _cmd_report(args) -> int:
+    """Run the whole light evaluation (everything but the SVM sweeps)."""
+    from . import experiments
+
+    light = [
+        "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig11",
+        "table1", "throughput", "energy", "wear", "reliability",
+        "capacity", "applicability", "public_interference",
+        "mlc_extension", "interval_capacity", "ablations",
+    ]
+    for name in light:
+        result = getattr(experiments, name).run()
+        print(result.summary.render())
+        for part in getattr(result, "parts", []):
+            print()
+            print(part.render())
+        _render_curves(name, result)
+        print("\n" + "=" * 72 + "\n")
+    print("SVM sweeps (fig10/fig12) are heavier; run them via "
+          "`repro-stash experiment fig10` or the benchmarks.")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-stash",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("init", help="create a simulated device file")
+    p.add_argument("device")
+    p.add_argument("--model", choices=sorted(MODELS), default="test")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--overprovision", type=int, default=4)
+    p.set_defaults(func=_cmd_init)
+
+    def add_data_arguments(p):
+        p.add_argument("data", help="payload text (or a path with --file)")
+        p.add_argument("--file", action="store_true",
+                       help="treat DATA as a file path")
+
+    p = sub.add_parser("public-write", help="write a public logical page")
+    p.add_argument("device")
+    p.add_argument("lpa", type=int)
+    add_data_arguments(p)
+    p.set_defaults(func=_cmd_public_write)
+
+    p = sub.add_parser("public-read", help="read a public logical page")
+    p.add_argument("device")
+    p.add_argument("lpa", type=int)
+    p.set_defaults(func=_cmd_public_read)
+
+    for name, func, needs_data in (
+        ("hide", _cmd_hide, True),
+        ("reveal", _cmd_reveal, False),
+        ("delete", _cmd_delete, False),
+    ):
+        p = sub.add_parser(name, help=f"{name} a hidden block")
+        p.add_argument("device")
+        p.add_argument("-p", "--passphrase", required=True)
+        p.add_argument("lba", type=int)
+        if needs_data:
+            add_data_arguments(p)
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("mount", help="scan for hidden blocks with a key")
+    p.add_argument("device")
+    p.add_argument("-p", "--passphrase", required=True)
+    p.set_defaults(func=_cmd_mount)
+
+    p = sub.add_parser("stats", help="device statistics")
+    p.add_argument("device")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("probe", help="voltage histogram of a page")
+    p.add_argument("device")
+    p.add_argument("block", type=int)
+    p.add_argument("page", type=int)
+    p.set_defaults(func=_cmd_probe)
+
+    p = sub.add_parser("experiment",
+                       help="run a paper experiment (e.g. fig3, table1)")
+    p.add_argument("name")
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "report", help="run the full light evaluation and print every table"
+    )
+    p.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

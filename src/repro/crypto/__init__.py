@@ -1,0 +1,7 @@
+"""Cryptographic utilities: keyed PRNG, stream cipher, hiding keys."""
+
+from .cipher import StreamCipher
+from .keys import KEY_BYTES, HidingKey
+from .prng import KeyedPrng
+
+__all__ = ["KEY_BYTES", "HidingKey", "KeyedPrng", "StreamCipher"]

@@ -1,0 +1,67 @@
+"""The hiding user's secret key.
+
+§5.1's model has two roles: the normal user (NU), who needs no keys to read
+public data, and the hiding user (HU), who holds a single secret from which
+everything else derives — the cell-selection PRNG stream and the payload
+cipher key.  §9.2 notes that the small configuration metadata (m, V_th,
+bits per page) "could be included in the hidden key"; :class:`HidingKey`
+supports carrying that configuration alongside the secret.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from .cipher import StreamCipher
+from .prng import KeyedPrng
+
+KEY_BYTES = 32
+
+
+@dataclass(frozen=True)
+class HidingKey:
+    """The HU's secret key, with derived subkeys for each purpose."""
+
+    secret: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.secret) != KEY_BYTES:
+            raise ValueError(
+                f"hiding key must be {KEY_BYTES} bytes, got {len(self.secret)}"
+            )
+
+    @classmethod
+    def generate(cls, entropy: Optional[bytes] = None) -> "HidingKey":
+        """A fresh random key (or a key from caller-provided entropy)."""
+        if entropy is None:
+            entropy = os.urandom(KEY_BYTES)
+        return cls(hashlib.sha256(b"hiding-key:" + entropy).digest())
+
+    @classmethod
+    def from_passphrase(cls, passphrase: str, iterations: int = 100_000) -> "HidingKey":
+        """Derive a key from a passphrase (PBKDF2-HMAC-SHA256)."""
+        derived = hashlib.pbkdf2_hmac(
+            "sha256", passphrase.encode("utf-8"), b"stash-in-a-flash", iterations
+        )
+        return cls(derived)
+
+    @classmethod
+    def from_hex(cls, text: str) -> "HidingKey":
+        return cls(bytes.fromhex(text))
+
+    def to_hex(self) -> str:
+        return self.secret.hex()
+
+    def _subkey(self, label: bytes) -> bytes:
+        return hashlib.sha256(self.secret + b"/" + label).digest()
+
+    def selection_prng(self) -> KeyedPrng:
+        """The PRNG stream that locates hidden cells (Algorithm 1, line 2)."""
+        return KeyedPrng(self._subkey(b"selection"))
+
+    def cipher(self) -> StreamCipher:
+        """The payload-whitening cipher (Algorithm 1, line 4)."""
+        return StreamCipher(self._subkey(b"cipher"))

@@ -1,0 +1,24 @@
+"""Error-correcting codes: BCH, repetition, interleaving, XOR parity."""
+
+from .bch import BchCode, DecodeResult, EccError
+from .gf import GF2m, PRIMITIVE_POLYS
+from .interleave import deinterleave, interleave
+from .overhead import EccPlan, binomial_tail, plan_for_budget, required_t
+from .parity import ParityGroup
+from .repetition import RepetitionCode
+
+__all__ = [
+    "BchCode",
+    "DecodeResult",
+    "EccError",
+    "EccPlan",
+    "GF2m",
+    "PRIMITIVE_POLYS",
+    "ParityGroup",
+    "RepetitionCode",
+    "binomial_tail",
+    "deinterleave",
+    "interleave",
+    "plan_for_budget",
+    "required_t",
+]

@@ -1,0 +1,258 @@
+"""Binary BCH codes: systematic encoding, Berlekamp-Massey decoding.
+
+VT-HI over-provisions hidden cells for ECC (§5.3: "we select more cells for
+hidden data than the bits we wish to write"; §6.3/§8 size the parity at ~5%
+for the standard configuration and ~14% for the enhanced one).  BCH is the
+standard code family for raw NAND, and a t-error-correcting BCH over
+GF(2^m) is what the paper's "standard ECC codes" refers to.
+
+The implementation is from scratch: generator polynomial from minimal
+polynomials, LFSR-style systematic encoding, syndrome computation,
+Berlekamp-Massey for the error locator, and Chien search for the roots.
+Shortened codes (fewer data bits than k) are supported, which is how the
+hiding layer matches codewords to its per-page hidden-bit budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .gf import GF2m
+
+
+class EccError(Exception):
+    """Raised when a codeword is uncorrectable."""
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Decoded data plus correction statistics."""
+
+    data: np.ndarray
+    corrected_errors: int
+
+
+class BchCode:
+    """A binary BCH(n, k, t) code over GF(2^m), n = 2^m - 1.
+
+    Args:
+        m: field degree; the natural code length is ``2^m - 1``.
+        t: designed error-correction capability (bits per codeword).
+    """
+
+    def __init__(self, m: int, t: int) -> None:
+        if t < 1:
+            raise ValueError(f"t must be >= 1, got {t}")
+        self.field = GF2m(m)
+        self.n = self.field.order
+        self.t = t
+        generator = [1]
+        seen_classes = set()
+        for power in range(1, 2 * t + 1):
+            element = self.field.alpha_pow(power)
+            if element in seen_classes:
+                continue
+            minimal = self.field.minimal_polynomial(element)
+            # Record the whole conjugacy class as covered.
+            conj = element
+            while conj not in seen_classes:
+                seen_classes.add(conj)
+                conj = self.field.mul(conj, conj)
+            generator = _poly_mul_gf2(generator, minimal)
+        #: Generator polynomial coefficients over GF(2), lowest first.
+        self.generator = generator
+        self.n_parity = len(generator) - 1
+        self.k = self.n - self.n_parity
+        if self.k <= 0:
+            raise ValueError(
+                f"BCH(m={m}, t={t}) has no data capacity (k={self.k})"
+            )
+        self._remainder_table = None
+        #: exp table as a numpy array for vectorised syndromes/Chien.
+        self._exp = np.array(self.field.exp, dtype=np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BchCode(n={self.n}, k={self.k}, t={self.t})"
+
+    # ------------------------------------------------------------------
+
+    def encode(self, data_bits: Sequence[int]) -> np.ndarray:
+        """Systematically encode up to k data bits.
+
+        Returns ``data + parity`` as a bit array of ``len(data) + n_parity``
+        bits.  Shorter-than-k inputs produce a shortened code: the omitted
+        leading data bits are implicitly zero and are not transmitted.
+        """
+        data = np.asarray(data_bits, dtype=np.uint8)
+        if data.ndim != 1 or data.size > self.k:
+            raise ValueError(
+                f"data must be a bit vector of <= {self.k} bits, "
+                f"got shape {data.shape}"
+            )
+        if data.size and not np.isin(data, (0, 1)).all():
+            raise ValueError("data must contain only 0/1")
+        parity = self._lfsr_remainder(data)
+        return np.concatenate([data, parity])
+
+    def decode(self, codeword_bits: Sequence[int]) -> DecodeResult:
+        """Correct up to t errors and return the data bits.
+
+        Raises :class:`EccError` when the word is uncorrectable.
+        """
+        received = np.asarray(codeword_bits, dtype=np.uint8).copy()
+        if received.ndim != 1 or received.size <= self.n_parity:
+            raise ValueError(
+                f"codeword must be a bit vector longer than "
+                f"{self.n_parity} bits, got shape {received.shape}"
+            )
+        if received.size > self.n:
+            raise ValueError(
+                f"codeword of {received.size} bits exceeds code length {self.n}"
+            )
+        shortening = self.n - received.size
+        syndromes = self._syndromes(received, shortening)
+        if not any(syndromes):
+            return DecodeResult(received[: -self.n_parity], 0)
+        locator = self._berlekamp_massey(syndromes)
+        n_errors = len(locator) - 1
+        if n_errors > self.t:
+            raise EccError(
+                f"error locator degree {n_errors} exceeds t={self.t}"
+            )
+        positions = self._chien_search(locator, shortening, received.size)
+        if len(positions) != n_errors:
+            raise EccError(
+                "Chien search found "
+                f"{len(positions)} roots for a degree-{n_errors} locator"
+            )
+        received[positions] ^= 1
+        # Re-check: a decoding beyond capacity can produce bogus fixes.
+        if any(self._syndromes(received, shortening)):
+            raise EccError("correction did not zero the syndromes")
+        return DecodeResult(received[: -self.n_parity], n_errors)
+
+    # ------------------------------------------------------------------
+
+    def _lfsr_remainder(self, data: np.ndarray) -> np.ndarray:
+        """Remainder of x^(n-k) * d(x) modulo g(x), as parity bits.
+
+        Computed as the XOR of per-position remainders (x^degree mod g),
+        precomputed once per code, so encoding is a vectorised gather+XOR
+        instead of a bit-serial LFSR — page-sized codes need this.
+        """
+        if data.size == 0:
+            return np.zeros(self.n_parity, dtype=np.uint8)
+        table = self._position_remainders()
+        # Data bit i (of this possibly-shortened word) multiplies
+        # x^(data_len - 1 - i + n_parity).
+        degrees = (data.size - 1 - np.flatnonzero(data)) + self.n_parity
+        if degrees.size == 0:
+            return np.zeros(self.n_parity, dtype=np.uint8)
+        acc = np.bitwise_xor.reduce(table[degrees], axis=0)
+        # acc[i] is the coefficient of x^i; transmitted parity is ordered
+        # highest degree first.
+        return acc[::-1].copy()
+
+    def _position_remainders(self) -> np.ndarray:
+        """x^j mod g(x) for j in [0, n), as bit rows (n, n_parity)."""
+        if self._remainder_table is None:
+            table = np.zeros((self.n, self.n_parity), dtype=np.uint8)
+            gen_low = np.array(self.generator[:-1], dtype=np.uint8)
+            current = np.zeros(self.n_parity, dtype=np.uint8)
+            current[0] = 1  # x^0
+            table[0] = current
+            for j in range(1, self.n):
+                carry = current[-1]
+                current = np.roll(current, 1)
+                current[0] = 0
+                if carry:
+                    current ^= gen_low
+                table[j] = current
+            self._remainder_table = table
+        return self._remainder_table
+
+    def _syndromes(self, received: np.ndarray, shortening: int) -> List[int]:
+        """S_j = r(alpha^j) for j = 1..2t, for a shortened word.
+
+        Bit i of the transmitted array corresponds to polynomial degree
+        ``n - 1 - shortening - i``.  Vectorised: for each j, gather
+        alpha^(j*degree) for every set bit and XOR-reduce.
+        """
+        order = self.field.order
+        degrees = self.n - 1 - shortening - np.flatnonzero(received).astype(np.int64)
+        syndromes = []
+        if degrees.size == 0:
+            return [0] * (2 * self.t)
+        for j in range(1, 2 * self.t + 1):
+            idx = (j * degrees) % order
+            syndromes.append(int(np.bitwise_xor.reduce(self._exp[idx])))
+        return syndromes
+
+    def _berlekamp_massey(self, syndromes: List[int]) -> List[int]:
+        """Error-locator polynomial sigma(x), lowest degree first."""
+        field = self.field
+        sigma = [1]
+        prev_sigma = [1]
+        prev_discrepancy = 1
+        m_gap = 1
+        length = 0
+        for i, syndrome in enumerate(syndromes):
+            # Discrepancy for the current step.
+            discrepancy = syndrome
+            for j in range(1, length + 1):
+                if j < len(sigma) and sigma[j]:
+                    discrepancy ^= field.mul(sigma[j], syndromes[i - j])
+            if discrepancy == 0:
+                m_gap += 1
+                continue
+            scale = field.div(discrepancy, prev_discrepancy)
+            adjustment = [0] * m_gap + [field.mul(scale, c) for c in prev_sigma]
+            new_sigma = list(sigma) + [0] * max(
+                0, len(adjustment) - len(sigma)
+            )
+            for j, coeff in enumerate(adjustment):
+                new_sigma[j] ^= coeff
+            if 2 * length <= i:
+                prev_sigma = sigma
+                prev_discrepancy = discrepancy
+                length = i + 1 - length
+                m_gap = 1
+            else:
+                m_gap += 1
+            sigma = new_sigma
+        while len(sigma) > 1 and sigma[-1] == 0:
+            sigma.pop()
+        return sigma
+
+    def _chien_search(
+        self, locator: List[int], shortening: int, word_len: int
+    ) -> np.ndarray:
+        """Bit positions (in the transmitted array) of the located errors.
+
+        Vectorised over positions: X_l = alpha^degree is an error location
+        iff sigma(alpha^-degree) == 0, evaluated for all positions at once.
+        """
+        order = self.field.order
+        log = self.field.log
+        degrees = self.n - 1 - shortening - np.arange(word_len, dtype=np.int64)
+        inv_exponents = (-degrees) % order
+        values = np.zeros(word_len, dtype=np.int64)
+        for k, coeff in enumerate(locator):
+            if coeff == 0:
+                continue
+            exponent = (log[coeff] + k * inv_exponents) % order
+            values ^= self._exp[exponent]
+        return np.flatnonzero(values == 0)
+
+
+def _poly_mul_gf2(p: List[int], q: List[int]) -> List[int]:
+    """Multiply polynomials with GF(2) coefficients."""
+    out = [0] * (len(p) + len(q) - 1)
+    for i, a in enumerate(p):
+        if a:
+            for j, b in enumerate(q):
+                out[i + j] ^= a & b
+    return out

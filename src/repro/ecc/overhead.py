@@ -1,0 +1,99 @@
+"""ECC sizing arithmetic.
+
+§6.3 and §8 size the hidden-data ECC from the measured raw BER: "a 0.5%
+hidden BER ... after applying standard ECC codes, translates to 243.6 bits
+of data per page (i.e., ~13 parity bits)" for the standard configuration,
+and 14% parity for the enhanced one.  This module provides that arithmetic:
+given a raw bit error probability and a codeword size, how much correction
+capability t is needed for a target codeword failure rate, and what usable
+capacity remains.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def binomial_tail(n: int, p: float, k: int) -> float:
+    """P(X > k) for X ~ Binomial(n, p), computed in log space.
+
+    The probability that more than k of n bits are in error — i.e. that a
+    t=k code fails on the word.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be a probability, got {p}")
+    if k >= n:
+        return 0.0
+    if p == 0.0:
+        return 0.0
+    if p == 1.0:
+        return 1.0
+    total = 0.0
+    log_p = math.log(p)
+    log_q = math.log1p(-p)
+    for i in range(k + 1, n + 1):
+        log_term = (
+            math.lgamma(n + 1)
+            - math.lgamma(i + 1)
+            - math.lgamma(n - i + 1)
+            + i * log_p
+            + (n - i) * log_q
+        )
+        total += math.exp(log_term)
+    return min(total, 1.0)
+
+
+def required_t(n: int, raw_ber: float, target_failure: float = 1e-9) -> int:
+    """Smallest t with P(more than t errors in n bits) <= target_failure."""
+    if n < 1:
+        raise ValueError(f"codeword size must be positive, got {n}")
+    for t in range(n + 1):
+        if binomial_tail(n, raw_ber, t) <= target_failure:
+            return t
+    return n
+
+
+@dataclass(frozen=True)
+class EccPlan:
+    """A sized code for a given hidden-cell budget."""
+
+    #: Total coded bits (the hidden-cell budget per page).
+    coded_bits: int
+    #: Correction capability.
+    t: int
+    #: Parity bits consumed.
+    parity_bits: int
+    #: Usable data bits after parity.
+    data_bits: int
+    #: Expected codeword failure probability at the design raw BER.
+    failure_probability: float
+
+    @property
+    def overhead_fraction(self) -> float:
+        return self.parity_bits / self.coded_bits if self.coded_bits else 0.0
+
+
+def plan_for_budget(
+    coded_bits: int,
+    raw_ber: float,
+    parity_bits_per_t: int,
+    target_failure: float = 1e-9,
+) -> EccPlan:
+    """Size a code that fits exactly `coded_bits` hidden cells.
+
+    `parity_bits_per_t` is the per-error parity cost (m for a BCH code over
+    GF(2^m)).  Iterates because parity bits themselves are exposed to
+    errors.
+    """
+    if coded_bits < 1:
+        raise ValueError("coded_bits must be positive")
+    t = required_t(coded_bits, raw_ber, target_failure)
+    parity = min(t * parity_bits_per_t, coded_bits)
+    return EccPlan(
+        coded_bits=coded_bits,
+        t=t,
+        parity_bits=parity,
+        data_bits=coded_bits - parity,
+        failure_probability=binomial_tail(coded_bits, raw_ber, t),
+    )

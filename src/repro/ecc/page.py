@@ -1,0 +1,180 @@
+"""Public-page ECC pipeline.
+
+Real NAND pages include a spare area and every page of public data passes
+through the controller's ECC.  The paper's decoder depends on this: the
+hidden-cell selection map is derived from the page's public bits, so the
+decoder must see the *corrected* public page, not the raw read (§5.3's
+selection among non-programmed bits; public raw BER is ~3e-5).
+
+:class:`PagePipeline` maps user data bytes onto a full page's cells —
+multiple interleaved-by-position BCH codewords whose parity consumes the
+spare bits — and can correct a raw page read back into the exact bit vector
+that was programmed.
+
+Like a real controller, the pipeline *scrambles* user data with an unkeyed,
+page-address-seeded pseudo-random sequence before encoding (§5.3 cites
+"standard SSD controller data scrambling").  Scrambling is what makes the
+paper's assumption hold that half the public bits are non-programmed '1's
+regardless of payload content — without it, an all-zeros file would leave
+no cells to hide in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .bch import BchCode, EccError
+
+
+def _scrambler_bytes(page_address: int, n: int) -> bytes:
+    """Unkeyed, publicly-known scrambler stream for a page."""
+    out = bytearray()
+    counter = 0
+    while len(out) < n:
+        hasher = hashlib.sha256()
+        hasher.update(b"page-scrambler")
+        hasher.update(int(page_address).to_bytes(8, "little"))
+        hasher.update(counter.to_bytes(8, "little"))
+        out.extend(hasher.digest())
+        counter += 1
+    return bytes(out[:n])
+
+
+@dataclass(frozen=True)
+class _PageWord:
+    """Placement of one codeword within the page bit vector."""
+
+    start: int
+    data_bits: int
+    coded_bits: int
+
+
+class PagePipeline:
+    """User bytes <-> page bits with BCH protection."""
+
+    def __init__(
+        self,
+        cells_per_page: int,
+        ecc_m: int = 14,
+        ecc_t: int = 40,
+        n_words: int = None,
+    ) -> None:
+        self.cells_per_page = cells_per_page
+        self.code = BchCode(ecc_m, ecc_t)
+        if n_words is None:
+            n_words = -(-cells_per_page // self.code.n)  # ceil
+        if n_words < 1:
+            raise ValueError("n_words must be >= 1")
+        if cells_per_page // n_words > self.code.n:
+            raise ValueError(
+                f"{n_words} codewords of <= {self.code.n} bits cannot "
+                f"cover {cells_per_page} cells"
+            )
+        if cells_per_page // n_words <= self.code.n_parity:
+            raise ValueError(
+                f"page words of {cells_per_page // n_words} bits leave no "
+                f"room for {self.code.n_parity} parity bits"
+            )
+        self.words: List[_PageWord] = []
+        start = 0
+        base = cells_per_page // n_words
+        remainder = cells_per_page % n_words
+        for i in range(n_words):
+            coded = base + (1 if i < remainder else 0)
+            self.words.append(
+                _PageWord(
+                    start=start,
+                    data_bits=coded - self.code.n_parity,
+                    coded_bits=coded,
+                )
+            )
+            start += coded
+        total_data_bits = sum(w.data_bits for w in self.words)
+        #: User payload bytes per page (the rest of the page is parity —
+        #: the "spare area" of a physical page).
+        self.data_bytes = total_data_bits // 8
+        self._slack_bits = total_data_bits - self.data_bytes * 8
+
+    def encode(self, data: bytes, page_address: int = 0) -> np.ndarray:
+        """Map user bytes to the page bit vector that gets programmed.
+
+        Shorter payloads are zero-padded to the page's data capacity; the
+        whole data area is then scrambled with the page-address-seeded
+        stream, so the stored bit pattern is uniform whatever the payload.
+        """
+        if len(data) > self.data_bytes:
+            raise ValueError(
+                f"payload of {len(data)} bytes exceeds page data capacity "
+                f"{self.data_bytes} bytes"
+            )
+        padded = data + b"\x00" * (self.data_bytes - len(data))
+        scrambler = _scrambler_bytes(page_address, self.data_bytes)
+        scrambled = bytes(a ^ b for a, b in zip(padded, scrambler))
+        bits = np.unpackbits(np.frombuffer(scrambled, dtype=np.uint8))
+        bits = np.concatenate(
+            [bits, np.zeros(self._slack_bits, dtype=np.uint8)]
+        )
+        page = np.empty(self.cells_per_page, dtype=np.uint8)
+        cursor = 0
+        for word in self.words:
+            chunk = bits[cursor:cursor + word.data_bits]
+            cursor += word.data_bits
+            page[word.start:word.start + word.coded_bits] = self.code.encode(
+                chunk
+            )
+        return page
+
+    def decode(self, page_bits: np.ndarray, page_address: int = 0) -> Tuple[bytes, int]:
+        """Recover user bytes from a raw page read.
+
+        Returns (data, total corrected bit errors).  Raises
+        :class:`~repro.ecc.bch.EccError` if any codeword is uncorrectable.
+        """
+        corrected_bits, n_corrected = self._correct_words(page_bits)
+        data_bits = []
+        for word in self.words:
+            data_bits.append(
+                corrected_bits[word.start:word.start + word.data_bits]
+            )
+        bits = np.concatenate(data_bits)
+        if self._slack_bits:
+            bits = bits[: -self._slack_bits]
+        scrambled = np.packbits(bits).tobytes()
+        scrambler = _scrambler_bytes(page_address, self.data_bytes)
+        return bytes(a ^ b for a, b in zip(scrambled, scrambler)), n_corrected
+
+    def correct(self, page_bits: np.ndarray) -> np.ndarray:
+        """Return the exact programmed page bit vector from a raw read.
+
+        This is the "ECC-corrected public view" the hidden-data decoder
+        derives its selection map from.
+        """
+        corrected, _ = self._correct_words(page_bits)
+        return corrected
+
+    def _correct_words(self, page_bits: np.ndarray) -> Tuple[np.ndarray, int]:
+        bits = np.asarray(page_bits, dtype=np.uint8)
+        if bits.shape != (self.cells_per_page,):
+            raise ValueError(
+                f"page bits must have shape ({self.cells_per_page},), "
+                f"got {bits.shape}"
+            )
+        corrected = bits.copy()
+        total = 0
+        for word in self.words:
+            segment = bits[word.start:word.start + word.coded_bits]
+            try:
+                result = self.code.decode(segment)
+            except EccError as exc:
+                raise EccError(
+                    f"public page word at bit {word.start} uncorrectable: "
+                    f"{exc}"
+                ) from exc
+            fixed = self.code.encode(result.data)
+            corrected[word.start:word.start + word.coded_bits] = fixed
+            total += result.corrected_errors
+        return corrected, total

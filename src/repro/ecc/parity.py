@@ -1,0 +1,67 @@
+"""RAID-like XOR parity across hidden payload pages.
+
+§8 (Reliability): "to provide additional protection against data loss
+(e.g., due to bad blocks) data can be further encoded using RAID-like
+schemes, similarly to normal data."  A :class:`ParityGroup` holds N data
+payloads plus one XOR parity payload and can reconstruct any single lost
+member — the protection §5.1 suggests for hidden data whose containing
+public page is erased before re-embedding.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class ParityGroup:
+    """XOR parity over equal-length bit payloads."""
+
+    def __init__(self, payloads: Sequence[np.ndarray]) -> None:
+        if not payloads:
+            raise ValueError("parity group needs at least one payload")
+        arrays = [np.asarray(p, dtype=np.uint8) for p in payloads]
+        length = arrays[0].size
+        for i, arr in enumerate(arrays):
+            if arr.ndim != 1 or arr.size != length:
+                raise ValueError(
+                    f"payload {i} has shape {arr.shape}; all payloads must "
+                    f"be bit vectors of {length} bits"
+                )
+        self.payloads = arrays
+
+    @property
+    def parity(self) -> np.ndarray:
+        """The XOR of all member payloads."""
+        result = np.zeros_like(self.payloads[0])
+        for payload in self.payloads:
+            result ^= payload
+        return result
+
+    @staticmethod
+    def reconstruct(
+        surviving: Sequence[Optional[np.ndarray]], parity: np.ndarray
+    ) -> List[np.ndarray]:
+        """Rebuild the group from members (one may be None) plus parity.
+
+        Raises ValueError if more than one member is missing — XOR parity
+        tolerates exactly one loss.
+        """
+        parity = np.asarray(parity, dtype=np.uint8)
+        missing = [i for i, p in enumerate(surviving) if p is None]
+        if len(missing) > 1:
+            raise ValueError(
+                f"{len(missing)} payloads missing; XOR parity recovers one"
+            )
+        restored = [
+            None if p is None else np.asarray(p, dtype=np.uint8)
+            for p in surviving
+        ]
+        if missing:
+            acc = parity.copy()
+            for payload in restored:
+                if payload is not None:
+                    acc ^= payload
+            restored[missing[0]] = acc
+        return restored  # type: ignore[return-value]

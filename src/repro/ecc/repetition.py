@@ -1,0 +1,45 @@
+"""Repetition code with majority-vote decoding.
+
+A deliberately simple alternative to BCH, useful as a baseline in the
+capacity ablations and for tiny metadata payloads where a BCH codeword
+would not fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RepetitionCode:
+    """Each bit is repeated `factor` times; decoding is a majority vote."""
+
+    factor: int = 3
+
+    def __post_init__(self) -> None:
+        if self.factor < 1 or self.factor % 2 == 0:
+            raise ValueError(
+                f"repetition factor must be odd and >= 1, got {self.factor}"
+            )
+
+    def encode(self, data_bits) -> np.ndarray:
+        data = np.asarray(data_bits, dtype=np.uint8)
+        if data.ndim != 1:
+            raise ValueError("data must be a bit vector")
+        return np.repeat(data, self.factor)
+
+    def decode(self, coded_bits) -> np.ndarray:
+        coded = np.asarray(coded_bits, dtype=np.uint8)
+        if coded.ndim != 1 or coded.size % self.factor:
+            raise ValueError(
+                f"coded length {coded.size} is not a multiple of "
+                f"{self.factor}"
+            )
+        votes = coded.reshape(-1, self.factor).sum(axis=1)
+        return (votes * 2 > self.factor).astype(np.uint8)
+
+    def overhead(self) -> float:
+        """Parity overhead as a fraction of the coded size."""
+        return (self.factor - 1) / self.factor

@@ -1,0 +1,103 @@
+"""Figure 8: block voltage distributions after hiding 0-256 bits per page.
+
+"Hiding data using VT-HI creates only a tiny shift to the right for
+non-programmed cells" — the averaged block-level curves for 32/64/128/256
+hidden bits per page are nearly indistinguishable from the normal curve.
+The reproduction averages erased-region histograms per density and reports
+the mean-voltage shift and curve distance relative to density zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..analysis.distributions import Histogram, voltage_histogram
+from ..hiding.config import STANDARD_CONFIG
+from ..hiding.vthi import VtHi
+from .common import (
+    Table,
+    default_model,
+    experiment_key,
+    make_samples,
+    random_bits,
+    random_page_bits,
+)
+
+DEFAULT_DENSITIES = (0, 32, 64, 128, 256)
+
+
+@dataclass
+class Fig8Result:
+    histograms: Dict[int, Histogram]
+    summary: Table
+
+    def rows(self):
+        return self.summary.rows
+
+    @property
+    def headers(self):
+        return self.summary.headers
+
+
+def run(
+    densities: Sequence[int] = DEFAULT_DENSITIES,
+    blocks_per_density: int = 3,
+    bits_scale_divisor: int = 4,
+    seed: int = 0,
+) -> Fig8Result:
+    """Average erased-cell histograms per hidden-bit density."""
+    model = default_model(pages_per_block=8)
+    chip = make_samples(model, 1, base_seed=8000 + seed)[0]
+    key = experiment_key(f"fig8-{seed}")
+    histograms: Dict[int, Histogram] = {}
+    means: Dict[int, float] = {}
+    block = 0
+    for density in densities:
+        scaled = max(density // bits_scale_divisor, 0)
+        erased_all: List[np.ndarray] = []
+        for rep in range(blocks_per_density):
+            blk = block % chip.geometry.n_blocks
+            block += 1
+            chip.erase_block(blk)
+            config = STANDARD_CONFIG.replace(
+                ecc_t=0,
+                bits_per_page=max(scaled, 1),
+            )
+            vthi = VtHi(chip, config)
+            for page in range(chip.geometry.pages_per_block):
+                public = random_page_bits(
+                    chip, "fig8-public", blk * 100 + page
+                )
+                chip.program_page(blk, page, public)
+                if scaled and page % config.page_stride == 0:
+                    hidden = random_bits(
+                        scaled, "fig8-hidden", blk * 100 + page
+                    )
+                    vthi.embed_bits(
+                        blk, page, hidden, key, public_bits=public
+                    )
+                voltages = chip.probe_voltages(blk, page)
+                erased_all.append(voltages[public == 1])
+            chip.release_block(blk)
+        values = np.concatenate(erased_all).astype(np.float64)
+        histograms[density] = voltage_histogram(
+            values, bins=70, value_range=(0, 70)
+        )
+        means[density] = float(values.mean())
+    baseline = means[densities[0]]
+    base_hist = histograms[densities[0]].percent
+    summary = Table(
+        "Fig. 8 — erased distribution shift vs hidden-bit density",
+        ("hidden bits/page", "mean-V", "shift vs normal", "max curve diff (%)"),
+    )
+    for density in densities:
+        summary.add(
+            density,
+            means[density],
+            means[density] - baseline,
+            float(np.abs(histograms[density].percent - base_hist).max()),
+        )
+    return Fig8Result(histograms, summary)

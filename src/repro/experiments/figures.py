@@ -1,0 +1,113 @@
+"""Terminal rendering of the paper's distribution figures.
+
+The evaluation figures are voltage-distribution curves; these helpers draw
+them as ASCII so a benchmark or CLI run can *show* Fig. 2/3/5/8, not just
+summarise them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..analysis.distributions import Histogram
+
+#: Glyphs for multi-series overlays.
+SERIES_GLYPHS = "#*o+x@%&"
+
+
+def render_histogram(
+    histogram: Histogram,
+    height: int = 10,
+    width: int = 64,
+    title: str = "",
+) -> str:
+    """One curve as an ASCII column chart."""
+    return render_overlay({title or "series": histogram}, height, width)
+
+
+def render_overlay(
+    series: Dict[str, Histogram],
+    height: int = 10,
+    width: int = 64,
+) -> str:
+    """Multiple curves overlaid on one ASCII grid (Fig. 2/8/9 style)."""
+    if not series:
+        raise ValueError("no series to render")
+    if height < 2 or width < 8:
+        raise ValueError("canvas too small")
+    names = list(series)
+    resampled = {
+        name: _resample(series[name].percent, width) for name in names
+    }
+    peak = max(values.max() for values in resampled.values()) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, name in enumerate(names):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        values = resampled[name]
+        for column in range(width):
+            level = int(round((height - 1) * values[column] / peak))
+            if values[column] > 0 and level == 0:
+                level = 1  # visible floor for non-zero mass
+            if level:
+                grid[height - level][column] = glyph
+    edges = next(iter(series.values())).bin_edges
+    lines = []
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" {edges[0]:<8.3g}{'voltage':^{max(width - 16, 8)}}{edges[-1]:>8.3g}"
+    )
+    legend = "  ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]}={name}"
+        for i, name in enumerate(names)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)
+
+
+def _resample(values: np.ndarray, width: int) -> np.ndarray:
+    """Average-pool a curve onto `width` columns."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == width:
+        return values
+    positions = np.linspace(0, values.size, width + 1)
+    pooled = np.empty(width)
+    for i in range(width):
+        lo, hi = int(positions[i]), max(int(positions[i + 1]), int(positions[i]) + 1)
+        pooled[i] = values[lo:min(hi, values.size)].mean()
+    return pooled
+
+
+def render_series(
+    x: Sequence[float],
+    ys: Dict[str, Sequence[float]],
+    height: int = 10,
+    width: int = 60,
+) -> str:
+    """Line-series rendering (Fig. 6/10/11 style: metric vs sweep)."""
+    if not ys:
+        raise ValueError("no series to render")
+    x = np.asarray(x, dtype=np.float64)
+    peak = max(float(np.max(v)) for v in ys.values()) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(ys.items()):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        values = np.asarray(values, dtype=np.float64)
+        for xi, yi in zip(x, values):
+            column = int(
+                (xi - x.min()) / max(x.max() - x.min(), 1e-12) * (width - 1)
+            )
+            level = int(round((height - 1) * yi / peak))
+            grid[height - 1 - level][column] = glyph
+    lines = ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" {x.min():<10.4g}{'':^{max(width - 20, 4)}}{x.max():>10.4g}")
+    legend = "  ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]}={name}"
+        for i, name in enumerate(ys)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""§8 Reliability: hidden BER across wear levels at write time.
+
+"We cycled blocks in three different chips to four distinct PEC levels ...
+BER is not affected by the age of the cells storing hidden data.  For
+example, for PEC 0 the BER was 0.013.  For other PEC the BER was roughly
+0.011."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..hiding.config import STANDARD_CONFIG
+from ..hiding.vthi import VtHi
+from .common import (
+    Table,
+    default_model,
+    experiment_key,
+    make_samples,
+    random_bits,
+    random_page_bits,
+)
+
+DEFAULT_PECS = (0, 1000, 2000, 3000)
+
+
+@dataclass
+class ReliabilityResult:
+    ber_by_pec: Dict[int, float]
+    summary: Table
+
+    def rows(self):
+        return self.summary.rows
+
+    @property
+    def headers(self):
+        return self.summary.headers
+
+
+def run(
+    pec_levels: Sequence[int] = DEFAULT_PECS,
+    n_chips: int = 3,
+    pages: int = 4,
+    bits_per_page: int = 512,
+    seed: int = 0,
+) -> ReliabilityResult:
+    model = default_model(pages_per_block=8)
+    chips = make_samples(model, n_chips, base_seed=21_000 + seed)
+    key = experiment_key(f"reliability-{seed}")
+    config = STANDARD_CONFIG.replace(ecc_t=0, bits_per_page=bits_per_page)
+    ber_by_pec: Dict[int, float] = {}
+    summary = Table(
+        "§8 Reliability — hidden BER vs wear at write time",
+        ("PEC", "hidden BER (mean over chips)",),
+    )
+    for index, pec in enumerate(pec_levels):
+        errors = []
+        for chip in chips:
+            vthi = VtHi(chip, config)
+            block = index
+            chip.age_block(block, pec)
+            for page in range(pages):
+                public = random_page_bits(
+                    chip, f"rel-pub-{pec}", chip.seed * 100 + page
+                )
+                hidden = random_bits(
+                    bits_per_page, f"rel-hid-{pec}", chip.seed * 100 + page
+                )
+                chip.program_page(block, page, public)
+                vthi.embed_bits(block, page, hidden, key, public_bits=public)
+                back = vthi.read_bits(
+                    block, page, bits_per_page, key, public_bits=public
+                )
+                errors.append((back != hidden).mean())
+            chip.release_block(block)
+        ber_by_pec[pec] = float(np.mean(errors))
+        summary.add(pec, ber_by_pec[pec])
+    return ReliabilityResult(ber_by_pec, summary)

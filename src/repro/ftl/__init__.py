@@ -1,0 +1,31 @@
+"""Flash translation layer: page mapping, GC, wear levelling."""
+
+from .ftl import Ftl, FtlError, FtlStats, RelocationHook
+from .gc import greedy_victim
+from .mapping import BlockInfo, PageMap, PhysicalPage
+from .wear_leveling import least_worn_free_block, wear_spread
+from .workloads import (
+    WorkloadSpec,
+    apply_workload,
+    sequential,
+    uniform,
+    zipfian,
+)
+
+__all__ = [
+    "BlockInfo",
+    "Ftl",
+    "FtlError",
+    "FtlStats",
+    "PageMap",
+    "PhysicalPage",
+    "RelocationHook",
+    "WorkloadSpec",
+    "apply_workload",
+    "sequential",
+    "uniform",
+    "zipfian",
+    "greedy_victim",
+    "least_worn_free_block",
+    "wear_spread",
+]

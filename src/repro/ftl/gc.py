@@ -1,0 +1,27 @@
+"""Garbage-collection victim selection."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .mapping import PageMap
+
+
+def greedy_victim(
+    page_map: PageMap, candidates: Iterable[int]
+) -> Optional[int]:
+    """The classic greedy policy: the candidate with the fewest valid pages.
+
+    Candidates are closed (fully-written) blocks; ties break toward the
+    lower block index for determinism.
+    """
+    best = None
+    best_valid = None
+    for block in candidates:
+        info = page_map.blocks[block]
+        if info.write_pointer < page_map.pages_per_block:
+            continue  # still open; not a GC candidate
+        if best_valid is None or info.valid_pages < best_valid:
+            best = block
+            best_valid = info.valid_pages
+    return best

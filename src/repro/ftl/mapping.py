@@ -1,0 +1,97 @@
+"""Logical-to-physical page mapping state.
+
+The paper's §3 background: "most SSD vendors include a flash translation
+layer (FTL), which dynamically remaps logical addresses onto different
+physical pages", enabling out-of-place rewrites, garbage collection and
+wear levelling — the machinery whose data movement both threatens hidden
+data (§5.1) and provides the cover traffic §9.2 suggests exploiting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+PhysicalPage = Tuple[int, int]  # (block, page)
+
+
+@dataclass
+class BlockInfo:
+    """Per-block FTL bookkeeping."""
+
+    #: Next unwritten page index; equals pages_per_block when full.
+    write_pointer: int = 0
+    #: Count of pages holding current (valid) data.
+    valid_pages: int = 0
+
+
+class PageMap:
+    """Bidirectional LPA <-> physical page map with validity tracking."""
+
+    def __init__(self, n_blocks: int, pages_per_block: int) -> None:
+        self.n_blocks = n_blocks
+        self.pages_per_block = pages_per_block
+        self._forward: Dict[int, PhysicalPage] = {}
+        self._reverse: Dict[PhysicalPage, int] = {}
+        self.blocks = [BlockInfo() for _ in range(n_blocks)]
+
+    def lookup(self, lpa: int) -> Optional[PhysicalPage]:
+        return self._forward.get(lpa)
+
+    def owner(self, location: PhysicalPage) -> Optional[int]:
+        """The LPA currently stored at a physical page, if valid."""
+        return self._reverse.get(location)
+
+    def bind(self, lpa: int, location: PhysicalPage) -> None:
+        """Point an LPA at a freshly written physical page."""
+        old = self._forward.get(lpa)
+        if old is not None:
+            self._invalidate_location(old)
+        self._forward[lpa] = location
+        self._reverse[location] = lpa
+        self.blocks[location[0]].valid_pages += 1
+
+    def unbind(self, lpa: int) -> Optional[PhysicalPage]:
+        """Drop an LPA's mapping (trim); returns the freed location."""
+        old = self._forward.pop(lpa, None)
+        if old is not None:
+            self._invalidate_location(old)
+        return old
+
+    def _invalidate_location(self, location: PhysicalPage) -> None:
+        if self._reverse.pop(location, None) is not None:
+            self.blocks[location[0]].valid_pages -= 1
+
+    def advance_write_pointer(self, block: int) -> int:
+        """Consume and return the next page index of an open block."""
+        info = self.blocks[block]
+        if info.write_pointer >= self.pages_per_block:
+            raise RuntimeError(f"block {block} is full")
+        page = info.write_pointer
+        info.write_pointer += 1
+        return page
+
+    def reset_block(self, block: int) -> None:
+        """Bookkeeping reset after an erase."""
+        info = self.blocks[block]
+        if info.valid_pages:
+            raise RuntimeError(
+                f"cannot reset block {block}: {info.valid_pages} valid pages"
+            )
+        info.write_pointer = 0
+
+    def valid_locations(self):
+        """All valid (location, lpa) pairs on the device."""
+        return list(self._reverse.items())
+
+    def valid_locations_in(self, block: int):
+        """Valid (location, lpa) pairs stored in a block."""
+        return [
+            (location, lpa)
+            for location, lpa in self._reverse.items()
+            if location[0] == block
+        ]
+
+    @property
+    def mapped_count(self) -> int:
+        return len(self._forward)

@@ -1,0 +1,36 @@
+"""Wear-levelling policies.
+
+§5.2 notes the threat model "assume[s] that flash block wear in the device
+is not entirely equal, as is the case in many flash wear leveling
+policies" — and §7 shows the SVM attacker's accuracy hinges on wear
+mismatch, so the wear landscape the FTL produces matters to the security
+story.  The allocator here is the common low-water-mark policy: new writes
+go to the free block with the least wear, keeping blocks within a bounded
+PEC band without equalising them exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+
+def least_worn_free_block(
+    free_blocks: Iterable[int], pec_of: Callable[[int], int]
+) -> Optional[int]:
+    """Pick the free block with the lowest PEC (ties: lowest index)."""
+    best = None
+    best_pec = None
+    for block in free_blocks:
+        pec = pec_of(block)
+        if best_pec is None or pec < best_pec:
+            best = block
+            best_pec = pec
+    return best
+
+
+def wear_spread(blocks: Iterable[int], pec_of: Callable[[int], int]) -> int:
+    """Max-min PEC across blocks — the wear band the attacker sees."""
+    pecs = [pec_of(block) for block in blocks]
+    if not pecs:
+        return 0
+    return max(pecs) - min(pecs)

@@ -1,0 +1,102 @@
+"""Synthetic host workload generators.
+
+The hidden volume's survival story (§5.1/§9.2) depends on what the public
+workload does: overwrites invalidate host pages, GC relocates them, wear
+levelling spreads PEC.  These generators produce the standard access
+patterns storage evaluations use — sequential, uniform random, and
+Zipfian (hot/cold) — so integration tests and examples can exercise the
+stack under realistic churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..rng import substream
+
+#: One workload operation: ("write" | "trim", lpa, payload_bytes).
+Operation = Tuple[str, int, int]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a synthetic workload."""
+
+    #: Logical address space size (pages).
+    logical_pages: int
+    #: Number of operations to generate.
+    n_ops: int
+    #: Payload size per write (bytes); actual data is pseudorandom.
+    payload_bytes: int = 256
+    #: Fraction of operations that are trims.
+    trim_fraction: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.logical_pages < 1:
+            raise ValueError("logical_pages must be positive")
+        if self.n_ops < 0:
+            raise ValueError("n_ops must be non-negative")
+        if not 0.0 <= self.trim_fraction < 1.0:
+            raise ValueError("trim_fraction must be in [0, 1)")
+
+
+def sequential(spec: WorkloadSpec) -> Iterator[Operation]:
+    """Wrap-around sequential writes (log-style workloads)."""
+    rng = substream(spec.seed, "workload-seq")
+    for index in range(spec.n_ops):
+        lpa = index % spec.logical_pages
+        if spec.trim_fraction and rng.random() < spec.trim_fraction:
+            yield ("trim", lpa, 0)
+        else:
+            yield ("write", lpa, spec.payload_bytes)
+
+
+def uniform(spec: WorkloadSpec) -> Iterator[Operation]:
+    """Uniform random overwrites."""
+    rng = substream(spec.seed, "workload-uniform")
+    for _ in range(spec.n_ops):
+        lpa = int(rng.integers(0, spec.logical_pages))
+        if spec.trim_fraction and rng.random() < spec.trim_fraction:
+            yield ("trim", lpa, 0)
+        else:
+            yield ("write", lpa, spec.payload_bytes)
+
+
+def zipfian(spec: WorkloadSpec, skew: float = 1.5) -> Iterator[Operation]:
+    """Zipf-distributed overwrites: a hot set dominates (the common case
+    that stresses GC and concentrates invalidations on hidden hosts)."""
+    if skew <= 1.0:
+        raise ValueError("zipf skew must be > 1.0")
+    rng = substream(spec.seed, "workload-zipf")
+    # Pre-rank the address space so hot pages are scattered, not clustered.
+    ranking = rng.permutation(spec.logical_pages)
+    for _ in range(spec.n_ops):
+        rank = int(rng.zipf(skew))
+        lpa = int(ranking[(rank - 1) % spec.logical_pages])
+        if spec.trim_fraction and rng.random() < spec.trim_fraction:
+            yield ("trim", lpa, 0)
+        else:
+            yield ("write", lpa, spec.payload_bytes)
+
+
+def apply_workload(ftl, operations: Iterator[Operation], seed: int = 0) -> int:
+    """Drive an FTL with a generated workload; returns ops applied.
+
+    Write payloads are pseudorandom bytes of the requested size.
+    """
+    rng = substream(seed, "workload-data")
+    applied = 0
+    for op, lpa, size in operations:
+        if op == "write":
+            data = bytes(rng.integers(0, 256, size).astype(np.uint8))
+            ftl.write(lpa, data)
+        elif op == "trim":
+            ftl.trim(lpa)
+        else:  # pragma: no cover - generator misuse
+            raise ValueError(f"unknown operation {op!r}")
+        applied += 1
+    return applied

@@ -1,0 +1,127 @@
+"""Capacity planning for VT-HI (§6.3, §8 "Improved Capacity").
+
+Two constraints bound how many bits a page can hide:
+
+* *detectability*: the hidden '0' cells add mass to the naturally-charged
+  part of the erased voltage distribution; staying below the number of
+  cells that are naturally above the threshold keeps the addition inside
+  normal variation.  §6.3 measured "a minimum of 700 cells ... normally
+  charged above our data hiding threshold" and capped hidden bits at 512,
+  conservatively using 256;
+* *reliability*: parity overhead at the measured raw BER.
+
+This module provides both the measured check (probe a page, count the
+naturally-charged cells) and the analytic plan used by the §8 capacity
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ecc.overhead import EccPlan, plan_for_budget
+from ..nand.chip import FlashChip
+from ..nand.noise import erased_tail_exceedance, page_levels
+from ..nand.params import ChipParams
+from .config import HidingConfig
+
+
+def naturally_charged_count(
+    chip: FlashChip, block: int, page: int, threshold: float
+) -> int:
+    """Measured count of non-programmed cells above `threshold` on a page.
+
+    The §6.3 feasibility check: "we verified that the total number of cells
+    in the range is larger than the total number of hidden bits".  The page
+    must hold public data (counting needs to know which cells are '1').
+    """
+    bits = chip.read_page(block, page)
+    voltages = chip.probe_voltages(block, page)
+    return int(((bits == 1) & (voltages > threshold)).sum())
+
+
+def expected_charged_fraction(
+    params: ChipParams, threshold: float, pec: int = 0
+) -> float:
+    """Analytic expected fraction of erased cells above `threshold`."""
+    levels = page_levels(
+        params, pec=pec, mean_offset=0.0, std_mult=1.0, tail_mult=1.0
+    )
+    return erased_tail_exceedance(levels, threshold)
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Hidden capacity of a device under one configuration."""
+
+    config: HidingConfig
+    #: Expected naturally-charged cells per page at the threshold.
+    natural_cells_per_page: float
+    #: Whether the configured bits/page respects the detectability bound.
+    within_detectability_bound: bool
+    #: Concrete ECC sizing at the supplied raw BER.
+    ecc: EccPlan
+    #: Usable hidden data bits per hidden page.
+    data_bits_per_page: int
+    #: Hidden pages per block.
+    hidden_pages_per_block: int
+    #: Usable hidden data bits per block.
+    data_bits_per_block: int
+    #: Hidden data as a fraction of the device's public bit capacity.
+    fraction_of_device_bits: float
+
+
+def plan_capacity(
+    params: ChipParams,
+    pages_per_block: int,
+    cells_per_page: int,
+    config: HidingConfig,
+    raw_ber: float,
+    target_failure: float = 1e-3,
+) -> CapacityPlan:
+    """Size VT-HI capacity for a chip model and configuration.
+
+    `raw_ber` should be the measured hidden raw BER for this configuration
+    (e.g. from the Fig. 6 experiment).
+    """
+    natural = expected_charged_fraction(params, config.threshold) * cells_per_page
+    half_ones = cells_per_page / 2.0  # encrypted public data: half the bits
+    natural_per_page = natural * 0.5  # only '1' cells count
+    ecc = plan_for_budget(
+        config.bits_per_page,
+        raw_ber,
+        parity_bits_per_t=config.ecc_m,
+        target_failure=target_failure,
+    )
+    hidden_pages = len(list(config.hidden_pages(pages_per_block)))
+    data_per_block = ecc.data_bits * hidden_pages
+    device_fraction = (
+        config.bits_per_page * hidden_pages
+    ) / float(cells_per_page * pages_per_block)
+    return CapacityPlan(
+        config=config,
+        natural_cells_per_page=natural_per_page,
+        within_detectability_bound=config.bits_per_page
+        <= max(natural_per_page, 1.0),
+        ecc=ecc,
+        data_bits_per_page=ecc.data_bits,
+        hidden_pages_per_block=hidden_pages,
+        data_bits_per_block=data_per_block,
+        fraction_of_device_bits=device_fraction,
+    )
+
+
+def shannon_parity_fraction(raw_ber: float) -> float:
+    """The paper's information-theoretic parity estimate H(p).
+
+    §6.3/§8 size parity at the binary-entropy limit (0.5% BER -> ~5%,
+    2% BER -> ~14%); the concrete BCH plans above are necessarily larger.
+    """
+    if not 0.0 <= raw_ber <= 0.5:
+        raise ValueError(f"raw BER must be in [0, 0.5], got {raw_ber}")
+    if raw_ber in (0.0,):
+        return 0.0
+    p = raw_ber
+    return float(-(p * np.log2(p) + (1 - p) * np.log2(1 - p)))

@@ -1,0 +1,162 @@
+"""Hidden payload framing: encryption and ECC (Algorithm 1, line 4).
+
+The hidden message is whitened with the HU's stream cipher (so embedded bit
+values are uniform — §5.3) and protected by shortened BCH codewords sized
+to the per-page hidden-cell budget.  The paper's §6.3/§8 parity arithmetic
+uses the Shannon-limit estimate (e.g. "13 parity bits" for 0.5% BER); the
+codec here is a *concrete* code, so its overhead is necessarily larger.
+``repro.perf.model`` reproduces the paper's information-theoretic
+arithmetic; this module is what actually runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..crypto.keys import HidingKey
+from ..ecc.bch import BchCode, EccError
+from .config import HidingConfig
+
+
+class PayloadError(Exception):
+    """Raised when a payload does not fit or cannot be recovered."""
+
+
+@dataclass(frozen=True)
+class _WordPlan:
+    """Per-codeword capacity allocation for one page's hidden budget."""
+
+    data_capacities: List[int]
+    parity_bits: int  # per codeword
+
+
+class PayloadCodec:
+    """Encrypt + BCH-encode hidden payloads into per-page bit vectors."""
+
+    def __init__(self, config: HidingConfig) -> None:
+        self.config = config
+        if config.ecc_t:
+            self._code = BchCode(config.ecc_m, config.ecc_t)
+            self._plan = self._plan_words()
+        else:
+            self._code = None
+            self._plan = None
+
+    def _plan_words(self) -> _WordPlan:
+        budget = self.config.bits_per_page
+        n = self._code.n
+        parity = self._code.n_parity
+        n_words = -(-budget // n)  # ceil
+        base = budget // n_words
+        remainder = budget % n_words
+        capacities = []
+        for i in range(n_words):
+            word_bits = base + (1 if i < remainder else 0)
+            if word_bits <= parity:
+                raise PayloadError(
+                    f"hidden budget {budget} too small for "
+                    f"BCH(m={self.config.ecc_m}, t={self.config.ecc_t}) parity"
+                )
+            capacities.append(word_bits - parity)
+        return _WordPlan(capacities, parity)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def max_data_bits(self) -> int:
+        """Largest payload (in bits) one page can carry."""
+        if self._plan is None:
+            return self.config.bits_per_page
+        return sum(self._plan.data_capacities)
+
+    @property
+    def max_data_bytes(self) -> int:
+        return self.max_data_bits // 8
+
+    def coded_length(self, n_bytes: int) -> int:
+        """Embedded bit count for a payload of `n_bytes` bytes."""
+        return sum(
+            used + self._plan.parity_bits if self._plan else used
+            for used in self._allocate(n_bytes * 8)
+        )
+
+    def _allocate(self, data_bits: int) -> List[int]:
+        """Per-word data bit allocation for a payload of `data_bits` bits."""
+        if data_bits > self.max_data_bits:
+            raise PayloadError(
+                f"payload of {data_bits} bits exceeds page capacity "
+                f"{self.max_data_bits} bits"
+            )
+        if data_bits == 0:
+            return []
+        if self._plan is None:
+            return [data_bits]
+        allocation = []
+        remaining = data_bits
+        for capacity in self._plan.data_capacities:
+            used = min(remaining, capacity)
+            allocation.append(used)
+            remaining -= used
+            if remaining == 0:
+                break
+        return allocation
+
+    # ------------------------------------------------------------------
+
+    def encode(self, key: HidingKey, page_address: int, data: bytes) -> np.ndarray:
+        """Whiten and encode a payload into hidden bits for one page."""
+        encrypted = key.cipher().encrypt(
+            data, nonce=b"payload:%d" % page_address
+        )
+        bits = np.unpackbits(np.frombuffer(encrypted, dtype=np.uint8))
+        if self._code is None:
+            if bits.size > self.config.bits_per_page:
+                raise PayloadError(
+                    f"payload of {bits.size} bits exceeds hidden budget "
+                    f"{self.config.bits_per_page}"
+                )
+            return bits
+        words = []
+        cursor = 0
+        for used in self._allocate(bits.size):
+            words.append(self._code.encode(bits[cursor:cursor + used]))
+            cursor += used
+        return np.concatenate(words) if words else bits[:0]
+
+    def decode(
+        self, key: HidingKey, page_address: int, coded_bits: np.ndarray, n_bytes: int
+    ) -> bytes:
+        """Recover a payload of known length from read-back hidden bits.
+
+        Raises :class:`PayloadError` when ECC cannot correct the word.
+        """
+        coded = np.asarray(coded_bits, dtype=np.uint8)
+        expected = self.coded_length(n_bytes)
+        if coded.size != expected:
+            raise PayloadError(
+                f"expected {expected} coded bits for a {n_bytes}-byte "
+                f"payload, got {coded.size}"
+            )
+        data_bits = []
+        if self._code is None:
+            data_bits.append(coded)
+        else:
+            cursor = 0
+            for used in self._allocate(n_bytes * 8):
+                word_len = used + self._plan.parity_bits
+                word = coded[cursor:cursor + word_len]
+                cursor += word_len
+                try:
+                    result = self._code.decode(word)
+                except EccError as exc:
+                    raise PayloadError(
+                        f"hidden payload uncorrectable on page "
+                        f"{page_address}: {exc}"
+                    ) from exc
+                data_bits.append(result.data)
+        bits = np.concatenate(data_bits) if data_bits else np.zeros(0, np.uint8)
+        encrypted = np.packbits(bits).tobytes()[:n_bytes]
+        return key.cipher().decrypt(encrypted, nonce=b"payload:%d" % page_address)

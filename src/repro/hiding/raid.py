@@ -1,0 +1,156 @@
+"""RAID-like parity protection for hidden data across pages (§8).
+
+"To provide additional protection against data loss (e.g., due to bad
+blocks) data can be further encoded using RAID-like schemes, similarly to
+normal data."
+
+A :class:`ProtectedGroup` stripes a hidden payload over N host pages plus
+one XOR parity page.  If any single host is lost — its block erased before
+the HU could re-embed, or its payload uncorrectable — the stripe rebuilds
+the missing member from the survivors.  This is the §5.1 alternative to
+eager re-embedding ("or apply redundancy ... to provide some protection
+for hidden data").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..crypto.keys import HidingKey
+from ..ecc.parity import ParityGroup
+from .payload import PayloadError
+from .vthi import VtHi
+
+Location = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class StripeLayout:
+    """Where a protected payload lives: data hosts plus the parity host."""
+
+    data_hosts: List[Location]
+    parity_host: Location
+    chunk_bytes: int
+
+
+class ProtectedGroup:
+    """Write/read hidden payloads with single-loss tolerance."""
+
+    def __init__(self, vthi: VtHi, key: HidingKey) -> None:
+        self.vthi = vthi
+        self.key = key
+
+    @property
+    def chunk_bytes(self) -> int:
+        return self.vthi.max_data_bytes_per_page
+
+    def capacity_bytes(self, n_data_hosts: int) -> int:
+        """Payload bytes a stripe over `n_data_hosts` hosts carries."""
+        if n_data_hosts < 1:
+            raise ValueError("need at least one data host")
+        return n_data_hosts * self.chunk_bytes
+
+    def write(
+        self,
+        payload: bytes,
+        data_hosts: Sequence[Location],
+        parity_host: Location,
+        public_pages: Sequence[np.ndarray] = None,
+    ) -> StripeLayout:
+        """Stripe `payload` over the hosts and embed chunks + parity.
+
+        Every host page must already hold public data.  `public_pages`
+        optionally supplies the public bits per host (data hosts first,
+        parity last) to skip re-reads.
+        """
+        hosts = list(data_hosts)
+        if len(set(hosts + [parity_host])) != len(hosts) + 1:
+            raise ValueError("stripe hosts must be distinct")
+        capacity = self.capacity_bytes(len(hosts))
+        if len(payload) > capacity:
+            raise PayloadError(
+                f"payload of {len(payload)} bytes exceeds stripe capacity "
+                f"{capacity}"
+            )
+        padded = payload + b"\x00" * (capacity - len(payload))
+        chunk = self.chunk_bytes
+        chunks = [
+            np.frombuffer(padded[i * chunk:(i + 1) * chunk], dtype=np.uint8)
+            for i in range(len(hosts))
+        ]
+        parity = ParityGroup(
+            [np.unpackbits(c) for c in chunks]
+        ).parity
+        parity_bytes = np.packbits(parity).tobytes()
+
+        for index, (host, data) in enumerate(
+            zip(hosts + [parity_host], chunks + [None])
+        ):
+            payload_bytes = (
+                parity_bytes if data is None else data.tobytes()
+            )
+            public = None
+            if public_pages is not None:
+                public = public_pages[index]
+            self._embed(host, payload_bytes, public)
+        return StripeLayout(hosts, parity_host, chunk)
+
+    def read(
+        self,
+        layout: StripeLayout,
+        n_bytes: int,
+        public_pages: Sequence[Optional[np.ndarray]] = None,
+    ) -> bytes:
+        """Read a stripe back, rebuilding one lost chunk if needed."""
+        chunk_bits = layout.chunk_bytes * 8
+        members: List[Optional[np.ndarray]] = []
+        for index, host in enumerate(layout.data_hosts):
+            public = public_pages[index] if public_pages else None
+            members.append(self._recover_bits(host, chunk_bits, public))
+        missing = [i for i, m in enumerate(members) if m is None]
+        if missing:
+            parity_public = (
+                public_pages[len(layout.data_hosts)]
+                if public_pages
+                else None
+            )
+            parity = self._recover_bits(
+                layout.parity_host, chunk_bits, parity_public
+            )
+            if parity is None:
+                raise PayloadError(
+                    "stripe unrecoverable: a data chunk and the parity "
+                    "chunk are both lost"
+                )
+            members = ParityGroup.reconstruct(members, parity)
+        data = b"".join(np.packbits(m).tobytes() for m in members)
+        return data[:n_bytes]
+
+    # ------------------------------------------------------------------
+
+    def _embed(
+        self, host: Location, payload: bytes, public: Optional[np.ndarray]
+    ) -> None:
+        block, page = host
+        address = self.vthi.chip.geometry.page_address(block, page)
+        coded = self.vthi.codec.encode(self.key, address, payload)
+        self.vthi.embed_bits(block, page, coded, self.key,
+                             public_bits=public)
+
+    def _recover_bits(
+        self, host: Location, n_bits: int, public: Optional[np.ndarray]
+    ) -> Optional[np.ndarray]:
+        """A chunk's bits, or None if the host page is gone/uncorrectable."""
+        block, page = host
+        if not self.vthi.chip.is_page_programmed(block, page):
+            return None
+        try:
+            data = self.vthi.recover(
+                block, page, self.key, n_bits // 8, public_bits=public
+            )
+        except PayloadError:
+            return None
+        return np.unpackbits(np.frombuffer(data, dtype=np.uint8))

@@ -1,0 +1,36 @@
+"""From-scratch machine learning: SVM, scaling, CV, grid search, features."""
+
+from .features import (
+    erased_region_histogram,
+    histogram_features,
+    summary_features,
+)
+from .kernels import linear_kernel, rbf_kernel, scale_gamma
+from .metrics import accuracy_score, confusion_matrix
+from .model_selection import (
+    DEFAULT_GRID,
+    GridSearchResult,
+    cross_val_score,
+    grid_search_svm,
+    stratified_kfold_indices,
+)
+from .scaler import StandardScaler
+from .svm import SVC
+
+__all__ = [
+    "DEFAULT_GRID",
+    "GridSearchResult",
+    "SVC",
+    "StandardScaler",
+    "accuracy_score",
+    "confusion_matrix",
+    "cross_val_score",
+    "erased_region_histogram",
+    "grid_search_svm",
+    "histogram_features",
+    "linear_kernel",
+    "rbf_kernel",
+    "scale_gamma",
+    "stratified_kfold_indices",
+    "summary_features",
+]

@@ -1,0 +1,61 @@
+"""Feature extraction from probed voltage data (§7's attacker inputs).
+
+Two attacker feature sets appear in the paper:
+
+* the main attack trains on "the voltage levels for all cells in the
+  block" — represented here as a normalised voltage histogram, the
+  attacker's sufficient statistic for distribution-level anomalies;
+* the secondary attack classifies on public-data characteristics: "BER,
+  mean voltage, and its standard deviation".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def histogram_features(
+    voltages: np.ndarray, bins: int = 64, value_range=(0, 256)
+) -> np.ndarray:
+    """Normalised voltage histogram of a block or page.
+
+    `voltages` is any-shaped probe output; the result is a `bins`-long
+    fraction-of-cells vector.
+    """
+    flat = np.asarray(voltages).ravel()
+    if flat.size == 0:
+        raise ValueError("cannot featurise empty voltage data")
+    counts, _ = np.histogram(flat, bins=bins, range=value_range)
+    return counts.astype(np.float64) / flat.size
+
+
+def summary_features(
+    voltages: np.ndarray, ber: float = None
+) -> np.ndarray:
+    """The §7 "characteristics" features: mean, std (and BER if known)."""
+    flat = np.asarray(voltages, dtype=np.float64).ravel()
+    if flat.size == 0:
+        raise ValueError("cannot featurise empty voltage data")
+    features = [flat.mean(), flat.std()]
+    if ber is not None:
+        features.append(float(ber))
+    return np.asarray(features)
+
+
+def erased_region_histogram(
+    voltages: np.ndarray,
+    public_bits: np.ndarray,
+    bins: int = 35,
+    value_range=(0, 70),
+) -> np.ndarray:
+    """Histogram restricted to non-programmed cells — the most favourable
+    view an attacker could take, since VT-HI only touches '1' cells."""
+    voltages = np.asarray(voltages).ravel()
+    bits = np.asarray(public_bits).ravel()
+    if voltages.shape != bits.shape:
+        raise ValueError("voltages and public bits must align")
+    erased = voltages[bits == 1]
+    if erased.size == 0:
+        raise ValueError("no non-programmed cells in view")
+    counts, _ = np.histogram(erased, bins=bins, range=value_range)
+    return counts.astype(np.float64) / erased.size

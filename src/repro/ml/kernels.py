@@ -1,0 +1,34 @@
+"""Kernel functions for the SVM."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def linear_kernel(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Gram matrix of the linear kernel: K[i, j] = <a_i, b_j>."""
+    return np.asarray(a, dtype=np.float64) @ np.asarray(b, dtype=np.float64).T
+
+
+def rbf_kernel(a: np.ndarray, b: np.ndarray, gamma: float) -> np.ndarray:
+    """Gram matrix of the RBF kernel: exp(-gamma * ||a_i - b_j||^2)."""
+    if gamma <= 0:
+        raise ValueError(f"gamma must be positive, got {gamma}")
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    sq = (
+        (a * a).sum(axis=1)[:, None]
+        - 2.0 * (a @ b.T)
+        + (b * b).sum(axis=1)[None, :]
+    )
+    np.clip(sq, 0.0, None, out=sq)
+    return np.exp(-gamma * sq)
+
+
+def scale_gamma(x: np.ndarray) -> float:
+    """The 'scale' heuristic: 1 / (n_features * var(X))."""
+    x = np.asarray(x, dtype=np.float64)
+    variance = x.var()
+    if variance <= 0:
+        return 1.0
+    return 1.0 / (x.shape[1] * variance)

@@ -1,0 +1,29 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: {y_true.shape} vs {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("cannot score empty arrays")
+    return float((y_true == y_pred).mean())
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """2x2 (or KxK) confusion matrix over the union of observed labels."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    labels = np.unique(np.concatenate([y_true, y_pred]))
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((labels.size, labels.size), dtype=np.int64)
+    for truth, pred in zip(y_true, y_pred):
+        matrix[index[truth], index[pred]] += 1
+    return matrix

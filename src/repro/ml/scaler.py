@@ -1,0 +1,28 @@
+"""Feature standardisation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance feature scaling (fit on training data)."""
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got shape {x.shape}")
+        self.mean_ = x.mean(axis=0)
+        scale = x.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "mean_"):
+            raise RuntimeError("scaler must be fitted before transform")
+        x = np.asarray(x, dtype=np.float64)
+        return (x - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)

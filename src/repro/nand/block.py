@@ -1,0 +1,114 @@
+"""Per-block simulator state.
+
+A :class:`BlockState` owns the analog voltage array for its pages plus the
+bookkeeping the physics models need: manufacturing offsets fixed at
+construction (the block's position in the chip's variation hierarchy), wear
+(PEC), per-page program timestamps/epochs, and accumulated disturb exposure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rng import substream
+from .geometry import ChipGeometry
+from .params import ChipParams
+
+
+class BlockState:
+    """Mutable physical state of one erase block."""
+
+    def __init__(
+        self,
+        index: int,
+        geometry: ChipGeometry,
+        params: ChipParams,
+        chip_seed: int,
+        chip_mean_offset: float,
+    ) -> None:
+        self.index = index
+        self.geometry = geometry
+        n_pages = geometry.pages_per_block
+        variation = params.variation
+
+        mfg = substream(chip_seed, "block-mfg", index)
+        #: Summed chip + block manufacturing mean offset (voltage units).
+        self.mean_offset = chip_mean_offset + mfg.normal(0.0, variation.block_mean_std)
+        #: Per-block distribution-width multiplier.
+        self.std_mult = float(mfg.lognormal(0.0, variation.block_std_jitter))
+        #: Per-block charged-tail-mass multiplier.
+        self.tail_mult = float(mfg.lognormal(0.0, variation.block_tail_jitter))
+        #: Per-block charged-tail-depth multiplier.
+        self.tail_scale_mult = float(
+            mfg.lognormal(0.0, variation.block_tail_scale_jitter)
+        )
+        #: Per-block raw-BER multiplier.
+        self.ber_mult = float(mfg.lognormal(0.0, variation.block_ber_jitter))
+        #: Per-page manufacturing mean offsets.
+        self.page_offsets = mfg.normal(0.0, variation.page_mean_std, n_pages)
+        #: Per-page charged-tail-mass multipliers.
+        self.page_tail_mults = mfg.lognormal(0.0, variation.page_tail_jitter, n_pages)
+        #: Per-page charged-tail-depth multipliers.
+        self.page_tail_scale_mults = mfg.lognormal(
+            0.0, variation.page_tail_scale_jitter, n_pages
+        )
+
+        #: Analog cell voltages (pages x cells).  Deep-erased state is a
+        #: small positive residue; values may go negative under leakage.
+        self.voltages = np.zeros(
+            (n_pages, geometry.cells_per_page), dtype=np.float32
+        )
+        #: Program/erase cycles endured.
+        self.pec = 0
+        #: Incremented on every erase; scopes the per-page latent fields.
+        self.erase_epoch = 0
+        #: Whether the block exceeded endurance and was retired.
+        self.bad = False
+        self.page_programmed = np.zeros(n_pages, dtype=bool)
+        #: Chip clock when each page was programmed.
+        self.page_program_time = np.zeros(n_pages, dtype=np.float64)
+        #: Block PEC when each page was programmed.
+        self.page_pec = np.zeros(n_pages, dtype=np.int32)
+        #: Erase epoch in force when each page was programmed.
+        self.page_epoch = np.zeros(n_pages, dtype=np.int64)
+        #: Accumulated disturb flip probability beyond the wear baseline.
+        self.page_exposure = np.zeros(n_pages, dtype=np.float64)
+        #: Partial-program pulses issued per page since last erase (used to
+        #: derive distinct pulse randomness and for wear accounting).
+        self.page_pp_pulses = np.zeros(n_pages, dtype=np.int64)
+        #: Per-cell trapped charge from deliberate stress cycling (PT-HI's
+        #: encoding medium).  Lazily allocated per page; *survives erases* —
+        #: that persistence is exactly what program-time hiding exploits.
+        self.page_trap: dict = {}
+        #: Block PEC at the time each page was stress-encoded; the trap
+        #: signal fades relative to wear accumulated *after* encoding.
+        self.page_stress_pec: dict = {}
+
+    def trap_for_page(self, page: int) -> np.ndarray:
+        """Trapped-charge array for a page, allocating on first use."""
+        trap = self.page_trap.get(page)
+        if trap is None:
+            trap = np.zeros(self.geometry.cells_per_page, dtype=np.float32)
+            self.page_trap[page] = trap
+        return trap
+
+    def reset_for_erase(self, erased_residue: np.ndarray) -> None:
+        """Apply the state changes of an erase operation."""
+        self.pec += 1
+        self.erase_epoch += 1
+        self.voltages[...] = erased_residue
+        self.page_programmed[:] = False
+        self.page_program_time[:] = 0.0
+        self.page_pec[:] = 0
+        self.page_epoch[:] = 0
+        self.page_exposure[:] = 0.0
+        self.page_pp_pulses[:] = 0
+
+    def mean_offset_for_page(self, page: int) -> float:
+        return float(self.mean_offset + self.page_offsets[page])
+
+    def tail_mult_for_page(self, page: int) -> float:
+        return float(self.tail_mult * self.page_tail_mults[page])
+
+    def tail_scale_mult_for_page(self, page: int) -> float:
+        return float(self.tail_scale_mult * self.page_tail_scale_mults[page])

@@ -1,0 +1,555 @@
+"""The NAND flash chip simulator.
+
+:class:`FlashChip` exposes the operations the paper's experimental platform
+provides (§6.1-§6.2):
+
+* the standard ONFI command set — :meth:`program_page`, :meth:`read_page`,
+  :meth:`erase_block`;
+* the vendor's non-public commands the authors obtained under NDA —
+  :meth:`probe_voltages` (per-cell voltage measurement in normalised 0-255
+  units) and :meth:`partial_program` (a program aborted midway, injecting an
+  imprecise positive charge into selected cells);
+* threshold-shifted reads (``read_page(threshold=...)``), the vendor command
+  "that shifts the reference threshold voltage for reading" used to decode
+  hidden data (§1, §5.3);
+* wear management — :meth:`cycle_block` (real program/erase cycling) and
+  :meth:`age_block` (the simulator's fast equivalent of the paper's
+  pre-cycling step, jumping the PEC counter directly);
+* a wall clock (:meth:`advance_time`) that drives the retention model; the
+  accelerated-bake emulation in :mod:`repro.nand.bake` advances it.
+
+Determinism: a chip is fully determined by ``(geometry, params, seed)``.
+Distinct seeds model distinct physical samples of the same chip model — the
+paper's "four flash chip samples from the same model" are four seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from ..rng import substream
+from .block import BlockState
+from .errors import AddressError, EraseError, ProgramError, WearOutError
+from .geometry import ChipGeometry
+from .noise import PageLevels, page_levels, sample_erased, sample_programmed
+from .params import ChipParams
+from .retention import disturb_flip_mask, leakage
+
+DataLike = Union[bytes, bytearray, np.ndarray]
+
+
+@dataclass
+class OpCounters:
+    """Cumulative operation counts plus the time/energy they cost.
+
+    Timing and energy use the per-op figures of §6.1 and do not include
+    host/transfer overheads, matching the paper's accounting ("our
+    calculations do not take into account data transfer and hardware
+    overheads").
+    """
+
+    reads: int = 0
+    programs: int = 0
+    erases: int = 0
+    partial_programs: int = 0
+    busy_time_s: float = 0.0
+    energy_j: float = 0.0
+
+    def copy(self) -> "OpCounters":
+        return OpCounters(
+            self.reads,
+            self.programs,
+            self.erases,
+            self.partial_programs,
+            self.busy_time_s,
+            self.energy_j,
+        )
+
+    def diff(self, earlier: "OpCounters") -> "OpCounters":
+        """Counters accumulated since an earlier snapshot."""
+        return OpCounters(
+            self.reads - earlier.reads,
+            self.programs - earlier.programs,
+            self.erases - earlier.erases,
+            self.partial_programs - earlier.partial_programs,
+            self.busy_time_s - earlier.busy_time_s,
+            self.energy_j - earlier.energy_j,
+        )
+
+
+class FlashChip:
+    """A simulated NAND flash package (SLC view)."""
+
+    def __init__(
+        self,
+        geometry: ChipGeometry,
+        params: Optional[ChipParams] = None,
+        seed: int = 0,
+        strict_endurance: bool = False,
+        factory_bad_blocks: int = 0,
+    ) -> None:
+        self.geometry = geometry
+        self.params = params if params is not None else ChipParams()
+        self.seed = seed
+        #: If True, erasing a block beyond its specified endurance raises
+        #: :class:`WearOutError`; otherwise the block keeps degrading.
+        self.strict_endurance = strict_endurance
+        #: Blocks marked bad at manufacture (real NAND ships with a few;
+        #: the FTL must skip them).  Chosen pseudo-randomly per sample.
+        if factory_bad_blocks < 0 or factory_bad_blocks >= geometry.n_blocks:
+            raise ValueError(
+                f"factory_bad_blocks must be in [0, {geometry.n_blocks})"
+            )
+        bad_rng = substream(seed, "factory-bad-blocks")
+        self.factory_bad_blocks = frozenset(
+            int(b)
+            for b in bad_rng.choice(
+                geometry.n_blocks, size=factory_bad_blocks, replace=False
+            )
+        )
+        #: Wall-clock seconds since power-on; drives retention.
+        self.clock = 0.0
+        self.counters = OpCounters()
+        self._chip_offset = float(
+            substream(seed, "chip-mfg").normal(
+                0.0, self.params.variation.chip_mean_std
+            )
+        )
+        self._blocks: Dict[int, BlockState] = {}
+
+    # ------------------------------------------------------------------
+    # state access
+
+    @property
+    def chip_mean_offset(self) -> float:
+        """This sample's manufacturing mean offset (voltage units)."""
+        return self._chip_offset
+
+    def _block(self, index: int) -> BlockState:
+        self.geometry.check_block(index)
+        state = self._blocks.get(index)
+        if state is None:
+            state = BlockState(
+                index, self.geometry, self.params, self.seed, self._chip_offset
+            )
+            if index in self.factory_bad_blocks:
+                state.bad = True
+            self._blocks[index] = state
+        return state
+
+    def block_pec(self, block: int) -> int:
+        return self._block(block).pec
+
+    def is_bad_block(self, block: int) -> bool:
+        return self._block(block).bad
+
+    def is_page_programmed(self, block: int, page: int) -> bool:
+        self.geometry.check_page(block, page)
+        return bool(self._block(block).page_programmed[page])
+
+    def release_block(self, block: int) -> None:
+        """Forget the in-memory state of a block (frees its voltage array).
+
+        The block reappears freshly manufactured on next access; only useful
+        for sweeping experiments that touch many blocks once.
+        """
+        self._blocks.pop(block, None)
+
+    # ------------------------------------------------------------------
+    # time
+
+    def advance_time(self, seconds: float) -> None:
+        """Advance the retention clock (power-off storage, bake, ...)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance time by {seconds}")
+        self.clock += seconds
+
+    # ------------------------------------------------------------------
+    # standard ONFI operations
+
+    def erase_block(self, block: int) -> None:
+        """Erase a block: all cells return to the deep-erased state."""
+        state = self._block(block)
+        if state.bad:
+            raise EraseError(f"block {block} is marked bad")
+        if (
+            self.strict_endurance
+            and state.pec >= self.params.wear.endurance_pec
+        ):
+            state.bad = True
+            raise WearOutError(
+                f"block {block} exceeded endurance "
+                f"({self.params.wear.endurance_pec} PEC)"
+            )
+        rng = substream(self.seed, "erase", block, state.erase_epoch + 1)
+        residue = rng.normal(
+            1.0, 1.0, size=state.voltages.shape
+        ).astype(np.float32)
+        state.reset_for_erase(residue)
+        self._account("erase")
+
+    def program_page(self, block: int, page: int, data: DataLike) -> None:
+        """Program public data into an erased page.
+
+        `data` is either ``page_bytes`` bytes or a bit array of
+        ``cells_per_page`` 0/1 values.  Bit value 1 leaves the cell erased;
+        bit value 0 charges it to the programmed distribution (§5.3: "flash
+        cells typically use low voltage levels to store a '1'").
+        """
+        bits = self._as_bits(data)
+        state = self._block(block)
+        self.geometry.check_page(block, page)
+        if state.bad:
+            raise ProgramError(f"block {block} is marked bad")
+        if state.page_programmed[page]:
+            raise ProgramError(
+                f"page {page} of block {block} already programmed; "
+                "NAND requires erase before reprogram"
+            )
+        levels = self._page_levels(state, page)
+        rng = substream(
+            self.seed, "program", block, page, state.erase_epoch
+        )
+        n = self.geometry.cells_per_page
+        voltages = np.empty(n, dtype=np.float32)
+        ones = bits == 1
+        n_ones = int(ones.sum())
+        if n_ones:
+            voltages[ones] = sample_erased(rng, n_ones, levels)
+        if n_ones < n:
+            voltages[~ones] = sample_programmed(rng, n - n_ones, levels)
+        state.voltages[page] = voltages
+        state.page_programmed[page] = True
+        state.page_program_time[page] = self.clock
+        state.page_pec[page] = state.pec
+        state.page_epoch[page] = state.erase_epoch
+        self._expose_neighbours(
+            state, page, self.params.disturb.program_flip_prob
+        )
+        self._account("program")
+
+    def read_page(
+        self,
+        block: int,
+        page: int,
+        threshold: Optional[float] = None,
+    ) -> np.ndarray:
+        """Read a page as a bit array (1 = low voltage).
+
+        With the default threshold this is a standard SLC read.  Passing an
+        explicit `threshold` models the vendor's reference-voltage-shift
+        command; VT-HI decodes hidden bits by reading at the hiding
+        threshold (§5.3).
+        """
+        state = self._block(block)
+        self.geometry.check_page(block, page)
+        if threshold is None:
+            threshold = self.params.voltage.slc_threshold
+        voltages = self._effective_voltages(state, page)
+        bits = (voltages < threshold).astype(np.uint8)
+        flip = self._disturb_mask(state, page)
+        if flip.any():
+            bits[flip] ^= 1
+        # Read disturb: every read slightly raises future error exposure.
+        state.page_exposure[page] += self.params.disturb.read_flip_prob
+        self._account("read")
+        return bits
+
+    def read_page_bytes(self, block: int, page: int) -> bytes:
+        """Standard read returning packed bytes."""
+        return np.packbits(self.read_page(block, page)).tobytes()
+
+    # ------------------------------------------------------------------
+    # vendor (NDA) operations
+
+    def probe_voltages(self, block: int, page: int) -> np.ndarray:
+        """Measure per-cell voltages in normalised units (uint8, 0-255).
+
+        Negative analog voltages read as 0 — the interface "only allows
+        measurement of positive voltage in discrete normalized units"
+        (§4 footnote 1).  Costs one read operation.
+        """
+        state = self._block(block)
+        self.geometry.check_page(block, page)
+        voltages = self._effective_voltages(state, page)
+        self._account("read")
+        quantised = np.clip(
+            np.rint(voltages), 0, self.params.voltage.probe_max
+        )
+        return quantised.astype(np.uint8)
+
+    def partial_program(
+        self,
+        block: int,
+        page: int,
+        cells: Sequence[int],
+        fraction: float = 1.0,
+        precision: float = 1.0,
+    ) -> None:
+        """Apply one partial-programming pulse to selected cells (§6.2).
+
+        A PP step is a normal program aborted midway; the injected charge is
+        positive and imprecise.  `fraction` models how late the abort
+        happened (1.0 = the standard 600 us abort; values up to 2.0 model
+        the longer in-controller pulses only firmware can issue, §6.2),
+        `precision` scales the pulse's spread — values below 1.0 model the
+        finer in-controller programming §6.2 argues a vendor could provide.
+        """
+        if not 0.0 < fraction <= 2.0:
+            raise ValueError(f"fraction must be in (0, 2], got {fraction}")
+        if not 0.0 < precision <= 1.0:
+            raise ValueError(f"precision must be in (0, 1], got {precision}")
+        state = self._block(block)
+        self.geometry.check_page(block, page)
+        if state.bad:
+            raise ProgramError(f"block {block} is marked bad")
+        cells = np.asarray(cells, dtype=np.int64)
+        if cells.size and (
+            cells.min() < 0 or cells.max() >= self.geometry.cells_per_page
+        ):
+            raise AddressError("partial_program cell index out of range")
+        pp = self.params.partial_program
+        response = self._pp_response(block, page)[cells]
+        pulse_rng = substream(
+            self.seed,
+            "pp-pulse",
+            block,
+            page,
+            state.erase_epoch,
+            int(state.page_pp_pulses[page]),
+        )
+        mean = pp.pulse_mean * fraction
+        std = pp.pulse_std * fraction * precision
+        pulses = pulse_rng.normal(mean, std, size=cells.size)
+        # Charge per pulse is bounded: clip to [0, mean + 2 std].
+        np.clip(pulses, 0.0, mean + 2.0 * std, out=pulses)
+        state.voltages[page, cells] += (response * pulses).astype(np.float32)
+        state.page_pp_pulses[page] += 1
+        self._expose_neighbours(
+            state, page, self.params.disturb.pp_flip_prob * fraction
+        )
+        self._account("partial_program")
+
+    # ------------------------------------------------------------------
+    # wear helpers
+
+    def cycle_block(self, block: int, cycles: int, program: bool = True) -> None:
+        """Run real program/erase cycles with pseudorandom data.
+
+        This is the paper's pre-conditioning procedure executed literally.
+        For large cycle counts prefer :meth:`age_block`, which applies the
+        same wear state without simulating every intermediate cycle.
+        """
+        pattern_rng = substream(self.seed, "cycle-pattern", block)
+        n_cells = self.geometry.cells_per_page
+        for _ in range(cycles):
+            self.erase_block(block)
+            if program:
+                for page in range(self.geometry.pages_per_block):
+                    bits = (pattern_rng.random(n_cells) < 0.5).astype(np.uint8)
+                    self.program_page(block, page, bits)
+        if program and cycles:
+            self.erase_block(block)
+
+    def age_block(self, block: int, pec: int) -> None:
+        """Jump a block's wear counter to `pec`, leaving it erased.
+
+        Fast-path equivalent of the paper's "cycled to N PEC" setup: the
+        physics models consume the PEC number, so the intermediate cycles
+        carry no additional state.  Counts one erase operation.
+        """
+        if pec < 0:
+            raise ValueError(f"pec must be non-negative, got {pec}")
+        state = self._block(block)
+        if state.bad:
+            raise EraseError(f"block {block} is marked bad")
+        state.pec = max(pec - 1, 0)
+        self.erase_block(block)
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _as_bits(self, data: DataLike) -> np.ndarray:
+        n_cells = self.geometry.cells_per_page
+        if isinstance(data, (bytes, bytearray)):
+            if len(data) != self.geometry.page_bytes:
+                raise ProgramError(
+                    f"page data must be {self.geometry.page_bytes} bytes, "
+                    f"got {len(data)}"
+                )
+            return np.unpackbits(np.frombuffer(bytes(data), dtype=np.uint8))
+        bits = np.asarray(data)
+        if bits.shape != (n_cells,):
+            raise ProgramError(
+                f"bit array must have shape ({n_cells},), got {bits.shape}"
+            )
+        if not np.isin(bits, (0, 1)).all():
+            raise ProgramError("bit array must contain only 0 and 1")
+        return bits.astype(np.uint8)
+
+    def _page_levels(self, state: BlockState, page: int) -> PageLevels:
+        return page_levels(
+            self.params,
+            pec=state.pec,
+            mean_offset=state.mean_offset_for_page(page),
+            std_mult=state.std_mult,
+            tail_mult=state.tail_mult_for_page(page),
+            tail_scale_mult=state.tail_scale_mult_for_page(page),
+        )
+
+    def _effective_voltages(self, state: BlockState, page: int) -> np.ndarray:
+        """Stored voltages minus retention leakage at the current clock."""
+        voltages = state.voltages[page]
+        if not state.page_programmed[page]:
+            return voltages
+        elapsed = self.clock - state.page_program_time[page]
+        if elapsed <= 0:
+            return voltages
+        leak = leakage(
+            self.params.retention,
+            chip_seed=self.seed,
+            block=state.index,
+            page=page,
+            epoch=int(state.page_epoch[page]),
+            elapsed_s=elapsed,
+            pec_at_program=int(state.page_pec[page]),
+            n_cells=self.geometry.cells_per_page,
+        )
+        return voltages - leak
+
+    def _disturb_mask(self, state: BlockState, page: int) -> np.ndarray:
+        if not state.page_programmed[page]:
+            return np.zeros(self.geometry.cells_per_page, dtype=bool)
+        wear = self.params.wear
+        pec = int(state.page_pec[page])
+        base = (
+            wear.base_disturb_ber
+            * (1.0 + (pec / wear.ber_growth_kpec) ** 2)
+            * state.ber_mult
+        )
+        probability = base + float(state.page_exposure[page])
+        return disturb_flip_mask(
+            chip_seed=self.seed,
+            block=state.index,
+            page=page,
+            epoch=int(state.page_epoch[page]),
+            flip_probability=probability,
+            n_cells=self.geometry.cells_per_page,
+        )
+
+    def _pp_response(self, block: int, page: int) -> np.ndarray:
+        """Per-cell programming-speed factors.
+
+        Three components multiply:
+
+        * a fixed manufacturing lognormal (plus rare hard cells);
+        * the deliberate stress-trap gain PT-HI encodes through, attenuated
+          as general wear accumulates (worn cells all carry trapped charge,
+          masking the deliberate signal — why PT-HI degrades with PEC);
+        * a per-erase-epoch wear jitter that grows with PEC.
+        """
+        pp = self.params.partial_program
+        state = self._block(block)
+        rng = substream(self.seed, "pp-response", block, page)
+        n = self.geometry.cells_per_page
+        response = rng.lognormal(0.0, pp.response_sigma, n)
+        hard = rng.random(n) < pp.hard_cell_frac
+        response[hard] = pp.hard_cell_response
+        wear_sigma = pp.wear_response_sigma_per_kpec * state.pec / 1000.0
+        if wear_sigma > 0:
+            wear_rng = substream(
+                self.seed, "pp-wear", block, page, state.erase_epoch
+            )
+            response = response * wear_rng.lognormal(0.0, wear_sigma, n)
+        # Charge injection saturates: process + wear variation is bounded
+        # above (the low side — slow/hard cells — is not).
+        np.clip(response, None, pp.response_cap, out=response)
+        trap = state.page_trap.get(page)
+        if trap is not None:
+            pec_since = max(
+                state.pec - state.page_stress_pec.get(page, state.pec), 0
+            )
+            gain = pp.trap_gain / (1.0 + pec_since / pp.trap_decay_pec)
+            response = response * (1.0 + gain * trap)
+        return response
+
+    # ------------------------------------------------------------------
+    # deliberate stress (PT-HI's encoding mechanism)
+
+    def apply_stress(
+        self, block: int, cells_by_page: Dict[int, Sequence[int]], cycles: int
+    ) -> None:
+        """Stress-cycle selected cells, accumulating trapped charge.
+
+        Models the PT-HI encoding procedure of Wang et al. (§2): hundreds of
+        program/erase cycles with patterns that repeatedly program the
+        chosen cells change their programming speed persistently (the trap
+        survives erases).  All listed pages are stressed within the *same*
+        block cycles.  Accounting matches the physical procedure — each
+        cycle programs every listed page once and erases the block once —
+        and the block's wear advances by the cycle count, which is where
+        PT-HI's 625x write amplification comes from.
+
+        The block is left erased, as the real procedure leaves it.
+        """
+        if cycles < 1:
+            raise ValueError(f"cycles must be >= 1, got {cycles}")
+        state = self._block(block)
+        if state.bad:
+            raise ProgramError(f"block {block} is marked bad")
+        n_cells = self.geometry.cells_per_page
+        for page, cells in cells_by_page.items():
+            self.geometry.check_page(block, page)
+            cells = np.asarray(cells, dtype=np.int64)
+            if cells.size and (cells.min() < 0 or cells.max() >= n_cells):
+                raise AddressError("apply_stress cell index out of range")
+            trap = state.trap_for_page(page)
+            trap[cells] += self.params.partial_program.trap_per_cycle * cycles
+            state.page_stress_pec[page] = state.pec + cycles
+        state.pec += cycles - 1
+        self.erase_block(block)
+        costs = self.params.costs
+        n_programs = cycles * len(cells_by_page)
+        self.counters.programs += n_programs
+        self.counters.erases += cycles - 1
+        self.counters.busy_time_s += (
+            n_programs * costs.t_program + (cycles - 1) * costs.t_erase
+        )
+        self.counters.energy_j += (
+            n_programs * costs.e_program + (cycles - 1) * costs.e_erase
+        )
+
+    def _expose_neighbours(
+        self, state: BlockState, page: int, flip_prob: float
+    ) -> None:
+        if flip_prob <= 0:
+            return
+        distance = self.params.disturb.neighbour_distance
+        for offset in range(1, distance + 1):
+            for neighbour in (page - offset, page + offset):
+                if 0 <= neighbour < self.geometry.pages_per_block:
+                    state.page_exposure[neighbour] += flip_prob
+
+    def _account(self, op: str) -> None:
+        costs = self.params.costs
+        if op == "read":
+            self.counters.reads += 1
+            self.counters.busy_time_s += costs.t_read
+            self.counters.energy_j += costs.e_read
+        elif op == "program":
+            self.counters.programs += 1
+            self.counters.busy_time_s += costs.t_program
+            self.counters.energy_j += costs.e_program
+        elif op == "erase":
+            self.counters.erases += 1
+            self.counters.busy_time_s += costs.t_erase
+            self.counters.energy_j += costs.e_erase
+        elif op == "partial_program":
+            self.counters.partial_programs += 1
+            self.counters.busy_time_s += costs.t_partial_program
+            self.counters.energy_j += costs.e_partial_program
+        else:  # pragma: no cover - internal misuse
+            raise ValueError(f"unknown op {op!r}")

@@ -1,0 +1,27 @@
+"""Exception types raised by the NAND flash simulator."""
+
+from __future__ import annotations
+
+
+class NandError(Exception):
+    """Base class for all NAND simulator errors."""
+
+
+class AddressError(NandError):
+    """A block or page address is outside the chip geometry."""
+
+
+class ProgramError(NandError):
+    """An illegal program operation (e.g. reprogramming a written page)."""
+
+
+class EraseError(NandError):
+    """An illegal erase operation."""
+
+
+class WearOutError(NandError):
+    """A block was erased beyond its specified endurance and is now bad."""
+
+
+class CommandError(NandError):
+    """An unknown or malformed ONFI-style command."""

@@ -1,0 +1,156 @@
+"""Voltage-distribution sampling for the NAND simulator.
+
+This module turns the static :class:`~repro.nand.params.ChipParams` plus the
+dynamic state of a page (its manufacturing offsets and wear) into concrete
+per-cell voltages.  It is the statistical heart of the substitution for the
+paper's real chips: everything VT-HI and the §7 attacker observe flows
+through these samplers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .params import ChipParams
+
+
+@dataclass(frozen=True)
+class PageLevels:
+    """Effective distribution parameters for one page at one wear level.
+
+    Combines the chip model with the hierarchy of manufacturing offsets
+    (chip + block + page) and the PEC-driven drift of Fig. 3.
+    """
+
+    erased_core_mean: float
+    erased_core_std: float
+    erased_tail_frac: float
+    erased_tail_start: float
+    erased_tail_scale: float
+    erased_tail_span: float
+    programmed_mean: float
+    programmed_std: float
+
+
+def page_levels(
+    params: ChipParams,
+    *,
+    pec: int,
+    mean_offset: float,
+    std_mult: float,
+    tail_mult: float,
+    tail_scale_mult: float = 1.0,
+) -> PageLevels:
+    """Effective voltage levels for a page.
+
+    Args:
+        params: the chip model.
+        pec: program/erase cycles endured by the containing block.
+        mean_offset: summed chip+block+page manufacturing mean offset.
+        std_mult: per-block distribution-width multiplier.
+        tail_mult: per-block x per-page charged-tail-mass multiplier.
+        tail_scale_mult: per-block x per-page charged-tail-depth multiplier.
+    """
+    voltage = params.voltage
+    wear = params.wear
+    kpec = pec / 1000.0
+    widen = std_mult * (1.0 + wear.std_growth_per_kpec * kpec)
+    erased_shift = wear.erased_shift_per_kpec * kpec
+    programmed_shift = wear.programmed_shift_per_kpec * kpec
+    tail_frac = (
+        voltage.erased_tail_frac
+        * tail_mult
+        * (1.0 + wear.tail_growth_per_kpec * kpec)
+    )
+    return PageLevels(
+        erased_core_mean=voltage.erased_core_mean + mean_offset + erased_shift,
+        erased_core_std=voltage.erased_core_std * widen,
+        erased_tail_frac=min(tail_frac, 0.5),
+        erased_tail_start=voltage.erased_tail_start + mean_offset + erased_shift,
+        erased_tail_scale=voltage.erased_tail_scale * tail_scale_mult,
+        erased_tail_span=voltage.erased_tail_span,
+        programmed_mean=voltage.programmed_mean + mean_offset + programmed_shift,
+        programmed_std=voltage.programmed_std * widen,
+    )
+
+
+def sample_truncated_exponential(
+    rng: np.random.Generator, size: int, scale: float, span: float
+) -> np.ndarray:
+    """Exponential(scale) draws truncated to [0, span], via inverse CDF."""
+    if scale <= 0 or span <= 0:
+        raise ValueError("scale and span must be positive")
+    u = rng.random(size)
+    # CDF of the truncated exponential: (1 - exp(-x/scale)) / norm.
+    norm = 1.0 - np.exp(-span / scale)
+    return -scale * np.log1p(-u * norm)
+
+
+def sample_erased(
+    rng: np.random.Generator, size: int, levels: PageLevels
+) -> np.ndarray:
+    """Voltages for `size` erased ('1') cells after a full block program.
+
+    Mixture of the near-zero bulk and the interference-charged truncated-
+    exponential tail (the positive hump of Fig. 2a).  Values may be
+    negative; the probe command clips them at zero (§4 footnote 1).
+    """
+    voltages = rng.normal(levels.erased_core_mean, levels.erased_core_std, size)
+    tail_mask = rng.random(size) < levels.erased_tail_frac
+    n_tail = int(tail_mask.sum())
+    if n_tail:
+        voltages[tail_mask] = levels.erased_tail_start + (
+            sample_truncated_exponential(
+                rng, n_tail, levels.erased_tail_scale, levels.erased_tail_span
+            )
+        )
+    return voltages.astype(np.float32)
+
+
+def sample_programmed(
+    rng: np.random.Generator, size: int, levels: PageLevels
+) -> np.ndarray:
+    """Voltages for `size` programmed ('0') cells."""
+    return rng.normal(
+        levels.programmed_mean, levels.programmed_std, size
+    ).astype(np.float32)
+
+
+def erased_tail_exceedance(levels: PageLevels, threshold: float) -> float:
+    """Expected fraction of erased cells with voltage above `threshold`.
+
+    Analytic counterpart of :func:`sample_erased`; used by the capacity
+    planner (§6.3) to predict how many naturally charged cells exist per
+    page without Monte Carlo.
+    """
+    core_z = (threshold - levels.erased_core_mean) / levels.erased_core_std
+    core_part = (1.0 - levels.erased_tail_frac) * _normal_sf(core_z)
+    over = threshold - levels.erased_tail_start
+    if over <= 0:
+        tail_part = levels.erased_tail_frac
+    elif over >= levels.erased_tail_span:
+        tail_part = 0.0
+    else:
+        scale = levels.erased_tail_scale
+        norm = 1.0 - np.exp(-levels.erased_tail_span / scale)
+        tail_part = levels.erased_tail_frac * (
+            (np.exp(-over / scale) - np.exp(-levels.erased_tail_span / scale))
+            / norm
+        )
+    return float(core_part + tail_part)
+
+
+def programmed_underflow(levels: PageLevels, threshold: float) -> float:
+    """Expected fraction of programmed cells below `threshold` (raw '0'->'1'
+    errors from distribution overlap)."""
+    z = (threshold - levels.programmed_mean) / levels.programmed_std
+    return float(1.0 - _normal_sf(z))
+
+
+def _normal_sf(z: float) -> float:
+    """Standard-normal survival function via erfc (no scipy dependency)."""
+    from math import erfc, sqrt
+
+    return 0.5 * erfc(z / sqrt(2.0))

@@ -1,0 +1,120 @@
+"""ONFI-style command framing over the chip simulator.
+
+The paper emphasises that VT-HI needs only standard flash interface commands
+(§1: "PP steps require only standard flash interface commands [ONFI], i.e.,
+PROGRAM and RESET") plus two vendor commands that exist on all modern chips
+but whose encodings are NDA'd: voltage probing and reference-threshold
+shifting.  This module provides that command-level view: a partial program
+really is a PROGRAM whose completion is cut short by RESET, with the
+injected charge proportional to how long the program ran before the abort.
+
+The higher layers (:mod:`repro.hiding`, :mod:`repro.ftl`) use the pythonic
+:class:`~repro.nand.chip.FlashChip` API directly; :class:`OnfiBus` exists to
+document and test the command-level feasibility claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, unique
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .chip import FlashChip
+from .errors import CommandError
+
+
+@unique
+class Command(Enum):
+    """Command opcodes (standard ONFI values; vendor ops use NDA space)."""
+
+    READ = 0x00
+    READ_CONFIRM = 0x30
+    PROGRAM = 0x80
+    PROGRAM_CONFIRM = 0x10
+    ERASE = 0x60
+    ERASE_CONFIRM = 0xD0
+    RESET = 0xFF
+    #: Vendor: shift the read reference threshold (used by all vendors for
+    #: distribution measurement and retention management, §1).
+    SET_READ_THRESHOLD = 0xC5
+    #: Vendor: probe per-cell voltage levels.
+    PROBE_VOLTAGES = 0xC6
+
+
+@dataclass
+class Status:
+    """ONFI status byte abstraction."""
+
+    ready: bool = True
+    failed: bool = False
+
+
+class OnfiBus:
+    """A command-level host interface to one flash chip.
+
+    Models the host/tester boundary of §6.1: the PC-side software issues
+    ONFI command sequences over USB; partial programming is implemented as
+    PROGRAM followed by an early RESET.
+    """
+
+    def __init__(self, chip: FlashChip) -> None:
+        self.chip = chip
+        self._read_threshold: Optional[float] = None
+        self.status = Status()
+
+    def reset(self) -> None:
+        """RESET outside a program cycle: clears volatile settings."""
+        self._read_threshold = None
+        self.status = Status()
+
+    def set_read_threshold(self, level: Optional[float]) -> None:
+        """Vendor command: shift the read reference voltage.
+
+        ``None`` restores the default SLC threshold.
+        """
+        if level is not None and not 0 <= level <= 255:
+            raise CommandError(f"threshold {level} outside 0-255")
+        self._read_threshold = level
+
+    def read(self, block: int, page: int) -> np.ndarray:
+        """READ/READ_CONFIRM cycle at the current reference threshold."""
+        return self.chip.read_page(block, page, threshold=self._read_threshold)
+
+    def probe(self, block: int, page: int) -> np.ndarray:
+        """Vendor voltage-probe command."""
+        return self.chip.probe_voltages(block, page)
+
+    def program(self, block: int, page: int, data) -> None:
+        """PROGRAM/PROGRAM_CONFIRM cycle, run to completion."""
+        self.chip.program_page(block, page, data)
+
+    def erase(self, block: int) -> None:
+        """ERASE/ERASE_CONFIRM cycle."""
+        self.chip.erase_block(block)
+
+    def partial_program(
+        self,
+        block: int,
+        page: int,
+        cells: Sequence[int],
+        abort_after_us: float = 600.0,
+    ) -> None:
+        """PROGRAM aborted by RESET after `abort_after_us` microseconds.
+
+        The injected charge is "roughly correlated with the relative time
+        that the program operation is executed before being aborted" (§1),
+        so the abort time maps onto the pulse ``fraction``.  The paper's
+        operating point — the 600 us abort that §8's arithmetic charges per
+        PP step — corresponds to fraction 1.0; earlier aborts inject
+        proportionally less charge.
+        """
+        t_pp_us = self.chip.params.costs.t_partial_program * 1e6
+        if not 0 < abort_after_us <= t_pp_us:
+            raise CommandError(
+                f"abort time {abort_after_us}us outside (0, {t_pp_us}us]"
+            )
+        self.chip.partial_program(
+            block, page, cells, fraction=abort_after_us / t_pp_us
+        )

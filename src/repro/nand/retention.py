@@ -1,0 +1,98 @@
+"""Retention (charge leakage) and disturb-overlay models.
+
+Retention: charges trapped in floating gates leak over time, shifting cell
+voltages *down* (§8 Reliability).  The simulator models a PEC-dependent
+fraction of "leaky" cells (damaged tunnel oxide) whose loss is exponentially
+distributed, on top of a small baseline drift affecting every cell.  Both
+grow logarithmically with time since programming, matching the saturating
+behaviour behind the paper's bake-accelerated measurements (Fig. 11).
+
+Disturb overlay: raw public bit errors that do not come from the SLC voltage
+overlap (pass-disturb, inter-cell coupling, MLC mechanics the SLC view hides)
+are modelled as a per-cell flip probability that grows with PEC, with the
+block-to-block BER variation §4 reports, and with accumulated disturb
+exposure from neighbouring program/PP activity (§6.3).
+
+Both models are *lazy and deterministic*: each page owns latent per-cell
+uniform fields derived from (chip seed, block, page, program epoch), so
+repeated reads observe consistent, monotonically-degrading physics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rng import uniform_field
+from .params import RetentionModel
+
+
+def leaky_fraction(model: RetentionModel, pec: int) -> float:
+    """Fraction of leaky cells for a block programmed at the given PEC."""
+    grown = model.leaky_frac_at_2kpec * (max(pec, 0) / 2000.0) ** (
+        model.leaky_frac_exponent
+    )
+    return min(model.leaky_frac_base + grown, 0.9)
+
+
+def time_factor(model: RetentionModel, elapsed_s: float) -> float:
+    """Log-time growth factor, 1.0 at the model's reference time."""
+    if elapsed_s <= 0:
+        return 0.0
+    return float(
+        np.log1p(elapsed_s / model.time_knee_s)
+        / np.log1p(model.reference_time_s / model.time_knee_s)
+    )
+
+
+def leakage(
+    model: RetentionModel,
+    *,
+    chip_seed: int,
+    block: int,
+    page: int,
+    epoch: int,
+    elapsed_s: float,
+    pec_at_program: int,
+    n_cells: int,
+) -> np.ndarray:
+    """Per-cell voltage loss for a page, `elapsed_s` after programming.
+
+    Deterministic in all arguments and monotonically non-decreasing in
+    `elapsed_s`, so reads are repeatable and cells never "heal".
+    """
+    factor = time_factor(model, elapsed_s)
+    if factor == 0.0:
+        return np.zeros(n_cells, dtype=np.float32)
+    frac = leaky_fraction(model, pec_at_program)
+    select = uniform_field(chip_seed, "leak-select", block, page, epoch, size=n_cells)
+    magnitude = uniform_field(
+        chip_seed, "leak-magnitude", block, page, epoch, size=n_cells
+    )
+    scale = model.leak_scale_4mo * factor
+    leak = np.full(n_cells, model.baseline_drift_4mo * factor, dtype=np.float64)
+    leaky = select < frac
+    if leaky.any():
+        # Exponential magnitudes via inverse CDF on the latent uniforms.
+        leak[leaky] += -scale * np.log(np.clip(magnitude[leaky], 1e-300, None))
+    return leak.astype(np.float32)
+
+
+def disturb_flip_mask(
+    *,
+    chip_seed: int,
+    block: int,
+    page: int,
+    epoch: int,
+    flip_probability: float,
+    n_cells: int,
+) -> np.ndarray:
+    """Boolean mask of cells whose read value is flipped by disturb errors.
+
+    The mask is monotone in `flip_probability`: raising exposure can only
+    add flips, never remove them, because the same latent uniform field is
+    thresholded.
+    """
+    if flip_probability <= 0:
+        return np.zeros(n_cells, dtype=bool)
+    field = uniform_field(chip_seed, "disturb", block, page, epoch, size=n_cells)
+    return field < min(flip_probability, 1.0)

@@ -1,0 +1,133 @@
+"""Chip model profiles.
+
+The paper evaluates on two NDA'd 1x-nm planar MLC chip models:
+
+* the primary model (§6.1): 8 GB, 2048 blocks, 128 lower + 128 upper pages
+  per block, 18048-byte pages, 3000 PEC endurance — ``VENDOR_A`` here;
+* a second major vendor's model used for the §8 "Applicability" check:
+  16 GB, 2096 blocks, 18256-byte pages — ``VENDOR_B`` here, with slightly
+  different electrical behaviour (its measured hidden BER was ~1%).
+
+Full-geometry blocks are large (a programmed VENDOR_A block holds ~37M
+cells), so :func:`scaled_geometry` derives reduced layouts for tests and
+benchmarks.  Scaling *pages per block* or *number of blocks* preserves all
+per-page statistics; scaling *page size* preserves distribution shapes but
+shrinks per-page cell counts, so experiments that scale pages also scale
+their hidden-bit counts proportionally (each experiment documents this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .geometry import ChipGeometry
+from .params import ChipParams, VoltageModel
+
+#: The paper's primary chip model (§6.1).
+VENDOR_A_GEOMETRY = ChipGeometry(
+    n_blocks=2048, pages_per_block=256, page_bytes=18048
+)
+
+#: The §8 "Applicability" chip from a second major vendor.  The paper gives
+#: 2096 blocks and 18256-byte pages; pages per block are not stated, so the
+#: primary model's 256 is assumed.
+VENDOR_B_GEOMETRY = ChipGeometry(
+    n_blocks=2096, pages_per_block=256, page_bytes=18256
+)
+
+VENDOR_A_PARAMS = ChipParams()
+
+#: A different vendor: same interface, slightly different silicon.  The
+#: shifts below are within the cross-vendor variation the paper's
+#: applicability experiment exercises and land its ~1% hidden BER.
+VENDOR_B_PARAMS = ChipParams(
+    voltage=VoltageModel(
+        erased_core_mean=6.5,
+        erased_core_std=4.5,
+        erased_tail_frac=0.050,
+        erased_tail_start=11.0,
+        erased_tail_scale=19.0,
+        erased_tail_span=56.0,
+        programmed_mean=172.0,
+        programmed_std=10.5,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class ChipModel:
+    """A named chip model: geometry + electrical parameters."""
+
+    name: str
+    geometry: ChipGeometry
+    params: ChipParams
+
+
+VENDOR_A = ChipModel("vendor-a-1xnm-mlc-8gb", VENDOR_A_GEOMETRY, VENDOR_A_PARAMS)
+VENDOR_B = ChipModel("vendor-b-1xnm-mlc-16gb", VENDOR_B_GEOMETRY, VENDOR_B_PARAMS)
+
+
+def scaled_geometry(
+    base: ChipGeometry,
+    *,
+    n_blocks: int = None,
+    pages_per_block: int = None,
+    page_divisor: int = 1,
+) -> ChipGeometry:
+    """A reduced geometry for tests/benchmarks.
+
+    Args:
+        base: full geometry to scale down.
+        n_blocks: replacement block count (default: keep).
+        pages_per_block: replacement page count (default: keep).
+        page_divisor: divide the page size by this factor; must divide it.
+    """
+    if page_divisor < 1:
+        raise ValueError(f"page_divisor must be >= 1, got {page_divisor}")
+    if base.page_bytes % page_divisor:
+        raise ValueError(
+            f"page_divisor {page_divisor} does not divide page size "
+            f"{base.page_bytes}"
+        )
+    return ChipGeometry(
+        n_blocks=n_blocks if n_blocks is not None else base.n_blocks,
+        pages_per_block=(
+            pages_per_block
+            if pages_per_block is not None
+            else base.pages_per_block
+        ),
+        page_bytes=base.page_bytes // page_divisor,
+    )
+
+
+def scaled_model(
+    base: ChipModel,
+    *,
+    n_blocks: int = None,
+    pages_per_block: int = None,
+    page_divisor: int = 1,
+    suffix: str = "scaled",
+) -> ChipModel:
+    """A :class:`ChipModel` with reduced geometry and unchanged physics."""
+    return replace(
+        base,
+        name=f"{base.name}-{suffix}",
+        geometry=scaled_geometry(
+            base.geometry,
+            n_blocks=n_blocks,
+            pages_per_block=pages_per_block,
+            page_divisor=page_divisor,
+        ),
+    )
+
+
+#: Small model for unit tests: full-fidelity physics, tiny arrays.
+TEST_MODEL = scaled_model(
+    VENDOR_A, n_blocks=32, pages_per_block=8, page_divisor=16, suffix="test"
+)
+
+#: Medium model for benchmarks: full paper page size (so per-page counts
+#: like the >=700 naturally-charged cells are exact), fewer pages/blocks.
+BENCH_MODEL = scaled_model(
+    VENDOR_A, n_blocks=64, pages_per_block=16, suffix="bench"
+)

@@ -1,0 +1,45 @@
+"""Performance and energy models (§8)."""
+
+from .energy import (
+    energy_from_counters,
+    snapshot_energy_difference,
+    time_from_counters,
+)
+from .lifetime import (
+    HidingWorkload,
+    LifetimeEstimate,
+    estimate_lifetime,
+)
+from .model import (
+    Comparison,
+    PAPER_HIDDEN_PAGES_PER_BLOCK,
+    PAPER_PTHI_DECODE_STEPS,
+    PAPER_PTHI_HIDDEN_BITS_PER_BLOCK,
+    PAPER_PTHI_STRESS_CYCLES,
+    PAPER_VTHI_HIDDEN_BITS_PER_BLOCK,
+    PAPER_VTHI_PP_STEPS,
+    SchemePerformance,
+    paper_comparison,
+    pthi_performance,
+    vthi_performance,
+)
+
+__all__ = [
+    "Comparison",
+    "HidingWorkload",
+    "LifetimeEstimate",
+    "estimate_lifetime",
+    "PAPER_HIDDEN_PAGES_PER_BLOCK",
+    "PAPER_PTHI_DECODE_STEPS",
+    "PAPER_PTHI_HIDDEN_BITS_PER_BLOCK",
+    "PAPER_PTHI_STRESS_CYCLES",
+    "PAPER_VTHI_HIDDEN_BITS_PER_BLOCK",
+    "PAPER_VTHI_PP_STEPS",
+    "SchemePerformance",
+    "energy_from_counters",
+    "paper_comparison",
+    "pthi_performance",
+    "snapshot_energy_difference",
+    "time_from_counters",
+    "vthi_performance",
+]

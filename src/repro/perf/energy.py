@@ -1,0 +1,39 @@
+"""Energy accounting.
+
+Analytic per-operation energy plus measured-from-counters accounting, so
+experiments can cross-check the §8 arithmetic against what the simulator
+actually issued.
+"""
+
+from __future__ import annotations
+
+from ..nand.chip import OpCounters
+from ..nand.params import OpCosts
+
+
+def energy_from_counters(ops: OpCounters, costs: OpCosts) -> float:
+    """Recompute energy from op counts (should equal ops.energy_j)."""
+    return (
+        ops.reads * costs.e_read
+        + ops.programs * costs.e_program
+        + ops.erases * costs.e_erase
+        + ops.partial_programs * costs.e_partial_program
+    )
+
+
+def time_from_counters(ops: OpCounters, costs: OpCosts) -> float:
+    """Recompute busy time from op counts (should equal ops.busy_time_s)."""
+    return (
+        ops.reads * costs.t_read
+        + ops.programs * costs.t_program
+        + ops.erases * costs.t_erase
+        + ops.partial_programs * costs.t_partial_program
+    )
+
+
+def snapshot_energy_difference(
+    before: OpCounters, after: OpCounters
+) -> float:
+    """Energy consumed between two counter snapshots — the §8 argument
+    that a two-snapshot energy adversary sees no telltale difference."""
+    return after.energy_j - before.energy_j

@@ -1,0 +1,156 @@
+"""The §8 performance arithmetic, reproduced exactly.
+
+The paper computes throughput/energy/wear analytically from chip operation
+costs and configuration parameters:
+
+* VT-HI encode: ``(t_pp + t_read) * m * pages_per_block`` per block —
+  "(600 + 90) * 10 * 64 / 1,000,000 = 0.44s" — over 15,593 hidden bits per
+  block (64 hidden pages at a 4-logical-page stride, 243.6 post-ECC bits
+  per page) = **35 Kb/s**;
+* VT-HI decode: one read per hidden page — "90 * 64 / 1,000,000 = 0.006s"
+  = **2.7 Mb/s**;
+* PT-HI encode (optimal setup from Wang et al.): 625 whole-block program
+  cycles — "(1.2 * 64 + 5) * 625 / 1,000 = 51.1s" over 72 Kb per block =
+  **1.4 Kb/s**;
+* PT-HI decode: 30 PP+read steps per page — "(600 + 90) * 64 * 30 /
+  1,000,000 = 1.32s" = **54 Kb/s**;
+* energy: 1.1 mJ vs 43 mJ per page; wear: 10 vs 625 extra program
+  operations per hidden page.
+
+Functions below take the op costs and configuration as inputs so the same
+arithmetic runs for any chip model; defaults give the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nand.params import OpCosts
+from ..units import throughput_bits_per_s
+
+#: §8's per-block figures for the paper's chips.
+PAPER_HIDDEN_PAGES_PER_BLOCK = 64
+PAPER_VTHI_HIDDEN_BITS_PER_BLOCK = 15_593
+PAPER_PTHI_HIDDEN_BITS_PER_BLOCK = 72_000
+PAPER_VTHI_PP_STEPS = 10
+PAPER_PTHI_STRESS_CYCLES = 625
+PAPER_PTHI_DECODE_STEPS = 30
+
+
+@dataclass(frozen=True)
+class SchemePerformance:
+    """Analytic per-block performance of one hiding scheme."""
+
+    name: str
+    encode_time_s: float
+    encode_throughput_bps: float
+    decode_time_s: float
+    decode_throughput_bps: float
+    energy_per_page_j: float
+    energy_per_bit_j: float
+    #: Extra program-class operations per hidden page (wear amplification).
+    wear_amplification: float
+    #: Whether decoding destroys co-located public data.
+    destructive_decode: bool
+
+
+def vthi_performance(
+    costs: OpCosts = OpCosts(),
+    pp_steps: int = PAPER_VTHI_PP_STEPS,
+    hidden_pages_per_block: int = PAPER_HIDDEN_PAGES_PER_BLOCK,
+    hidden_bits_per_block: int = PAPER_VTHI_HIDDEN_BITS_PER_BLOCK,
+    data_bits_per_page: float = None,
+) -> SchemePerformance:
+    """VT-HI's §8 arithmetic."""
+    encode_time = (
+        (costs.t_partial_program + costs.t_read)
+        * pp_steps
+        * hidden_pages_per_block
+    )
+    decode_time = costs.t_read * hidden_pages_per_block
+    energy_page = pp_steps * (costs.e_partial_program + costs.e_read)
+    if data_bits_per_page is None:
+        data_bits_per_page = hidden_bits_per_block / hidden_pages_per_block
+    return SchemePerformance(
+        name="VT-HI",
+        encode_time_s=encode_time,
+        encode_throughput_bps=throughput_bits_per_s(
+            hidden_bits_per_block, encode_time
+        ),
+        decode_time_s=decode_time,
+        decode_throughput_bps=throughput_bits_per_s(
+            hidden_bits_per_block, decode_time
+        ),
+        energy_per_page_j=energy_page,
+        energy_per_bit_j=energy_page / data_bits_per_page,
+        wear_amplification=pp_steps,
+        destructive_decode=False,
+    )
+
+
+def pthi_performance(
+    costs: OpCosts = OpCosts(),
+    stress_cycles: int = PAPER_PTHI_STRESS_CYCLES,
+    pages_per_block: int = PAPER_HIDDEN_PAGES_PER_BLOCK,
+    hidden_bits_per_block: int = PAPER_PTHI_HIDDEN_BITS_PER_BLOCK,
+    decode_steps: int = PAPER_PTHI_DECODE_STEPS,
+) -> SchemePerformance:
+    """PT-HI's §8 arithmetic (the "ideal setup" with negligible BER)."""
+    encode_time = (
+        costs.t_program * pages_per_block + costs.t_erase
+    ) * stress_cycles
+    decode_time = (
+        (costs.t_partial_program + costs.t_read)
+        * pages_per_block
+        * decode_steps
+    )
+    energy_page = stress_cycles * costs.e_program
+    data_bits_per_page = hidden_bits_per_block / pages_per_block
+    return SchemePerformance(
+        name="PT-HI",
+        encode_time_s=encode_time,
+        encode_throughput_bps=throughput_bits_per_s(
+            hidden_bits_per_block, encode_time
+        ),
+        decode_time_s=decode_time,
+        decode_throughput_bps=throughput_bits_per_s(
+            hidden_bits_per_block, decode_time
+        ),
+        energy_per_page_j=energy_page,
+        energy_per_bit_j=energy_page / data_bits_per_page,
+        wear_amplification=stress_cycles,
+        destructive_decode=True,
+    )
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Headline VT-HI : PT-HI ratios (§1/§8: 24x, 50x, 37x, 62.5x)."""
+
+    vthi: SchemePerformance
+    pthi: SchemePerformance
+
+    @property
+    def encode_speedup(self) -> float:
+        return (
+            self.vthi.encode_throughput_bps / self.pthi.encode_throughput_bps
+        )
+
+    @property
+    def decode_speedup(self) -> float:
+        return (
+            self.vthi.decode_throughput_bps / self.pthi.decode_throughput_bps
+        )
+
+    @property
+    def energy_efficiency(self) -> float:
+        return self.pthi.energy_per_page_j / self.vthi.energy_per_page_j
+
+    @property
+    def wear_reduction(self) -> float:
+        return self.pthi.wear_amplification / self.vthi.wear_amplification
+
+
+def paper_comparison(costs: OpCosts = OpCosts()) -> Comparison:
+    """The §8 head-to-head at the paper's parameters."""
+    return Comparison(vthi_performance(costs), pthi_performance(costs))

@@ -1,0 +1,59 @@
+"""Deterministic random-number plumbing.
+
+The simulator must be reproducible (same seed => same chip) while still
+exposing the *naturally occurring* randomness the paper leans on:
+per-chip manufacturing variation, per-block and per-page offsets,
+programming noise, and retention leakage.  Every consumer therefore derives
+an independent, stable substream from a root seed plus a structured label,
+e.g. ``(chip_seed, "program", block, page, epoch)``.
+
+Deriving substreams through SHA-256 (rather than ad-hoc arithmetic on seeds)
+guarantees substreams never collide and never correlate, and that the mapping
+is stable across numpy versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Union
+
+import numpy as np
+
+SeedPart = Union[int, str, bytes]
+
+
+def derive_seed(root: int, *parts: SeedPart) -> int:
+    """Derive a 64-bit seed from a root seed and a structured label.
+
+    The derivation is a SHA-256 hash over an unambiguous encoding of the
+    parts, so ``derive_seed(1, "a", 2)`` and ``derive_seed(1, "a2")`` differ.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(int(root).to_bytes(16, "little", signed=True))
+    for part in parts:
+        if isinstance(part, bytes):
+            encoded = part
+        elif isinstance(part, str):
+            encoded = part.encode("utf-8")
+        elif isinstance(part, (int, np.integer)):
+            encoded = int(part).to_bytes(16, "little", signed=True)
+        else:
+            raise TypeError(f"unsupported seed part type: {type(part)!r}")
+        hasher.update(len(encoded).to_bytes(4, "little"))
+        hasher.update(encoded)
+    return int.from_bytes(hasher.digest()[:8], "little")
+
+
+def substream(root: int, *parts: SeedPart) -> np.random.Generator:
+    """A numpy Generator on an independent substream for the given label."""
+    return np.random.default_rng(derive_seed(root, *parts))
+
+
+def uniform_field(root: int, *parts: SeedPart, size: int) -> np.ndarray:
+    """A repeatable array of U(0,1) draws for the given label.
+
+    Used for latent per-cell properties (leakiness, disturb susceptibility)
+    that must be *identical* every time they are consulted, so repeated reads
+    of the same page observe consistent physics.
+    """
+    return substream(root, *parts).random(size, dtype=np.float64)

@@ -1,0 +1,23 @@
+"""Steganographic hidden volume (§9.2's basic design)."""
+
+from .cover import CoverTrafficPolicy
+from .metadata import HEADER_BYTES, SlotHeader, pack_slot, unpack_slot
+from .refresh import RefreshPolicy, refresh_volume
+from .volume import HiddenVolume, HiddenVolumeError
+from .wear_policy import WearBand, WearBandPolicy, public_wear_band
+
+__all__ = [
+    "CoverTrafficPolicy",
+    "HEADER_BYTES",
+    "HiddenVolume",
+    "HiddenVolumeError",
+    "RefreshPolicy",
+    "SlotHeader",
+    "WearBand",
+    "WearBandPolicy",
+    "public_wear_band",
+    "pack_slot",
+    "refresh_volume",
+    "refresh_volume",
+    "unpack_slot",
+]

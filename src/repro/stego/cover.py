@@ -1,0 +1,84 @@
+"""Cover-traffic embedding policy (§9.2's multi-snapshot mitigation).
+
+"To mitigate, the hiding firmware can piggyback [on] public data writes"
+— a hidden write must coincide with a public program of its host page, so
+that between any two adversary snapshots every voltage change is explained
+by visible public activity.
+
+:class:`CoverTrafficPolicy` enforces the rule on top of a
+:class:`~repro.stego.volume.HiddenVolume`: hidden writes are queued and
+drained only into pages the FTL programs *after* the request, never into
+pages that were already sitting stable.  The trade-off the paper notes —
+waiting for cover costs latency, and a volume operated without the key
+for too long loses data — shows up here as the queue depth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from .volume import HiddenVolume, HiddenVolumeError
+
+Location = Tuple[int, int]
+
+
+class CoverTrafficPolicy:
+    """Queue hidden writes until public writes provide cover."""
+
+    def __init__(self, volume: HiddenVolume) -> None:
+        self.volume = volume
+        self._pending: Deque[Tuple[int, bytes]] = deque()
+        self._armed = False
+        self._drained = 0
+        volume.ftl.add_write_hook(self._on_public_write)
+
+    @property
+    def pending_writes(self) -> int:
+        """Queued hidden writes still waiting for cover."""
+        return len(self._pending)
+
+    def write(self, lba: int, data: bytes) -> None:
+        """Queue a hidden write; it lands under the next public write."""
+        if len(data) > self.volume.slot_data_bytes:
+            raise HiddenVolumeError(
+                f"hidden block of {len(data)} bytes exceeds slot capacity "
+                f"{self.volume.slot_data_bytes}"
+            )
+        self._pending.append((lba, data))
+
+    def read(self, lba: int) -> Optional[bytes]:
+        """Read-through: pending writes win over embedded state."""
+        for queued_lba, data in reversed(self._pending):
+            if queued_lba == lba:
+                return data
+        return self.volume.read(lba)
+
+    @property
+    def drained_writes(self) -> int:
+        """Hidden writes that have landed under cover so far."""
+        return self._drained
+
+    # ------------------------------------------------------------------
+
+    def _on_public_write(self, lpa: int, location: Location) -> None:
+        """A public program just created a fresh page: use it as cover."""
+        if self._armed or not self._pending:
+            return
+        stride = self.volume.vthi.config.page_stride
+        if location[1] % stride != 0:
+            return  # not a hidden-eligible page index
+        if location in self.volume._hosts or location in self.volume._burned:
+            return
+        lba, data = self._pending[0]
+        # Re-entrancy guard: embedding does not write through the FTL, but
+        # keep the guard in case future policies do.
+        self._armed = True
+        try:
+            self.volume.write_at(lba, data, host=location)
+        except HiddenVolumeError:
+            return  # wait for a better-placed public write
+        finally:
+            self._armed = False
+        self._pending.popleft()
+        self._drained += 1

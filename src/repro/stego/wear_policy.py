@@ -1,0 +1,106 @@
+"""Wear-aware host selection (§5.2 / §7's operational lesson).
+
+Fig. 10's cliff says the SVM attacker wins exactly when hidden blocks'
+wear differs from the public population by more than a few hundred PEC.
+The paper's threat model therefore *assumes* "flash block wear in the
+device is not entirely equal" and VT-HI must blend into it: host pages
+for hidden data should come from blocks whose PEC sits inside the public
+wear band.
+
+:class:`WearBandPolicy` scores candidate hosts by how deep inside the
+band they sit and rejects hosts that would stand out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..nand.chip import FlashChip
+
+Location = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class WearBand:
+    """The public wear population's summary."""
+
+    median_pec: float
+    low_pec: float
+    high_pec: float
+
+    def contains(self, pec: int, slack: int = 0) -> bool:
+        return self.low_pec - slack <= pec <= self.high_pec + slack
+
+
+def public_wear_band(
+    chip: FlashChip, blocks: Iterable[int], percentile: float = 10.0
+) -> WearBand:
+    """The wear band of the given (public) blocks.
+
+    The band spans the central ``100 - 2*percentile`` percent of PECs —
+    hosts inside it are wear-inconspicuous.
+    """
+    pecs = np.asarray([chip.block_pec(b) for b in blocks], dtype=np.float64)
+    if pecs.size == 0:
+        raise ValueError("no blocks to measure")
+    return WearBand(
+        median_pec=float(np.median(pecs)),
+        low_pec=float(np.percentile(pecs, percentile)),
+        high_pec=float(np.percentile(pecs, 100.0 - percentile)),
+    )
+
+
+class WearBandPolicy:
+    """Filter and rank hidden-data hosts by wear inconspicuousness.
+
+    §7: "as long as the wear on the device is uniform within several
+    hundred PEC, an SVM would not be able to reliably classify" — the
+    default slack encodes that few-hundred-PEC tolerance.
+    """
+
+    def __init__(self, chip: FlashChip, slack_pec: int = 300) -> None:
+        if slack_pec < 0:
+            raise ValueError("slack must be non-negative")
+        self.chip = chip
+        self.slack_pec = slack_pec
+
+    def eligible(
+        self, candidates: Iterable[Location], band: WearBand
+    ) -> List[Location]:
+        """Hosts whose block wear hides inside the band (plus slack)."""
+        return [
+            host
+            for host in candidates
+            if band.contains(self.chip.block_pec(host[0]), self.slack_pec)
+        ]
+
+    def choose(
+        self, candidates: Iterable[Location], band: WearBand
+    ) -> Optional[Location]:
+        """The most inconspicuous host: nearest the band median.
+
+        Ties break on (block, page) for determinism.  Returns None when
+        every candidate would stand out.
+        """
+        eligible = self.eligible(candidates, band)
+        if not eligible:
+            return None
+        return min(
+            eligible,
+            key=lambda host: (
+                abs(self.chip.block_pec(host[0]) - band.median_pec),
+                host,
+            ),
+        )
+
+    def exposure(self, host: Location, band: WearBand) -> float:
+        """How far outside the band a host sits, in PEC (0 = inside)."""
+        pec = self.chip.block_pec(host[0])
+        if pec < band.low_pec:
+            return float(band.low_pec - pec)
+        if pec > band.high_pec:
+            return float(pec - band.high_pec)
+        return 0.0

@@ -1,0 +1,59 @@
+"""Unit helpers used throughout the library.
+
+All internal time bookkeeping is in seconds and all energy bookkeeping is in
+joules.  The paper quotes microseconds/milliseconds and micro/millijoules, so
+these constants keep call sites readable and make the provenance of every
+magic number obvious (e.g. ``90 * US`` for the paper's 90 us read latency).
+"""
+
+from __future__ import annotations
+
+#: One microsecond, in seconds.
+US = 1e-6
+#: One millisecond, in seconds.
+MS = 1e-3
+#: One second.
+SECOND = 1.0
+#: One minute, in seconds.
+MINUTE = 60.0
+#: One hour, in seconds.
+HOUR = 3600.0
+#: One day, in seconds.
+DAY = 24 * HOUR
+#: One month, in seconds (30 days, matching the paper's retention periods).
+MONTH = 30 * DAY
+
+#: One microjoule, in joules.
+UJ = 1e-6
+#: One millijoule, in joules.
+MJ = 1e-3
+
+#: Bits per kilobit/megabit as used in the paper's throughput figures
+#: (the paper uses decimal Kb/Mb).
+KBIT = 1000.0
+MBIT = 1000.0 * 1000.0
+
+
+def seconds_to_human(seconds: float) -> str:
+    """Render a duration compactly for reports (``1.32s``, ``90.0us``...)."""
+    if seconds >= 1.0:
+        return f"{seconds:.3g}s"
+    if seconds >= MS:
+        return f"{seconds / MS:.3g}ms"
+    return f"{seconds / US:.3g}us"
+
+
+def throughput_bits_per_s(bits: float, seconds: float) -> float:
+    """Throughput in bits/second; raises on non-positive duration."""
+    if seconds <= 0:
+        raise ValueError(f"duration must be positive, got {seconds}")
+    return bits / seconds
+
+
+def format_throughput(bits_per_s: float) -> str:
+    """Render throughput the way the paper does (Kb/s, Mb/s)."""
+    if bits_per_s >= MBIT:
+        return f"{bits_per_s / MBIT:.2g}Mb/s"
+    if bits_per_s >= KBIT:
+        return f"{bits_per_s / KBIT:.2g}Kb/s"
+    return f"{bits_per_s:.3g}b/s"

@@ -1,0 +1,83 @@
+"""The §7 SVM attacker pipeline (scaled-down)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    DatasetScale,
+    build_detection_dataset,
+    detect_at,
+    make_chips,
+    train_on_two_classify_third,
+)
+from repro.crypto import HidingKey
+from repro.hiding import STANDARD_CONFIG
+
+#: Tiny scale so the whole module runs in a few seconds.
+TINY = DatasetScale(page_divisor=16, pages_per_block=4, blocks_per_class=5)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    chips = make_chips(TINY.chip_model(), 3, base_seed=400)
+    key = HidingKey.generate(b"detect-test")
+    return build_detection_dataset(
+        chips, TINY, STANDARD_CONFIG, normal_pec=0, hidden_pec=0, key=key,
+        seed=0,
+    )
+
+
+def test_dataset_shapes_and_labels(dataset):
+    features, labels, chip_ids = dataset
+    n = 3 * 2 * TINY.blocks_per_class
+    assert features.shape == (n, TINY.bins)
+    assert labels.shape == (n,)
+    assert set(labels) == {0, 1}
+    assert (labels == 1).sum() == n // 2
+    assert set(chip_ids) == {0, 1, 2}
+
+
+def test_features_are_normalised_histograms(dataset):
+    features, _, _ = dataset
+    assert np.allclose(features.sum(axis=1), 1.0)
+
+
+def test_cross_chip_protocol_holds_out_one_chip(dataset):
+    features, labels, chip_ids = dataset
+    accuracy, cv, params = train_on_two_classify_third(
+        features, labels, chip_ids, held_out_chip=2
+    )
+    assert 0.0 <= accuracy <= 1.0
+    assert 0.0 <= cv <= 1.0
+    assert "C" in params
+
+
+def test_held_out_chip_must_exist(dataset):
+    features, labels, chip_ids = dataset
+    with pytest.raises(ValueError):
+        train_on_two_classify_third(features, labels, chip_ids, 9)
+
+
+def test_scale_config_preserves_hidden_fraction():
+    scaled = TINY.scale_config(STANDARD_CONFIG)
+    assert scaled.bits_per_page == STANDARD_CONFIG.bits_per_page // 16
+    assert scaled.ecc_t == 0  # raw bits for dataset building
+
+
+def test_wear_mismatch_is_detectable():
+    """The Fig. 10 cliff: hidden blocks at 2000 PEC vs normal at 0 are
+    trivially separable (wear dominates)."""
+    outcome = detect_at(
+        STANDARD_CONFIG, normal_pec=0, hidden_pec=2000, scale=TINY, seed=3
+    )
+    assert outcome.accuracy > 0.8
+
+
+def test_summary_feature_mode():
+    chips = make_chips(TINY.chip_model(), 2, base_seed=500)
+    key = HidingKey.generate(b"summary")
+    features, labels, _ = build_detection_dataset(
+        chips, TINY, STANDARD_CONFIG, normal_pec=0, hidden_pec=0, key=key,
+        feature="summary",
+    )
+    assert features.shape[1] == 3  # mean, std, BER

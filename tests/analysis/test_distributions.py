@@ -1,0 +1,81 @@
+"""Distribution analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Histogram,
+    average_histograms,
+    ks_distance,
+    tail_mass,
+    voltage_histogram,
+)
+
+
+def test_histogram_percent_sums_to_100():
+    values = np.random.default_rng(0).integers(0, 256, 10_000)
+    hist = voltage_histogram(values)
+    assert hist.percent.sum() == pytest.approx(100.0)
+    assert hist.centers.size == hist.percent.size
+
+
+def test_histogram_empty_rejected():
+    with pytest.raises(ValueError):
+        voltage_histogram(np.array([]))
+
+
+def test_restricted_window():
+    values = np.concatenate([np.full(50, 10.0), np.full(50, 200.0)])
+    hist = voltage_histogram(values, bins=256, value_range=(0, 256))
+    low = hist.restricted(0, 70)
+    assert low.percent.sum() == pytest.approx(50.0)
+
+
+def test_average_histograms():
+    values_a = np.full(100, 10.0)
+    values_b = np.full(100, 20.0)
+    hist_a = voltage_histogram(values_a, bins=32, value_range=(0, 32))
+    hist_b = voltage_histogram(values_b, bins=32, value_range=(0, 32))
+    avg = average_histograms([hist_a, hist_b])
+    assert avg.percent.max() == pytest.approx(50.0)
+
+
+def test_average_requires_matching_bins():
+    a = voltage_histogram(np.ones(10), bins=8, value_range=(0, 8))
+    b = voltage_histogram(np.ones(10), bins=16, value_range=(0, 8))
+    with pytest.raises(ValueError):
+        average_histograms([a, b])
+    with pytest.raises(ValueError):
+        average_histograms([])
+
+
+class TestKs:
+    def test_identical_samples_zero(self):
+        x = np.random.default_rng(0).normal(0, 1, 1000)
+        assert ks_distance(x, x) == 0.0
+
+    def test_disjoint_samples_one(self):
+        assert ks_distance(np.zeros(100), np.ones(100)) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(0, 1, 500), rng.normal(0.5, 1, 500)
+        assert ks_distance(a, b) == pytest.approx(ks_distance(b, a))
+
+    def test_grows_with_shift(self):
+        rng = np.random.default_rng(2)
+        base = rng.normal(0, 1, 2000)
+        near = ks_distance(base, base + 0.1)
+        far = ks_distance(base, base + 1.0)
+        assert near < far
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_distance(np.array([]), np.ones(5))
+
+
+def test_tail_mass():
+    values = np.array([10, 20, 40, 60])
+    assert tail_mass(values, 34) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        tail_mass(np.array([]), 34)

@@ -1,0 +1,75 @@
+"""Multi-snapshot adversary (§9.2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import DeviceSnapshot, SnapshotAdversary
+from repro.crypto import HidingKey
+from repro.hiding import STANDARD_CONFIG, VtHi
+
+CFG = STANDARD_CONFIG.replace(ecc_t=0, bits_per_page=256)
+
+
+def fill_block(chip, block, random_page, base=0):
+    publics = []
+    for page in range(chip.geometry.pages_per_block):
+        bits = random_page(base + page)
+        chip.program_page(block, page, bits)
+        publics.append(bits)
+    return publics
+
+
+class TestSnapshotAdversary:
+    def test_idle_device_is_clean(self, chip, random_page):
+        fill_block(chip, 0, random_page)
+        before = DeviceSnapshot.capture(chip, [0])
+        after = DeviceSnapshot.capture(chip, [0])
+        assert SnapshotAdversary().compare(before, after) == []
+
+    def test_retention_only_is_clean(self, chip, random_page):
+        """Leakage moves voltages DOWN — never flagged."""
+        from repro.units import MONTH
+
+        chip.age_block(0, 2000)
+        fill_block(chip, 0, random_page)
+        before = DeviceSnapshot.capture(chip, [0])
+        chip.advance_time(2 * MONTH)
+        after = DeviceSnapshot.capture(chip, [0])
+        assert SnapshotAdversary().compare(before, after) == []
+
+    def test_naive_in_place_hiding_is_caught(self, chip, key, random_page):
+        """Embedding into an already-snapshotted page leaves the telltale
+        the paper warns about."""
+        publics = fill_block(chip, 0, random_page)
+        before = DeviceSnapshot.capture(chip, [0])
+        vthi = VtHi(chip, CFG)
+        hidden = (np.random.default_rng(0).random(256) < 0.5).astype(np.uint8)
+        vthi.embed_bits(0, 0, hidden, key, public_bits=publics[0])
+        after = DeviceSnapshot.capture(chip, [0])
+        findings = SnapshotAdversary().compare(before, after)
+        assert len(findings) == 1
+        assert findings[0].location == (0, 0)
+        assert findings[0].raised_cells > 50
+
+    def test_rewritten_page_provides_cover(self, chip, key, random_page):
+        """Embedding into a page that public activity re-programmed
+        between snapshots is NOT flagged — the §9.2 mitigation."""
+        publics = fill_block(chip, 0, random_page)
+        before = DeviceSnapshot.capture(chip, [0])
+        # public rewrite of the whole block (erase + program new data)...
+        chip.erase_block(0)
+        new_public = fill_block(chip, 0, random_page, base=100)
+        # ...with the hidden payload piggybacked on the fresh page
+        vthi = VtHi(chip, CFG)
+        hidden = (np.random.default_rng(1).random(256) < 0.5).astype(np.uint8)
+        vthi.embed_bits(0, 0, hidden, key, public_bits=new_public[0])
+        after = DeviceSnapshot.capture(chip, [0])
+        assert SnapshotAdversary().compare(before, after) == []
+
+    def test_erased_pages_are_skipped(self, chip, random_page):
+        fill_block(chip, 0, random_page)
+        before = DeviceSnapshot.capture(chip, [0])
+        chip.erase_block(0)
+        after = DeviceSnapshot.capture(chip, [0])
+        assert SnapshotAdversary().compare(before, after) == []
+        assert after.voltages == {}

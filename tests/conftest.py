@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite.
+
+Tests run against the TEST_MODEL geometry (full physics, 1128-byte pages)
+unless they specifically need full-size pages, in which case they build a
+BENCH_MODEL chip themselves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crypto import HidingKey
+from repro.nand import TEST_MODEL, FlashChip
+from repro.rng import substream
+
+
+@pytest.fixture
+def chip() -> FlashChip:
+    """A fresh small chip with deterministic manufacturing."""
+    return FlashChip(TEST_MODEL.geometry, TEST_MODEL.params, seed=1234)
+
+
+@pytest.fixture
+def chip_factory():
+    """Factory for additional samples (distinct seeds)."""
+
+    def make(seed: int = 0) -> FlashChip:
+        return FlashChip(TEST_MODEL.geometry, TEST_MODEL.params, seed=seed)
+
+    return make
+
+
+@pytest.fixture
+def key() -> HidingKey:
+    return HidingKey.generate(b"test-key")
+
+
+@pytest.fixture
+def random_page(chip):
+    """Pseudorandom public page bits for the test chip."""
+
+    def make(index: int = 0) -> np.ndarray:
+        rng = substream(555, "test-page", index)
+        return (rng.random(chip.geometry.cells_per_page) < 0.5).astype(
+            np.uint8
+        )
+
+    return make

@@ -1,0 +1,46 @@
+"""Hiding keys."""
+
+import pytest
+
+from repro.crypto import KEY_BYTES, HidingKey
+
+
+def test_generate_is_random_by_default():
+    assert HidingKey.generate() != HidingKey.generate()
+
+
+def test_generate_with_entropy_is_deterministic():
+    assert HidingKey.generate(b"e") == HidingKey.generate(b"e")
+
+
+def test_from_passphrase_deterministic_and_slow_hash():
+    a = HidingKey.from_passphrase("correct horse", iterations=1000)
+    b = HidingKey.from_passphrase("correct horse", iterations=1000)
+    assert a == b
+    assert a != HidingKey.from_passphrase("wrong horse", iterations=1000)
+
+
+def test_hex_roundtrip():
+    key = HidingKey.generate(b"x")
+    assert HidingKey.from_hex(key.to_hex()) == key
+
+
+def test_key_length_enforced():
+    with pytest.raises(ValueError):
+        HidingKey(b"short")
+
+
+def test_subkeys_are_domain_separated():
+    key = HidingKey.generate(b"x")
+    selection_bytes = key.selection_prng().bytes(32)
+    cipher_bytes = key.cipher().encrypt(b"\x00" * 32, b"")
+    assert selection_bytes != cipher_bytes
+
+
+def test_selection_prng_is_stable():
+    key = HidingKey.generate(b"x")
+    assert key.selection_prng().bytes(16) == key.selection_prng().bytes(16)
+
+
+def test_key_constant():
+    assert KEY_BYTES == 32

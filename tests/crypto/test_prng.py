@@ -1,0 +1,97 @@
+"""Keyed PRNG."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import KeyedPrng
+
+
+def test_stream_is_deterministic():
+    a = KeyedPrng(b"key").bytes(64)
+    b = KeyedPrng(b"key").bytes(64)
+    assert a == b
+
+
+def test_stream_depends_on_key_and_context():
+    base = KeyedPrng(b"key").bytes(32)
+    assert KeyedPrng(b"other").bytes(32) != base
+    assert KeyedPrng(b"key", b"ctx").bytes(32) != base
+
+
+def test_empty_key_rejected():
+    with pytest.raises(ValueError):
+        KeyedPrng(b"")
+
+
+def test_stream_is_consumed_sequentially():
+    prng = KeyedPrng(b"key")
+    first = prng.bytes(16)
+    second = prng.bytes(16)
+    assert first != second
+    assert KeyedPrng(b"key").bytes(32) == first + second
+
+
+def test_negative_draw_rejected():
+    with pytest.raises(ValueError):
+        KeyedPrng(b"key").bytes(-1)
+
+
+def test_for_page_gives_page_dependent_streams():
+    prng = KeyedPrng(b"key")
+    assert prng.for_page(0).bytes(16) != prng.for_page(1).bytes(16)
+
+
+def test_derive_does_not_disturb_parent():
+    parent = KeyedPrng(b"key")
+    expected = KeyedPrng(b"key").bytes(16)
+    parent.derive(b"child")
+    assert parent.bytes(16) == expected
+
+
+def test_uint_width_validation():
+    prng = KeyedPrng(b"key")
+    with pytest.raises(ValueError):
+        prng.uint(12)
+    assert 0 <= prng.uint(8) < 256
+
+
+def test_below_is_unbiased_enough():
+    prng = KeyedPrng(b"key")
+    draws = [prng.below(10) for _ in range(5000)]
+    counts = [draws.count(v) for v in range(10)]
+    assert min(counts) > 350  # crude uniformity check
+    assert max(draws) < 10 and min(draws) >= 0
+
+
+def test_below_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        KeyedPrng(b"key").below(0)
+
+
+@given(
+    population=st.integers(min_value=1, max_value=500),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_sample_indices_is_exact_sampling(population, data):
+    k = data.draw(st.integers(min_value=0, max_value=population))
+    sample = KeyedPrng(b"key").sample_indices(population, k)
+    assert len(sample) == k
+    assert len(set(sample)) == k  # distinct
+    assert all(0 <= v < population for v in sample)
+
+
+def test_sample_more_than_population_rejected():
+    with pytest.raises(ValueError):
+        KeyedPrng(b"key").sample_indices(5, 6)
+
+
+def test_index_stream_is_a_permutation():
+    stream = list(KeyedPrng(b"key").index_stream(100))
+    assert sorted(stream) == list(range(100))
+
+
+def test_index_stream_prefix_equals_sample_indices():
+    a = KeyedPrng(b"key").sample_indices(50, 20)
+    b = [v for v, _ in zip(KeyedPrng(b"key").index_stream(50), range(20))]
+    assert a == b

@@ -1,0 +1,124 @@
+"""BCH codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc import BchCode, EccError
+
+CODE = BchCode(7, 5)  # n=127
+
+
+def test_code_parameters():
+    assert CODE.n == 127
+    assert CODE.k + CODE.n_parity == CODE.n
+    assert CODE.t == 5
+
+
+def test_t_must_be_positive():
+    with pytest.raises(ValueError):
+        BchCode(7, 0)
+
+
+def test_too_strong_code_rejected():
+    with pytest.raises(ValueError):
+        BchCode(4, 8)  # parity would swallow the whole code
+
+
+def test_encode_is_systematic():
+    data = np.array([1, 0, 1, 1, 0, 0, 1], dtype=np.uint8)
+    codeword = CODE.encode(data)
+    assert np.array_equal(codeword[: data.size], data)
+    assert codeword.size == data.size + CODE.n_parity
+
+
+def test_encode_rejects_oversized_data():
+    with pytest.raises(ValueError):
+        CODE.encode(np.zeros(CODE.k + 1, dtype=np.uint8))
+
+
+def test_encode_rejects_non_bits():
+    with pytest.raises(ValueError):
+        CODE.encode(np.array([0, 1, 2], dtype=np.uint8))
+
+
+def test_clean_decode():
+    data = np.ones(CODE.k, dtype=np.uint8)
+    result = CODE.decode(CODE.encode(data))
+    assert np.array_equal(result.data, data)
+    assert result.corrected_errors == 0
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_under_capacity(data):
+    rng_seed = data.draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(rng_seed)
+    k_use = data.draw(st.integers(min_value=1, max_value=CODE.k))
+    n_errors = data.draw(st.integers(min_value=0, max_value=CODE.t))
+    payload = rng.integers(0, 2, k_use).astype(np.uint8)
+    codeword = CODE.encode(payload)
+    positions = rng.choice(codeword.size, size=min(n_errors, codeword.size),
+                           replace=False)
+    corrupted = codeword.copy()
+    corrupted[positions] ^= 1
+    result = CODE.decode(corrupted)
+    assert np.array_equal(result.data, payload)
+    assert result.corrected_errors == len(positions)
+
+
+def test_beyond_capacity_detected_or_miscorrected_loudly():
+    rng = np.random.default_rng(1)
+    data = rng.integers(0, 2, CODE.k).astype(np.uint8)
+    codeword = CODE.encode(data)
+    failures = 0
+    for trial in range(20):
+        positions = rng.choice(codeword.size, size=CODE.t + 4, replace=False)
+        corrupted = codeword.copy()
+        corrupted[positions] ^= 1
+        try:
+            result = CODE.decode(corrupted)
+            # A silent miscorrection is possible but must be rare.
+            if not np.array_equal(result.data, data):
+                failures += 1
+        except EccError:
+            failures += 1
+    assert failures >= 18
+
+
+def test_decode_rejects_wrong_sizes():
+    with pytest.raises(ValueError):
+        CODE.decode(np.zeros(CODE.n_parity, dtype=np.uint8))
+    with pytest.raises(ValueError):
+        CODE.decode(np.zeros(CODE.n + 1, dtype=np.uint8))
+
+
+def test_shortened_code_roundtrip():
+    short_data = np.array([1, 0, 1], dtype=np.uint8)
+    codeword = CODE.encode(short_data)
+    corrupted = codeword.copy()
+    corrupted[[0, 5, 10]] ^= 1
+    result = CODE.decode(corrupted)
+    assert np.array_equal(result.data, short_data)
+    assert result.corrected_errors == 3
+
+
+def test_parity_only_errors_corrected():
+    data = np.array([1, 1, 0, 1], dtype=np.uint8)
+    codeword = CODE.encode(data)
+    corrupted = codeword.copy()
+    corrupted[-1] ^= 1
+    corrupted[-3] ^= 1
+    result = CODE.decode(corrupted)
+    assert np.array_equal(result.data, data)
+
+
+def test_large_field_code():
+    code = BchCode(13, 12)
+    rng = np.random.default_rng(2)
+    data = rng.integers(0, 2, 4096).astype(np.uint8)
+    codeword = code.encode(data)
+    positions = rng.choice(codeword.size, size=12, replace=False)
+    corrupted = codeword.copy()
+    corrupted[positions] ^= 1
+    assert np.array_equal(code.decode(corrupted).data, data)

@@ -1,0 +1,95 @@
+"""GF(2^m) arithmetic."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc import GF2m, PRIMITIVE_POLYS
+
+FIELD = GF2m(8)
+nonzero = st.integers(min_value=1, max_value=FIELD.order)
+element = st.integers(min_value=0, max_value=FIELD.order)
+
+
+def test_supported_orders_build():
+    for m in PRIMITIVE_POLYS:
+        field = GF2m(m)
+        assert field.size == 1 << m
+
+
+def test_unsupported_order_rejected():
+    with pytest.raises(ValueError):
+        GF2m(20)
+
+
+def test_exp_log_are_inverse():
+    for value in range(1, FIELD.size):
+        assert FIELD.exp[FIELD.log[value]] == value
+
+
+@given(a=nonzero, b=nonzero)
+@settings(max_examples=100, deadline=None)
+def test_mul_div_inverse(a, b):
+    product = FIELD.mul(a, b)
+    assert FIELD.div(product, b) == a
+    assert FIELD.div(product, a) == b
+
+
+@given(a=element, b=element, c=element)
+@settings(max_examples=100, deadline=None)
+def test_mul_is_associative_commutative(a, b, c):
+    assert FIELD.mul(a, b) == FIELD.mul(b, a)
+    assert FIELD.mul(FIELD.mul(a, b), c) == FIELD.mul(a, FIELD.mul(b, c))
+
+
+@given(a=element, b=element, c=element)
+@settings(max_examples=100, deadline=None)
+def test_mul_distributes_over_xor(a, b, c):
+    assert FIELD.mul(a, b ^ c) == FIELD.mul(a, b) ^ FIELD.mul(a, c)
+
+
+@given(a=nonzero)
+@settings(max_examples=50, deadline=None)
+def test_inverse(a):
+    assert FIELD.mul(a, FIELD.inv(a)) == 1
+
+
+def test_zero_division_raises():
+    with pytest.raises(ZeroDivisionError):
+        FIELD.div(1, 0)
+    with pytest.raises(ZeroDivisionError):
+        FIELD.inv(0)
+
+
+@given(a=nonzero, e=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=50, deadline=None)
+def test_pow_matches_repeated_mul(a, e):
+    expected = 1
+    for _ in range(e % 30):
+        expected = FIELD.mul(expected, a)
+    assert FIELD.pow(a, e % 30) == expected
+
+
+def test_pow_of_zero():
+    assert FIELD.pow(0, 0) == 1
+    assert FIELD.pow(0, 5) == 0
+    with pytest.raises(ZeroDivisionError):
+        FIELD.pow(0, -1)
+
+
+def test_alpha_generates_the_group():
+    seen = {FIELD.alpha_pow(i) for i in range(FIELD.order)}
+    assert len(seen) == FIELD.order
+
+
+def test_minimal_polynomial_annihilates_element():
+    for power in (1, 3, 5):
+        alpha_p = FIELD.alpha_pow(power)
+        minimal = FIELD.minimal_polynomial(alpha_p)
+        assert FIELD.poly_eval(minimal, alpha_p) == 0
+        assert all(c in (0, 1) for c in minimal)
+
+
+def test_poly_mul_known_case():
+    # (1 + x)(1 + x) = 1 + x^2 over GF(2)
+    field = GF2m(3)
+    assert field.poly_mul([1, 1], [1, 1]) == [1, 0, 1]

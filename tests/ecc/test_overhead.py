@@ -1,0 +1,81 @@
+"""ECC sizing arithmetic."""
+
+import math
+
+import pytest
+
+from repro.ecc import EccPlan, binomial_tail, plan_for_budget, required_t
+from repro.hiding.capacity import shannon_parity_fraction
+
+
+class TestBinomialTail:
+    def test_edge_cases(self):
+        assert binomial_tail(10, 0.0, 0) == 0.0
+        assert binomial_tail(10, 1.0, 5) == 1.0
+        assert binomial_tail(10, 0.3, 10) == 0.0
+
+    def test_matches_direct_sum(self):
+        n, p, k = 20, 0.1, 3
+        direct = sum(
+            math.comb(n, i) * p**i * (1 - p) ** (n - i)
+            for i in range(k + 1, n + 1)
+        )
+        assert binomial_tail(n, p, k) == pytest.approx(direct)
+
+    def test_monotone_in_k(self):
+        values = [binomial_tail(100, 0.05, k) for k in range(0, 20, 4)]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            binomial_tail(10, 1.5, 3)
+
+
+class TestRequiredT:
+    def test_zero_errors_need_zero_t(self):
+        assert required_t(100, 0.0) == 0
+
+    def test_stronger_target_needs_bigger_t(self):
+        loose = required_t(256, 0.01, target_failure=1e-3)
+        tight = required_t(256, 0.01, target_failure=1e-9)
+        assert tight > loose
+
+    def test_scales_with_ber(self):
+        assert required_t(256, 0.05) > required_t(256, 0.005)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            required_t(0, 0.01)
+
+
+class TestPlan:
+    def test_plan_respects_budget(self):
+        plan = plan_for_budget(256, 0.01, parity_bits_per_t=9)
+        assert plan.coded_bits == 256
+        assert plan.data_bits + plan.parity_bits == 256
+        assert 0 <= plan.overhead_fraction <= 1
+        assert plan.failure_probability <= 1e-9
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(ValueError):
+            plan_for_budget(0, 0.01, 9)
+
+    def test_paper_standard_point(self):
+        """At the paper's 0.5% BER the Shannon parity is ~5% (their '13
+        parity bits of 256'); a concrete plan is necessarily heavier."""
+        assert shannon_parity_fraction(0.005) == pytest.approx(0.045, abs=0.01)
+        plan = plan_for_budget(256, 0.005, parity_bits_per_t=9,
+                               target_failure=1e-6)
+        assert plan.overhead_fraction > 0.045
+
+    def test_paper_enhanced_point(self):
+        """2% BER -> ~14% Shannon parity (§8's enhanced arithmetic)."""
+        assert shannon_parity_fraction(0.02) == pytest.approx(0.1414, abs=0.01)
+
+
+class TestShannonFraction:
+    def test_bounds(self):
+        assert shannon_parity_fraction(0.0) == 0.0
+        assert shannon_parity_fraction(0.5) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            shannon_parity_fraction(0.6)

@@ -1,0 +1,30 @@
+"""Ablation drivers."""
+
+from repro.experiments import ablations
+
+
+def test_pulse_ablation_shows_the_tradeoff():
+    result = ablations.pulse_size(fractions=(0.6, 1.5), bits=256)
+    rows = {row[0]: row for row in result.rows()}
+    assert rows[1.5][4] >= rows[0.6][4]  # envelope violations
+    assert rows[0.6][2] < 0.1  # still converges
+
+
+def test_threshold_ablation_monotone_budget():
+    result = ablations.threshold_placement(thresholds=(20.0, 34.0, 48.0))
+    naturals = [row[1] for row in result.rows()]
+    assert naturals == sorted(naturals, reverse=True)
+
+
+def test_whitening_ablation_bias_visible():
+    result = ablations.whitening(bias=0.9, bits=256)
+    whitened, biased = result.rows()
+    assert abs(whitened[1] - 0.5) < 0.1
+    assert biased[1] > 0.8
+    assert biased[2] > whitened[2]
+
+
+def test_combined_run():
+    result = ablations.run()
+    assert len(result.parts) == 3
+    assert len(result.rows()) == 3

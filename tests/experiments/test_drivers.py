@@ -1,0 +1,193 @@
+"""Every experiment driver runs at reduced scale and reproduces the
+paper's qualitative claims (the benchmarks run them at report scale)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import DatasetScale
+from repro.experiments import (
+    applicability,
+    capacity,
+    energy,
+    fig2,
+    fig3,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    public_interference,
+    reliability,
+    table1,
+    throughput,
+    wear,
+)
+
+TINY_SCALE = DatasetScale(page_divisor=16, pages_per_block=4,
+                          blocks_per_class=5)
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig2.run(n_samples=3, pages_per_block=4)
+
+    def test_envelopes(self, result):
+        for row in result.rows():
+            assert row[3] >= 0.999  # erased <= 70
+            assert row[5] >= 0.999  # programmed in [120, 210]
+
+    def test_samples_differ(self, result):
+        assert fig2.sample_variation(result.block_erased) > 0
+
+    def test_page_level_noisier_than_block(self, result):
+        noise = fig2.page_vs_block_noisiness(result)
+        assert noise["page"] > noise["block"]
+
+
+class TestFig3:
+    def test_rightward_drift(self):
+        result = fig3.run(pec_levels=(0, 1500, 3000), pages_per_block=4)
+        erased = result.erased_means()
+        programmed = result.programmed_means()
+        assert erased == sorted(erased)
+        assert programmed == sorted(programmed)
+
+
+class TestFig5:
+    def test_encoding_regions(self):
+        result = fig5.run(bits=128)
+        rows = {row[0]: row for row in result.rows()}
+        assert rows["hidden '0'"][5] == 1.0  # all above V_th
+        assert rows["hidden '1'"][5] == 0.0  # all below V_th
+        assert rows["hidden '0'"][6] == 0.0  # none cross public 127
+        # hidden cells stay inside the normal population's voltage range
+        assert rows["hidden '0'"][4] <= max(90, rows["normal '1'"][4] + 25)
+
+
+class TestFig6And7:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return fig6.run(
+            page_intervals=(1,), bit_counts=(128, 512),
+            max_steps=12, blocks_per_config=1,
+        )
+
+    def test_ber_converges_with_steps(self, sweep):
+        for curve in sweep.curves.values():
+            assert curve[0] > 0.1  # one step is far from enough
+            assert curve[9] < 0.04  # ten steps converge (paper: <1%)
+            assert curve[9] <= curve[0]
+
+    def test_fig7_uses_ten_step_points(self):
+        result = fig7.run(
+            page_intervals=(1,), bit_counts=(128,), blocks_per_config=1
+        )
+        (value,) = result.points.values()
+        assert 0 <= value < 0.04
+
+
+class TestFig8:
+    def test_shift_is_tiny(self):
+        result = fig8.run(densities=(0, 256), blocks_per_density=2)
+        shift = dict((row[0], row[2]) for row in result.rows())[256]
+        # §6.3: "only a tiny shift to the right"
+        assert abs(shift) < 1.0
+
+
+class TestFig9:
+    def test_hiding_within_natural_variation(self):
+        result = fig9.run(n_chips=3)
+        hidden_ks = result.hidden_vs_normal_ks
+        # hiding-induced distance is of the order of (or below) natural
+        # chip-to-chip distance
+        assert max(hidden_ks) < 3 * result.cross_chip_ks
+
+
+class TestFig10:
+    def test_wear_matched_near_chance_mismatched_high(self):
+        scale = DatasetScale(
+            page_divisor=8, pages_per_block=6, blocks_per_class=8
+        )
+        result = fig10.run(
+            hidden_pecs=(0,), normal_pecs=(0, 2000), scale=scale, seed=2
+        )
+        matched = result.accuracy(0, 0)
+        mismatched = result.accuracy(0, 2000)
+        # wear, not hiding, is what the classifier sees
+        assert matched < mismatched
+        assert matched <= 0.85
+        assert mismatched >= 0.85
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11.run(pec_levels=(0, 2000), pages=3)
+
+    def test_fresh_cells_barely_degrade(self, result):
+        h_norm, _ = result.normalized[(0, "4 month")]
+        assert h_norm < 2.0
+
+    def test_worn_hidden_degrades_more_than_normal(self, result):
+        h_norm, n_norm = result.normalized[(2000, "4 month")]
+        assert h_norm > 2.0  # paper: 6.3x
+        zero_hidden, zero_normal = result.zero_time[2000]
+        month4_hidden = h_norm * zero_hidden
+        month4_normal = n_norm * zero_normal
+        assert (month4_hidden - zero_hidden) > (month4_normal - zero_normal)
+
+    def test_oven_schedule_is_practical(self):
+        schedule = fig11.oven_schedule()
+        for label, duration in schedule:
+            assert duration < 36_000  # hours, not months, in the oven
+
+
+class TestSection8:
+    def test_table1_rows_complete(self):
+        result = table1.run()
+        criteria = [row[0] for row in result.rows()]
+        assert criteria == [
+            "reliability", "performance", "power",
+            "public data integrity", "repeated reads", "capacity",
+        ]
+
+    def test_throughput_driver(self):
+        result = throughput.run()
+        assert result.encode_speedup > 10
+        assert result.decode_speedup > 10
+        assert result.measured_vthi_encode_s_per_page < (
+            result.measured_pthi_decode_s_per_page
+        )
+
+    def test_energy_driver(self):
+        result = energy.run()
+        assert result.vthi_mj_per_page == pytest.approx(1.1, rel=0.05)
+        assert result.pthi_mj_per_page == pytest.approx(42.5, rel=0.05)
+
+    def test_wear_driver(self):
+        result = wear.run()
+        assert result.vthi_program_ops_per_page <= 10
+        assert result.pthi_block_pec_after_encode == 625
+
+    def test_reliability_flat_in_wear(self):
+        result = reliability.run(pec_levels=(0, 2000), n_chips=2, pages=2)
+        bers = list(result.ber_by_pec.values())
+        assert all(0 < b < 0.05 for b in bers)
+
+    def test_capacity_driver(self):
+        result = capacity.run()
+        assert result.capacity_gain > 1.5  # enhanced beats standard
+
+    def test_applicability_both_vendors_work(self):
+        result = applicability.run(pages=3)
+        assert 0 < result.vendor_a_ber < 0.05
+        assert 0 < result.vendor_b_ber < 0.05
+
+    def test_interference_ordering(self):
+        result = public_interference.run(blocks=6, pages_per_block=6)
+        assert result.penalty(0) > 0
+        # denser hiding disturbs public data at least as much
+        assert result.penalty(0) >= result.penalty(1) - 0.05

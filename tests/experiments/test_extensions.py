@@ -1,0 +1,35 @@
+"""Extension experiment drivers (MLC interval, report helpers)."""
+
+import pytest
+
+from repro.experiments import interval_capacity
+from repro.experiments.common import Table
+
+
+class TestIntervalCapacity:
+    def test_capacity_and_margins(self):
+        result = interval_capacity.run(bits_per_page=1024)
+        assert result.capacity_ratio >= 4.0
+        assert result.fresh_ber < 0.05
+        assert result.aged_ber >= result.fresh_ber
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        table = Table("T", ("a", "long-header"), [])
+        table.add(1, 2.5)
+        table.add("wide-cell", 0.000123)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long-header" in lines[2]
+        assert "0.000123" in text
+
+    def test_float_formatting(self):
+        table = Table("T", ("v",))
+        table.add(0.0)
+        table.add(1e-9)
+        table.add(123456.7)
+        text = table.render()
+        assert "0" in text
+        assert "1e-09" in text

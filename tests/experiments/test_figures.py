@@ -1,0 +1,68 @@
+"""ASCII figure rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distributions import voltage_histogram
+from repro.experiments.figures import (
+    render_histogram,
+    render_overlay,
+    render_series,
+)
+
+
+def hist(mean, std=5.0, n=5000, seed=0):
+    rng = np.random.default_rng(seed)
+    return voltage_histogram(
+        rng.normal(mean, std, n), bins=70, value_range=(0, 70)
+    )
+
+
+def test_render_histogram_has_axis_and_glyphs():
+    text = render_histogram(hist(30), title="erased")
+    assert "voltage" in text
+    assert "#" in text
+    assert text.count("\n") >= 10
+
+
+def test_overlay_uses_distinct_glyphs():
+    text = render_overlay({"a": hist(20), "b": hist(45, seed=1)})
+    assert "#=a" in text and "*=b" in text
+    assert "#" in text and "*" in text
+
+
+def test_overlay_peak_scaling():
+    """A shifted curve's glyphs appear in a different region."""
+    text = render_overlay({"low": hist(15), "high": hist(55, seed=2)},
+                          width=60)
+    rows = [line[1:] for line in text.splitlines() if line.startswith("|")]
+    low_columns = {
+        i for row in rows for i, c in enumerate(row) if c == "#"
+    }
+    high_columns = {
+        i for row in rows for i, c in enumerate(row) if c == "*"
+    }
+    assert max(low_columns) < 40
+    assert min(high_columns) > 25
+
+
+def test_overlay_validation():
+    with pytest.raises(ValueError):
+        render_overlay({})
+    with pytest.raises(ValueError):
+        render_overlay({"a": hist(30)}, height=1)
+
+
+def test_render_series_legend_and_span():
+    text = render_series(
+        [0, 1000, 2000, 3000],
+        {"hidden": [0.5, 0.5, 0.6, 0.9], "normal": [0.5, 0.5, 0.5, 0.6]},
+    )
+    assert "#=hidden" in text
+    assert "*=normal" in text
+    assert "3000" in text
+
+
+def test_render_series_validation():
+    with pytest.raises(ValueError):
+        render_series([1], {})

@@ -1,0 +1,73 @@
+"""Every experiment result honours the harness contract.
+
+The benchmark harness and the CLI rely on each ``run()`` returning an
+object with a renderable ``summary`` table, ``rows()`` and ``headers``.
+This contract test runs each driver once at its smallest scale.
+"""
+
+import pytest
+
+from repro.analysis import DatasetScale
+from repro.experiments import (
+    ablations,
+    applicability,
+    capacity,
+    energy,
+    fig2,
+    fig3,
+    fig5,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    interval_capacity,
+    mlc_extension,
+    public_interference,
+    reliability,
+    table1,
+    throughput,
+    wear,
+)
+
+TINY = DatasetScale(page_divisor=16, pages_per_block=4, blocks_per_class=4)
+
+CASES = [
+    ("fig2", lambda: fig2.run(n_samples=2, pages_per_block=2)),
+    ("fig3", lambda: fig3.run(pec_levels=(0, 3000), pages_per_block=2)),
+    ("fig5", lambda: fig5.run(bits=32)),
+    ("fig7", lambda: fig7.run(page_intervals=(1,), bit_counts=(32,),
+                              blocks_per_config=1)),
+    ("fig8", lambda: fig8.run(densities=(0, 64), blocks_per_density=1)),
+    ("fig9", lambda: fig9.run(n_chips=2)),
+    ("fig10", lambda: fig10.run(hidden_pecs=(0,), normal_pecs=(0,),
+                                scale=TINY)),
+    ("fig11", lambda: fig11.run(pec_levels=(0,), pages=2)),
+    ("table1", table1.run),
+    ("throughput", throughput.run),
+    ("energy", energy.run),
+    ("wear", wear.run),
+    ("reliability", lambda: reliability.run(pec_levels=(0,), n_chips=1,
+                                            pages=2)),
+    ("capacity", capacity.run),
+    ("applicability", lambda: applicability.run(pages=2)),
+    ("interference", lambda: public_interference.run(blocks=2,
+                                                     pages_per_block=4)),
+    ("mlc_extension", lambda: mlc_extension.run(bits=64)),
+    ("interval_capacity", lambda: interval_capacity.run(bits_per_page=256)),
+    ("ablations", ablations.run),
+]
+
+
+@pytest.mark.parametrize("name,runner", CASES, ids=[c[0] for c in CASES])
+def test_result_contract(name, runner):
+    result = runner()
+    assert result.rows(), f"{name} produced no rows"
+    assert result.headers, f"{name} has no headers"
+    rendered = result.summary.render()
+    assert result.summary.title in rendered
+    for header in result.headers:
+        assert str(header) in rendered
+    # every row fits the header width
+    for row in result.rows():
+        assert len(row) == len(result.headers)

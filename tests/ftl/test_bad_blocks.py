@@ -1,0 +1,113 @@
+"""Bad-block management: factory-marked and grown."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.ecc.page import PagePipeline
+from repro.ftl import Ftl
+from repro.nand import TEST_MODEL, FlashChip
+
+
+def make_chip(factory_bad=0, strict=False, endurance=None, seed=9):
+    params = TEST_MODEL.params
+    if endurance is not None:
+        params = dataclasses.replace(
+            params, wear=dataclasses.replace(params.wear,
+                                             endurance_pec=endurance)
+        )
+    return FlashChip(
+        TEST_MODEL.geometry, params, seed=seed,
+        strict_endurance=strict, factory_bad_blocks=factory_bad,
+    )
+
+
+class TestFactoryBadBlocks:
+    def test_marked_bad_from_birth(self):
+        chip = make_chip(factory_bad=3)
+        bad = [
+            b for b in range(chip.geometry.n_blocks) if chip.is_bad_block(b)
+        ]
+        assert len(bad) == 3
+        assert set(bad) == set(chip.factory_bad_blocks)
+
+    def test_deterministic_per_sample(self):
+        assert (
+            make_chip(factory_bad=3, seed=9).factory_bad_blocks
+            == make_chip(factory_bad=3, seed=9).factory_bad_blocks
+        )
+        assert (
+            make_chip(factory_bad=3, seed=9).factory_bad_blocks
+            != make_chip(factory_bad=3, seed=10).factory_bad_blocks
+        )
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            make_chip(factory_bad=-1)
+        with pytest.raises(ValueError):
+            make_chip(factory_bad=TEST_MODEL.geometry.n_blocks)
+
+    def test_ftl_skips_factory_bad_blocks(self):
+        chip = make_chip(factory_bad=4)
+        pipeline = PagePipeline(
+            chip.geometry.cells_per_page, ecc_m=13, ecc_t=8
+        )
+        ftl = Ftl(chip, pipeline, overprovision_blocks=3)
+        assert ftl.bad_blocks == set(chip.factory_bad_blocks)
+        expected_pages = (
+            (chip.geometry.n_blocks - 4 - 3) * chip.geometry.pages_per_block
+        )
+        assert ftl.logical_pages == expected_pages
+        # heavy traffic never touches a bad block
+        rng = np.random.default_rng(0)
+        for i in range(300):
+            ftl.write(int(rng.integers(0, 30)), b"data %d" % i)
+        for block in chip.factory_bad_blocks:
+            assert chip.block_pec(block) == 0
+
+    def test_too_many_bad_blocks_rejected(self):
+        chip = make_chip(factory_bad=TEST_MODEL.geometry.n_blocks - 2)
+        with pytest.raises(ValueError):
+            Ftl(chip, overprovision_blocks=2)
+
+
+class TestGrownBadBlocks:
+    def test_gc_retires_worn_out_blocks(self):
+        from repro.ftl import FtlError
+
+        chip = make_chip(strict=True, endurance=3)
+        pipeline = PagePipeline(
+            chip.geometry.cells_per_page, ecc_m=13, ecc_t=8
+        )
+        ftl = Ftl(chip, pipeline, overprovision_blocks=4)
+        rng = np.random.default_rng(1)
+        live = {}
+        for i in range(1400):
+            lpa = int(rng.integers(0, 30))
+            data = b"v%d" % i
+            try:
+                ftl.write(lpa, data)
+            except FtlError:
+                break  # clean end of life is acceptable under endurance 3
+            live[lpa] = data
+        assert ftl.stats.retired_blocks > 0
+        # retired blocks never come back as allocation targets
+        assert not (set(ftl._free_blocks) & ftl.bad_blocks)
+        # and no data was lost in the process
+        for lpa, data in live.items():
+            assert ftl.read(lpa)[: len(data)] == data
+
+    def test_end_of_life_raises_cleanly(self):
+        """A device worn to death reports FtlError, never crashes."""
+        from repro.ftl import FtlError
+
+        chip = make_chip(strict=True, endurance=1)
+        pipeline = PagePipeline(
+            chip.geometry.cells_per_page, ecc_m=13, ecc_t=8
+        )
+        ftl = Ftl(chip, pipeline, overprovision_blocks=4)
+        rng = np.random.default_rng(2)
+        with pytest.raises(FtlError):
+            for i in range(5000):
+                ftl.write(int(rng.integers(0, 30)), b"wear me out")

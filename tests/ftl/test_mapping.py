@@ -1,0 +1,90 @@
+"""Page map bookkeeping."""
+
+import pytest
+
+from repro.ftl import PageMap
+from repro.ftl.gc import greedy_victim
+from repro.ftl.wear_leveling import least_worn_free_block, wear_spread
+
+
+@pytest.fixture
+def page_map():
+    return PageMap(n_blocks=4, pages_per_block=4)
+
+
+class TestPageMap:
+    def test_bind_and_lookup(self, page_map):
+        page_map.bind(7, (1, 2))
+        assert page_map.lookup(7) == (1, 2)
+        assert page_map.owner((1, 2)) == 7
+        assert page_map.blocks[1].valid_pages == 1
+
+    def test_rebind_invalidates_old_location(self, page_map):
+        page_map.bind(7, (1, 2))
+        page_map.bind(7, (2, 0))
+        assert page_map.lookup(7) == (2, 0)
+        assert page_map.owner((1, 2)) is None
+        assert page_map.blocks[1].valid_pages == 0
+        assert page_map.blocks[2].valid_pages == 1
+
+    def test_unbind(self, page_map):
+        page_map.bind(3, (0, 0))
+        freed = page_map.unbind(3)
+        assert freed == (0, 0)
+        assert page_map.lookup(3) is None
+        assert page_map.unbind(3) is None
+
+    def test_write_pointer_advances_and_limits(self, page_map):
+        for expected in range(4):
+            assert page_map.advance_write_pointer(0) == expected
+        with pytest.raises(RuntimeError):
+            page_map.advance_write_pointer(0)
+
+    def test_reset_requires_no_valid_pages(self, page_map):
+        page_map.bind(1, (0, 0))
+        page_map.advance_write_pointer(0)
+        with pytest.raises(RuntimeError):
+            page_map.reset_block(0)
+        page_map.unbind(1)
+        page_map.reset_block(0)
+        assert page_map.blocks[0].write_pointer == 0
+
+    def test_valid_locations_in_block(self, page_map):
+        page_map.bind(1, (0, 0))
+        page_map.bind(2, (0, 1))
+        page_map.bind(3, (1, 0))
+        entries = dict(page_map.valid_locations_in(0))
+        assert entries == {(0, 0): 1, (0, 1): 2}
+        assert page_map.mapped_count == 3
+
+
+class TestGreedyVictim:
+    def test_prefers_fewest_valid(self, page_map):
+        for block in (0, 1):
+            for _ in range(4):
+                page_map.advance_write_pointer(block)
+        page_map.bind(1, (0, 0))
+        page_map.bind(2, (0, 1))
+        page_map.bind(3, (1, 0))
+        assert greedy_victim(page_map, [0, 1]) == 1
+
+    def test_skips_open_blocks(self, page_map):
+        page_map.advance_write_pointer(0)  # still open
+        assert greedy_victim(page_map, [0]) is None
+
+    def test_no_candidates(self, page_map):
+        assert greedy_victim(page_map, []) is None
+
+
+class TestWearLeveling:
+    def test_least_worn_selection(self):
+        pec = {0: 5, 1: 2, 2: 9}
+        assert least_worn_free_block([0, 1, 2], pec.get) == 1
+
+    def test_empty_free_list(self):
+        assert least_worn_free_block([], lambda b: 0) is None
+
+    def test_wear_spread(self):
+        pec = {0: 5, 1: 2, 2: 9}
+        assert wear_spread([0, 1, 2], pec.get) == 7
+        assert wear_spread([], pec.get) == 0

@@ -1,0 +1,65 @@
+"""Capacity planning."""
+
+import pytest
+
+from repro.hiding import (
+    STANDARD_CONFIG,
+    expected_charged_fraction,
+    naturally_charged_count,
+    plan_capacity,
+)
+from repro.nand import VENDOR_A
+
+
+def test_expected_charged_fraction_sane():
+    fraction = expected_charged_fraction(VENDOR_A.params, 34.0)
+    # §6.3: on 18048-byte pages, >=700 of ~72k erased cells sit above 34
+    per_page_erased = VENDOR_A.geometry.cells_per_page / 2
+    assert fraction * per_page_erased > 700
+    assert fraction < 0.1
+
+
+def test_charged_fraction_monotone_in_threshold():
+    low = expected_charged_fraction(VENDOR_A.params, 15.0)
+    high = expected_charged_fraction(VENDOR_A.params, 34.0)
+    assert low > high
+
+
+def test_naturally_charged_count_measured(chip, random_page):
+    public = random_page(0)
+    chip.program_page(0, 0, public)
+    count = naturally_charged_count(chip, 0, 0, 34.0)
+    erased_cells = int((public == 1).sum())
+    assert 0 < count < erased_cells * 0.1
+
+
+def test_plan_capacity_standard():
+    geometry = VENDOR_A.geometry
+    plan = plan_capacity(
+        VENDOR_A.params,
+        geometry.pages_per_block,
+        geometry.cells_per_page,
+        STANDARD_CONFIG,
+        raw_ber=0.009,
+    )
+    assert plan.within_detectability_bound  # 256 << natural cells
+    assert 0 < plan.data_bits_per_page < STANDARD_CONFIG.bits_per_page
+    assert plan.hidden_pages_per_block == 128  # 256 pages at interval 1
+    assert plan.data_bits_per_block == (
+        plan.data_bits_per_page * plan.hidden_pages_per_block
+    )
+    # §1: "about 0.02% of the bits" (order of magnitude)
+    assert 1e-4 < plan.fraction_of_device_bits < 5e-3
+
+
+def test_plan_flags_detectability_violation():
+    geometry = VENDOR_A.geometry
+    greedy = STANDARD_CONFIG.replace(bits_per_page=20_000, ecc_t=0)
+    plan = plan_capacity(
+        VENDOR_A.params,
+        geometry.pages_per_block,
+        geometry.cells_per_page,
+        greedy,
+        raw_ber=0.009,
+    )
+    assert not plan.within_detectability_bound

@@ -1,0 +1,112 @@
+"""Interval hiding (TLC-in-MLC, §6.2/§9.2)."""
+
+import numpy as np
+import pytest
+
+from repro.hiding.interval import IntervalHider, IntervalHidingConfig
+from repro.nand.mlc import MlcView, bits_to_levels
+from repro.rng import substream
+
+
+def mlc_pages(chip, seed=0):
+    rng = substream(seed, "interval-test")
+    n = chip.geometry.cells_per_page
+    return (
+        (rng.random(n) < 0.5).astype(np.uint8),
+        (rng.random(n) < 0.5).astype(np.uint8),
+    )
+
+
+def hidden_bits(n, seed=0):
+    return (substream(seed, "interval-hidden").random(n) < 0.5).astype(
+        np.uint8
+    )
+
+
+@pytest.fixture
+def hider(chip):
+    return IntervalHider(
+        MlcView(chip), IntervalHidingConfig(bits_per_page=1024)
+    )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntervalHidingConfig(bits_per_page=0)
+        with pytest.raises(ValueError):
+            IntervalHidingConfig(sublevel_separation=0)
+        with pytest.raises(ValueError):
+            IntervalHidingConfig(sublevel_std=-1)
+
+    def test_capacity_ratio(self, hider):
+        assert hider.capacity_ratio_vs_vthi(256) == pytest.approx(4.0)
+
+
+class TestRoundtrip:
+    def test_hidden_bits_recovered(self, chip, key, hider):
+        lower, upper = mlc_pages(chip)
+        hidden = hidden_bits(1024)
+        hider.program_with_hidden(0, 0, lower, upper, hidden, key)
+        back = hider.read_hidden(0, 0, key, 1024)
+        assert (back != hidden).mean() < 0.02
+
+    def test_public_mlc_data_untouched(self, chip, key, hider):
+        """Both sub-levels stay inside the public level's interval."""
+        lower, upper = mlc_pages(chip, seed=1)
+        hidden = hidden_bits(1024, seed=1)
+        hider.program_with_hidden(0, 0, lower, upper, hidden, key)
+        lower_back, upper_back = hider.mlc.read_page(0, 0)
+        ber = (
+            (lower_back != lower).mean() + (upper_back != upper).mean()
+        ) / 2
+        assert ber < 0.01  # within normal MLC raw error rates
+
+    def test_hides_in_programmed_levels_too(self, chip, key, hider):
+        """Unlike classic VT-HI, any public value hosts a hidden bit."""
+        lower, upper = mlc_pages(chip, seed=2)
+        hidden = hidden_bits(1024, seed=2)
+        cells = hider.program_with_hidden(0, 0, lower, upper, hidden, key)
+        levels = bits_to_levels(lower, upper)[cells]
+        assert set(np.unique(levels)) == {0, 1, 2, 3}
+        back = hider.read_hidden(0, 0, key, 1024)
+        for level in range(4):
+            mask = levels == level
+            assert (back[mask] != hidden[mask]).mean() < 0.05
+
+    def test_wrong_key_reads_noise(self, chip, key, hider):
+        from repro.crypto import HidingKey
+
+        lower, upper = mlc_pages(chip, seed=3)
+        hidden = hidden_bits(1024, seed=3)
+        hider.program_with_hidden(0, 0, lower, upper, hidden, key)
+        adversary = HidingKey.generate(b"who goes there")
+        back = hider.read_hidden(0, 0, key=adversary, n_bits=1024)
+        assert (back != hidden).mean() > 0.2
+
+    def test_bit_count_validated(self, chip, key, hider):
+        lower, upper = mlc_pages(chip, seed=4)
+        with pytest.raises(ValueError):
+            hider.program_with_hidden(
+                0, 0, lower, upper, hidden_bits(10), key
+            )
+
+
+class TestRetentionLimits:
+    def test_sublevels_leak_into_each_other_when_worn(self, chip, key):
+        """The margin is tiny; worn cells' leakage erodes it first —
+        interval hiding is the capacity/retention trade-off extreme."""
+        from repro.units import MONTH
+
+        hider = IntervalHider(
+            MlcView(chip), IntervalHidingConfig(bits_per_page=1024)
+        )
+        chip.age_block(0, 2500)
+        lower, upper = mlc_pages(chip, seed=5)
+        hidden = hidden_bits(1024, seed=5)
+        hider.program_with_hidden(0, 0, lower, upper, hidden, key)
+        fresh = (hider.read_hidden(0, 0, key, 1024) != hidden).mean()
+        chip.advance_time(4 * MONTH)
+        aged = (hider.read_hidden(0, 0, key, 1024) != hidden).mean()
+        assert aged > fresh
+        assert aged > 0.02  # clearly worse than classic VT-HI's retention

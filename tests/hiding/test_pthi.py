@@ -1,0 +1,133 @@
+"""PT-HI baseline."""
+
+import numpy as np
+import pytest
+
+from repro.hiding import PtHi, PtHiConfig
+from repro.rng import substream
+
+
+def bits(n, index=0):
+    rng = substream(77, "pthi-test", index)
+    return (rng.random(n) < 0.5).astype(np.uint8)
+
+
+SMALL = PtHiConfig(bits_per_page=64, group_size=32)
+
+
+class TestConfig:
+    def test_paper_optimum_defaults(self):
+        cfg = PtHiConfig()
+        assert cfg.stress_cycles == 625
+        assert cfg.page_interval == 3  # "4-page interval"
+        assert cfg.decode_steps == 30
+        assert cfg.bits_per_page == 1125  # 72Kb over 64 pages
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PtHiConfig(group_size=3)
+        with pytest.raises(ValueError):
+            PtHiConfig(group_size=0)
+        with pytest.raises(ValueError):
+            PtHiConfig(stress_cycles=0)
+        with pytest.raises(ValueError):
+            PtHiConfig(decode_steps=1)
+
+    def test_capacity(self, chip):
+        pthi = PtHi(chip, PtHiConfig(bits_per_page=100, page_interval=3))
+        pages = len(pthi.hidden_pages(0))
+        assert pthi.block_capacity_bits() == 100 * pages
+
+
+class TestRoundtrip:
+    def test_fresh_chip_decodes_perfectly(self, chip, key):
+        pthi = PtHi(chip, SMALL)
+        payload = bits(64)
+        pthi.encode_block(0, {0: payload}, key)
+        decoded = pthi.decode_page(0, 0, 64, key)
+        assert np.array_equal(decoded, payload)
+
+    def test_encode_costs_625x_wear(self, chip, key):
+        pthi = PtHi(chip, PtHiConfig(bits_per_page=32, group_size=16))
+        pthi.encode_block(0, {0: bits(32)}, key)
+        assert chip.block_pec(0) == 625
+
+    def test_decode_requires_erased_page(self, chip, key, random_page):
+        pthi = PtHi(chip, SMALL)
+        pthi.encode_block(0, {0: bits(64)}, key)
+        chip.program_page(0, 0, random_page(0))
+        with pytest.raises(ValueError):
+            pthi.decode_page(0, 0, 64, key)
+
+    def test_decode_is_destructive(self, chip, key):
+        """After decoding, the page's cells are partially charged — the
+        public data that was there is gone (§2)."""
+        pthi = PtHi(chip, SMALL)
+        pthi.encode_block(0, {0: bits(64)}, key)
+        pthi.decode_page(0, 0, 64, key)
+        voltages = chip.probe_voltages(0, 0).astype(float)
+        assert voltages.max() > 100  # cells driven toward programmed levels
+
+    def test_wrong_key_decodes_noise(self, chip, key):
+        from repro.crypto import HidingKey
+
+        pthi = PtHi(chip, SMALL)
+        payload = bits(64)
+        pthi.encode_block(0, {0: payload}, key)
+        adversary = HidingKey.generate(b"adv")
+        decoded = pthi.decode_page(0, 0, 64, adversary)
+        assert (decoded != payload).mean() > 0.2
+
+    def test_multi_page_encode(self, chip, key):
+        pthi = PtHi(chip, PtHiConfig(bits_per_page=32, group_size=16,
+                                     page_interval=1))
+        payloads = {0: bits(32, 1), 2: bits(32, 2)}
+        pthi.encode_block(0, payloads, key)
+        assert chip.block_pec(0) == 625  # shared cycles, not per page
+        for page, payload in payloads.items():
+            decoded = pthi.decode_page(0, page, 32, key)
+            assert np.array_equal(decoded, payload)
+
+    def test_too_many_bits_rejected(self, chip, key):
+        pthi = PtHi(chip, PtHiConfig(bits_per_page=10_000, group_size=64))
+        with pytest.raises(ValueError):
+            pthi.encode_block(0, {0: bits(10_000)}, key)
+
+
+class TestWearSensitivity:
+    def test_ber_grows_with_public_wear(self, chip_factory, key):
+        """§2: PT-HI "significantly increases after only a few hundred
+        public data Program/Erase Cycles"."""
+        bers = {}
+        for pec_after in (0, 2000):
+            chip = chip_factory(seed=50 + pec_after)
+            pthi = PtHi(chip, SMALL)
+            payload = bits(64, pec_after)
+            pthi.encode_block(0, {0: payload}, key)
+            if pec_after:
+                chip.age_block(0, chip.block_pec(0) + pec_after)
+            decoded = pthi.decode_page(0, 0, 64, key)
+            bers[pec_after] = (decoded != payload).mean()
+        assert bers[0] < 0.02
+        assert bers[2000] > 0.1
+
+
+class TestPayloadFraming:
+    def test_hide_recover_roundtrip(self, chip, key):
+        pthi = PtHi(chip, SMALL)
+        secret = b"stress-coded"[: pthi.max_data_bytes_per_page]
+        pthi.hide(0, 0, secret, key)
+        assert pthi.recover(0, 0, key, len(secret)) == secret
+
+    def test_capacity_accounts_for_parity(self, chip):
+        pthi = PtHi(chip, SMALL)
+        assert pthi.max_data_bytes_per_page * 8 < SMALL.bits_per_page
+
+    def test_recover_is_destructive(self, chip, key):
+        """After recover, the page cannot serve public data."""
+        pthi = PtHi(chip, SMALL)
+        secret = b"x" * pthi.max_data_bytes_per_page
+        pthi.hide(0, 0, secret, key)
+        pthi.recover(0, 0, key, len(secret))
+        voltages = chip.probe_voltages(0, 0).astype(float)
+        assert voltages.max() > 100

@@ -1,0 +1,117 @@
+"""RAID-like hidden-data striping (§8 Reliability)."""
+
+import numpy as np
+import pytest
+
+from repro.hiding import (
+    PayloadError,
+    ProtectedGroup,
+    STANDARD_CONFIG,
+    VtHi,
+)
+
+CFG = STANDARD_CONFIG.replace(bits_per_page=512, ecc_m=10, ecc_t=18)
+
+
+@pytest.fixture
+def group(chip, key, random_page):
+    vthi = VtHi(chip, CFG)
+    publics = []
+    for page in range(4):
+        bits = random_page(page)
+        chip.program_page(0, page, bits)
+        publics.append(bits)
+    return ProtectedGroup(vthi, key), publics
+
+
+def stripe_payload(group, n_hosts=3, seed=0):
+    rng = np.random.default_rng(seed)
+    size = group.capacity_bytes(n_hosts)
+    return bytes(rng.integers(0, 256, size).astype(np.uint8))
+
+
+class TestStripe:
+    def test_roundtrip_clean(self, group):
+        protected, publics = group
+        payload = stripe_payload(protected)
+        layout = protected.write(
+            payload, [(0, 0), (0, 1), (0, 2)], (0, 3),
+            public_pages=publics,
+        )
+        assert protected.read(layout, len(payload),
+                              public_pages=publics) == payload
+
+    def test_short_payload_padded(self, group):
+        protected, publics = group
+        layout = protected.write(
+            b"short", [(0, 0), (0, 1), (0, 2)], (0, 3),
+            public_pages=publics,
+        )
+        assert protected.read(layout, 5, public_pages=publics) == b"short"
+
+    def test_survives_one_lost_host(self, group, chip, key, random_page):
+        protected, publics = group
+        payload = stripe_payload(protected, seed=1)
+        layout = protected.write(
+            payload, [(0, 0), (0, 1), (0, 2)], (0, 3),
+            public_pages=publics,
+        )
+        # disaster: the block holding chunk 1 is reused for new public
+        # data — hidden charge gone
+        chip.erase_block(0)
+        chip.program_page(0, 1, random_page(99))
+        survivors = [publics[0], random_page(99), publics[2], publics[3]]
+        # pages 0, 2, 3 are gone entirely (unprogrammed)...
+        # rebuild the realistic scenario instead: re-embed on block 1
+        publics2 = []
+        for page in range(4):
+            bits = random_page(10 + page)
+            chip.program_page(1, page, bits)
+            publics2.append(bits)
+        layout2 = protected.write(
+            payload, [(1, 0), (1, 1), (1, 2)], (1, 3),
+            public_pages=publics2,
+        )
+        # lose exactly one data host: overwrite its hidden band by erasing
+        # the page's block is too coarse here, so simulate loss by
+        # corrupting the page's hidden cells via stress of its voltages:
+        chip._block(1).voltages[1] = 0.0
+        chip._block(1).page_programmed[1] = False
+        got = protected.read(layout2, len(payload), public_pages=publics2)
+        assert got == payload
+
+    def test_two_losses_fail_loudly(self, group, chip, random_page):
+        protected, publics = group
+        payload = stripe_payload(protected, seed=2)
+        publics2 = []
+        for page in range(4):
+            bits = random_page(20 + page)
+            chip.program_page(1, page, bits)
+            publics2.append(bits)
+        layout = protected.write(
+            payload, [(1, 0), (1, 1), (1, 2)], (1, 3),
+            public_pages=publics2,
+        )
+        state = chip._block(1)
+        state.page_programmed[0] = False
+        state.page_programmed[3] = False  # parity also gone
+        with pytest.raises(PayloadError):
+            protected.read(layout, len(payload), public_pages=publics2)
+
+    def test_duplicate_hosts_rejected(self, group):
+        protected, publics = group
+        with pytest.raises(ValueError):
+            protected.write(b"x", [(0, 0), (0, 0)], (0, 1))
+
+    def test_oversized_payload_rejected(self, group):
+        protected, publics = group
+        too_big = b"x" * (protected.capacity_bytes(2) + 1)
+        with pytest.raises(PayloadError):
+            protected.write(too_big, [(0, 0), (0, 1)], (0, 2),
+                            public_pages=publics[:3])
+
+    def test_capacity_arithmetic(self, group):
+        protected, _ = group
+        assert protected.capacity_bytes(3) == 3 * protected.chunk_bytes
+        with pytest.raises(ValueError):
+            protected.capacity_bytes(0)

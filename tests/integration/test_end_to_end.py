@@ -1,0 +1,125 @@
+"""Integration: the paper's whole story on one device.
+
+A hiding user stores secrets inside a normal user's data, the device lives
+through public churn, months pass, the volume remounts from the key alone,
+and an adversary with full voltage access and the exact configuration
+cannot find anything.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crypto import HidingKey
+from repro.ecc.page import PagePipeline
+from repro.ftl import Ftl
+from repro.hiding import STANDARD_CONFIG, VtHi
+from repro.ml import histogram_features
+from repro.nand import TEST_MODEL, FlashChip
+from repro.stego import HiddenVolume, RefreshPolicy, refresh_volume
+from repro.units import MONTH
+
+VOLUME_CFG = STANDARD_CONFIG.replace(bits_per_page=512, ecc_m=10, ecc_t=18)
+
+
+@pytest.fixture(scope="module")
+def device():
+    chip = FlashChip(TEST_MODEL.geometry, TEST_MODEL.params, seed=777)
+    pipeline = PagePipeline(chip.geometry.cells_per_page, ecc_m=13, ecc_t=8)
+    ftl = Ftl(chip, pipeline, overprovision_blocks=4)
+    key = HidingKey.from_passphrase("hunter2 but better", iterations=100)
+    vthi = VtHi(chip, VOLUME_CFG, public_codec=pipeline)
+    volume = HiddenVolume(ftl, vthi, key)
+    return chip, ftl, volume, key
+
+
+def test_full_lifecycle(device):
+    chip, ftl, volume, key = device
+    rng = np.random.default_rng(0)
+
+    # The NU fills the public volume with (scrambled, ECC'd) data.
+    public = {}
+    for lpa in range(70):
+        data = bytes(rng.integers(0, 256, 300).astype(np.uint8))
+        ftl.write(lpa, data)
+        public[lpa] = data
+
+    # The HU stores secrets.
+    secrets = {
+        0: b"the safehouse is on Via Roma 7",
+        1: b"account 8839-22, password tr0ub4dor",
+        2: bytes(rng.integers(0, 256, volume.slot_data_bytes).astype(np.uint8)),
+    }
+    for lba, data in secrets.items():
+        volume.write(lba, data[: volume.slot_data_bytes])
+
+    # Ordinary life: the NU overwrites public data; GC shuffles pages.
+    for i in range(200):
+        lpa = int(rng.integers(0, 70))
+        data = bytes(rng.integers(0, 256, 250).astype(np.uint8))
+        ftl.write(lpa, data)
+        public[lpa] = data
+
+    # Months pass; the HU refreshes per §8's recommendation.
+    chip.advance_time(3 * MONTH)
+    refresh_volume(volume, RefreshPolicy(max_age_s=2 * MONTH, min_pec=0))
+
+    # The NU's data is intact (the NU needs no keys, §5.1).
+    for lpa, data in public.items():
+        assert ftl.read(lpa)[: len(data)] == data
+
+    # A remount from the key alone finds every secret.
+    assert volume.mount() == len(secrets)
+    for lba, data in secrets.items():
+        assert volume.read(lba) == data[: volume.slot_data_bytes]
+
+
+def test_adversary_with_probe_access_sees_nothing_obvious(device):
+    """A distribution-level check: the device's voltage histogram stays
+    inside the normal envelope (the full SVM attack is exercised in the
+    fig10 experiment/benchmark)."""
+    chip, ftl, volume, key = device
+    reference = FlashChip(TEST_MODEL.geometry, TEST_MODEL.params, seed=778)
+    rng = np.random.default_rng(1)
+    # probe a block known to hold hidden slots
+    hosts = {loc[0] for loc in volume._hosts}
+    assert hosts
+    block = hosts.pop()
+    voltages = np.concatenate([
+        chip.probe_voltages(block, p)
+        for p in range(chip.geometry.pages_per_block)
+        if chip.is_page_programmed(block, p)
+    ])
+    # all cells stay inside the public envelope
+    assert ((voltages < 80) | (voltages > 110)).all()
+    features = histogram_features(voltages)
+    assert features.sum() == pytest.approx(1.0)
+
+
+def test_adversary_with_wrong_key_mounts_nothing(device):
+    chip, ftl, volume, key = device
+    wrong_vthi = VtHi(
+        chip, VOLUME_CFG, public_codec=volume.vthi.public_codec
+    )
+    impostor = HiddenVolume(
+        ftl, wrong_vthi, HidingKey.generate(b"confiscated-device")
+    )
+    assert impostor.mount() == 0
+
+
+def test_panic_erase_is_instant_and_total(device):
+    """§9.1/§1: erasing the public block destroys the hidden payload in one
+    block-erase latency."""
+    chip = FlashChip(TEST_MODEL.geometry, TEST_MODEL.params, seed=900)
+    key = HidingKey.generate(b"panic")
+    vthi = VtHi(chip, VOLUME_CFG)
+    rng = np.random.default_rng(2)
+    public = (rng.random(chip.geometry.cells_per_page) < 0.5).astype(np.uint8)
+    secret = b"burn after reading"[: vthi.max_data_bytes_per_page]
+    vthi.hide(0, 0, public, secret, key)
+    before = chip.counters.copy()
+    vthi.erase_hidden(0)
+    delta = chip.counters.diff(before)
+    assert delta.erases == 1
+    assert delta.busy_time_s == pytest.approx(chip.params.costs.t_erase)
+    voltages = chip.probe_voltages(0, 0).astype(float)
+    assert (voltages < 10).all()  # nothing left above any threshold

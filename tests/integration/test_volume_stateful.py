@@ -1,0 +1,95 @@
+"""Property-based stateful testing of the hidden volume.
+
+Hypothesis drives random interleavings of hidden writes/overwrites/deletes
+and public churn against a dictionary model; after every step the volume
+must agree with the model, and a remount must rebuild the same state.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.crypto import HidingKey
+from repro.ecc.page import PagePipeline
+from repro.ftl import Ftl
+from repro.hiding import STANDARD_CONFIG, VtHi
+from repro.nand import TEST_MODEL, FlashChip
+from repro.stego import HiddenVolume, HiddenVolumeError
+
+CFG = STANDARD_CONFIG.replace(bits_per_page=512, ecc_m=10, ecc_t=18)
+
+
+class HiddenVolumeMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        chip = FlashChip(TEST_MODEL.geometry, TEST_MODEL.params, seed=4242)
+        pipeline = PagePipeline(
+            chip.geometry.cells_per_page, ecc_m=13, ecc_t=8
+        )
+        self.ftl = Ftl(chip, pipeline, overprovision_blocks=4)
+        self.key = HidingKey.generate(b"stateful")
+        vthi = VtHi(chip, CFG, public_codec=pipeline)
+        self.volume = HiddenVolume(self.ftl, vthi, self.key)
+        self.model = {}
+        self.rng = np.random.default_rng(0)
+        self.public_lpa = 0
+        # seed enough public data for hosts
+        for _ in range(20):
+            self._public_write()
+
+    def _public_write(self):
+        data = bytes(self.rng.integers(0, 256, 120).astype(np.uint8))
+        self.ftl.write(self.public_lpa % 40, data)
+        self.public_lpa += 1
+
+    @rule(lba=st.integers(min_value=0, max_value=5),
+          size=st.integers(min_value=1, max_value=20))
+    def hidden_write(self, lba, size):
+        data = bytes(self.rng.integers(0, 256, size).astype(np.uint8))
+        try:
+            self.volume.write(lba, data)
+        except HiddenVolumeError:
+            return  # out of hosts: allowed, state unchanged
+        self.model[lba] = data
+
+    @rule(lba=st.integers(min_value=0, max_value=5))
+    def hidden_delete(self, lba):
+        try:
+            self.volume.delete(lba)
+        except HiddenVolumeError:
+            return
+        self.model.pop(lba, None)
+
+    @rule(n=st.integers(min_value=1, max_value=4))
+    def public_churn(self, n):
+        for _ in range(n):
+            self._public_write()
+
+    @rule()
+    def remount(self):
+        found = self.volume.mount()
+        assert found == len(self.model)
+
+    @invariant()
+    def reads_match_model(self):
+        for lba in range(6):
+            expected = self.model.get(lba)
+            got = self.volume.read(lba)
+            assert got == expected, (lba, expected, got)
+
+
+TestHiddenVolumeStateful = pytest.mark.filterwarnings(
+    "ignore::hypothesis.errors.NonInteractiveExampleWarning"
+)(
+    settings(
+        max_examples=12, stateful_step_count=12, deadline=None
+    )(HiddenVolumeMachine).TestCase
+)

@@ -1,0 +1,148 @@
+"""Kernels, scaler, metrics, model selection, features."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    SVC,
+    StandardScaler,
+    accuracy_score,
+    confusion_matrix,
+    cross_val_score,
+    erased_region_histogram,
+    grid_search_svm,
+    histogram_features,
+    linear_kernel,
+    rbf_kernel,
+    scale_gamma,
+    stratified_kfold_indices,
+    summary_features,
+)
+
+
+class TestKernels:
+    def test_linear_is_inner_product(self):
+        a = np.array([[1.0, 2.0]])
+        b = np.array([[3.0, 4.0], [0.0, 1.0]])
+        assert np.allclose(linear_kernel(a, b), [[11.0, 2.0]])
+
+    def test_rbf_diagonal_is_one(self):
+        x = np.random.default_rng(0).normal(0, 1, (10, 3))
+        gram = rbf_kernel(x, x, gamma=0.5)
+        assert np.allclose(np.diag(gram), 1.0)
+        assert (gram <= 1.0 + 1e-12).all() and (gram > 0).all()
+
+    def test_rbf_decays_with_distance(self):
+        a = np.array([[0.0]])
+        near = np.array([[0.1]])
+        far = np.array([[3.0]])
+        assert rbf_kernel(a, near, 1.0) > rbf_kernel(a, far, 1.0)
+
+    def test_rbf_gamma_validation(self):
+        with pytest.raises(ValueError):
+            rbf_kernel(np.zeros((1, 1)), np.zeros((1, 1)), 0.0)
+
+    def test_scale_gamma_degenerate(self):
+        assert scale_gamma(np.zeros((5, 3))) == 1.0
+
+
+class TestScaler:
+    def test_fit_transform_standardises(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5.0, 3.0, (500, 4))
+        z = StandardScaler().fit_transform(x)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_does_not_blow_up(self):
+        x = np.ones((10, 2))
+        z = StandardScaler().fit_transform(x)
+        assert np.isfinite(z).all()
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((1, 1)))
+
+    def test_transform_uses_training_statistics(self):
+        scaler = StandardScaler().fit(np.array([[0.0], [2.0]]))
+        assert np.allclose(scaler.transform(np.array([[1.0]])), [[0.0]])
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy_score([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert np.array_equal(matrix, [[1, 1], [0, 2]])
+
+
+class TestModelSelection:
+    def test_stratified_folds_balance_classes(self):
+        y = np.array([0] * 9 + [1] * 9)
+        for train, test in stratified_kfold_indices(y, 3):
+            assert (y[test] == 0).sum() == 3
+            assert (y[test] == 1).sum() == 3
+            assert len(np.intersect1d(train, test)) == 0
+
+    def test_folds_partition_everything(self):
+        y = np.array([0, 1] * 10)
+        seen = np.concatenate(
+            [test for _, test in stratified_kfold_indices(y, 4)]
+        )
+        assert sorted(seen) == list(range(20))
+
+    def test_kfold_validation(self):
+        with pytest.raises(ValueError):
+            list(stratified_kfold_indices(np.array([0, 1]), 1))
+
+    def test_cross_val_score_on_separable_data(self):
+        rng = np.random.default_rng(0)
+        x = np.vstack([rng.normal(0, 1, (30, 3)), rng.normal(4, 1, (30, 3))])
+        y = np.array([0] * 30 + [1] * 30)
+        scores = cross_val_score(lambda: SVC(), x, y)
+        assert scores.shape == (3,)
+        assert scores.mean() > 0.9
+
+    def test_grid_search_returns_best(self):
+        rng = np.random.default_rng(1)
+        x = np.vstack([rng.normal(0, 1, (20, 2)), rng.normal(3, 1, (20, 2))])
+        y = np.array([0] * 20 + [1] * 20)
+        result = grid_search_svm(x, y, grid={"C": [1.0], "gamma": ["scale"]})
+        assert result.best_params == {"C": 1.0, "gamma": "scale"}
+        assert result.best_score == max(s for _, s in result.all_results)
+
+
+class TestFeatures:
+    def test_histogram_features_normalised(self):
+        voltages = np.random.default_rng(0).integers(0, 256, 10_000)
+        features = histogram_features(voltages, bins=64)
+        assert features.shape == (64,)
+        assert features.sum() == pytest.approx(1.0)
+
+    def test_histogram_empty_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_features(np.array([]))
+
+    def test_summary_features(self):
+        voltages = np.array([10.0, 20.0, 30.0])
+        features = summary_features(voltages, ber=1e-5)
+        assert features[0] == pytest.approx(20.0)
+        assert features[2] == pytest.approx(1e-5)
+        assert summary_features(voltages).shape == (2,)
+
+    def test_erased_region_histogram_masks_programmed(self):
+        voltages = np.array([10, 200, 30, 180])
+        bits = np.array([1, 0, 1, 0])
+        features = erased_region_histogram(voltages, bits, bins=7)
+        assert features.sum() == pytest.approx(1.0)
+
+    def test_erased_region_requires_alignment(self):
+        with pytest.raises(ValueError):
+            erased_region_histogram(np.zeros(4), np.zeros(3))
+        with pytest.raises(ValueError):
+            erased_region_histogram(np.zeros(4), np.zeros(4))  # no '1' cells

@@ -1,0 +1,92 @@
+"""SVM (SMO) classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml import SVC, StandardScaler
+
+
+def blobs(separation, n=50, d=4, seed=0):
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(0.0, 1.0, (n, d))
+    x1 = rng.normal(separation, 1.0, (n, d))
+    x = np.vstack([x0, x1])
+    y = np.array([0] * n + [1] * n)
+    return x, y
+
+
+class TestFit:
+    def test_separable_blobs_learned(self):
+        x, y = blobs(3.0)
+        model = SVC().fit(x, y)
+        assert model.score(x, y) > 0.95
+
+    def test_linear_kernel(self):
+        x, y = blobs(3.0)
+        model = SVC(kernel="linear").fit(x, y)
+        assert model.score(x, y) > 0.95
+
+    def test_xor_needs_rbf(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, (200, 2))
+        y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(int)
+        rbf = SVC(C=10.0, gamma=1.0).fit(x, y)
+        linear = SVC(kernel="linear").fit(x, y)
+        assert rbf.score(x, y) > 0.9
+        assert linear.score(x, y) < 0.7
+
+    def test_pure_noise_generalises_to_chance(self):
+        rng = np.random.default_rng(2)
+        x_train = rng.normal(0, 1, (100, 4))
+        y_train = np.array([0, 1] * 50)
+        x_test = rng.normal(0, 1, (200, 4))
+        y_test = np.array([0, 1] * 100)
+        model = SVC().fit(x_train, y_train)
+        assert abs(model.score(x_test, y_test) - 0.5) < 0.12
+
+    def test_deterministic_given_seed(self):
+        x, y = blobs(1.0)
+        a = SVC(seed=3).fit(x, y).decision_function(x)
+        b = SVC(seed=3).fit(x, y).decision_function(x)
+        assert np.array_equal(a, b)
+
+    def test_preserves_arbitrary_labels(self):
+        x, y = blobs(3.0)
+        labels = np.where(y == 0, 7, 9)
+        model = SVC().fit(x, labels)
+        assert set(model.predict(x)) <= {7, 9}
+
+
+class TestValidation:
+    def test_needs_two_classes(self):
+        x = np.zeros((4, 2))
+        with pytest.raises(ValueError):
+            SVC().fit(x, np.zeros(4))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            SVC().fit(np.zeros((4, 2)), np.zeros(5))
+
+    def test_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            SVC(C=0.0)
+        with pytest.raises(ValueError):
+            SVC(kernel="poly")
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            SVC().predict(np.zeros((1, 2)))
+
+
+class TestDecisionFunction:
+    def test_sign_matches_prediction(self):
+        x, y = blobs(2.0)
+        model = SVC().fit(x, y)
+        scores = model.decision_function(x)
+        predictions = model.predict(x)
+        assert np.array_equal(predictions == 1, scores >= 0)
+
+    def test_support_vectors_exist(self):
+        x, y = blobs(1.0)
+        model = SVC().fit(x, y)
+        assert 0 < model.n_support <= x.shape[0]

@@ -1,0 +1,67 @@
+"""Arrhenius bake emulation."""
+
+import pytest
+
+from repro.nand import TEST_MODEL, FlashChip
+from repro.nand.bake import (
+    acceleration_factor,
+    bake,
+    bake_duration_for,
+)
+from repro.units import DAY
+
+
+def test_acceleration_is_large_at_bake_temps():
+    factor = acceleration_factor(125.0)
+    # 125C vs 25C with Ea=1.1eV accelerates by several orders of magnitude
+    assert factor > 1e3
+
+
+def test_acceleration_monotone_in_temperature():
+    assert acceleration_factor(150.0) > acceleration_factor(100.0)
+
+
+def test_bake_requires_hotter_than_use():
+    with pytest.raises(ValueError):
+        acceleration_factor(25.0)
+    with pytest.raises(ValueError):
+        acceleration_factor(20.0, use_temp_c=25.0)
+
+
+def test_bake_advances_chip_clock():
+    chip = FlashChip(TEST_MODEL.geometry, TEST_MODEL.params, seed=0)
+    equivalent = bake(chip, 125.0, 3600.0)
+    assert chip.clock == pytest.approx(equivalent)
+    assert equivalent > 3600.0
+
+
+def test_bake_rejects_negative_duration():
+    chip = FlashChip(TEST_MODEL.geometry, TEST_MODEL.params, seed=0)
+    with pytest.raises(ValueError):
+        bake(chip, 125.0, -1.0)
+
+
+def test_bake_duration_inverts_acceleration():
+    target = 120 * DAY  # the paper's 4-month period
+    duration = bake_duration_for(target, 125.0)
+    factor = acceleration_factor(125.0)
+    assert duration * factor == pytest.approx(target)
+    # a 4-month emulation should take far less than a day in the oven
+    assert duration < DAY
+
+
+def test_bake_equivalence_to_plain_time():
+    """Baking for d at T equals advancing the clock by d * AF."""
+    chip_a = FlashChip(TEST_MODEL.geometry, TEST_MODEL.params, seed=5)
+    chip_b = FlashChip(TEST_MODEL.geometry, TEST_MODEL.params, seed=5)
+    import numpy as np
+    bits = (np.random.default_rng(0).random(
+        chip_a.geometry.cells_per_page) < 0.5).astype(np.uint8)
+    for chip in (chip_a, chip_b):
+        chip.age_block(0, 2000)
+        chip.program_page(0, 0, bits)
+    equivalent = bake(chip_a, 125.0, 10.0)
+    chip_b.advance_time(equivalent)
+    assert np.array_equal(
+        chip_a.probe_voltages(0, 0), chip_b.probe_voltages(0, 0)
+    )

@@ -1,0 +1,105 @@
+"""Calibration pins: the simulator reproduces the paper's measured facts.
+
+These tests anchor the voltage model to the quantities the paper reports
+(DESIGN.md §5).  They run on full-size pages (BENCH_MODEL) because several
+quantities — the >=700 naturally-charged cells per page, public BER at
+3e-5 — only make sense at the real page size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nand import BENCH_MODEL, FlashChip, NandTester
+
+
+@pytest.fixture(scope="module")
+def programmed_block():
+    chip = FlashChip(BENCH_MODEL.geometry, BENCH_MODEL.params, seed=90)
+    tester = NandTester([chip])
+    data = tester.program_random_block(0, 0, seed=4)
+    voltages = tester.probe_block(0, 0)
+    return chip, tester, data, voltages
+
+
+def test_erased_cells_concentrated_below_70(programmed_block):
+    _, _, data, voltages = programmed_block
+    erased = voltages[data == 1].astype(float)
+    # §4: "99.99% of cells are concentrated between levels [0, 70]".
+    assert (erased <= 70).mean() >= 0.9998
+
+
+def test_programmed_cells_concentrated_in_120_210(programmed_block):
+    _, _, data, voltages = programmed_block
+    programmed = voltages[data == 0].astype(float)
+    assert ((programmed >= 120) & (programmed <= 210)).mean() >= 0.9995
+
+
+def test_public_slc_threshold_sits_in_the_gap(programmed_block):
+    _, _, data, voltages = programmed_block
+    erased = voltages[data == 1].astype(float)
+    programmed = voltages[data == 0].astype(float)
+    assert (erased < 127).mean() > 0.999999 or (erased < 127).all()
+    assert (programmed >= 127).mean() > 0.999
+
+
+def test_naturally_charged_cells_per_page(programmed_block):
+    """§6.3: at least ~700 erased cells per page sit above level 34."""
+    _, _, data, voltages = programmed_block
+    counts = [
+        int(((voltages[p] > 34) & (data[p] == 1)).sum())
+        for p in range(data.shape[0])
+    ]
+    assert min(counts) >= 500  # the paper's floor, with sim tolerance
+    assert np.mean(counts) >= 700
+
+
+def test_public_ber_order_of_magnitude(programmed_block):
+    chip, tester, data, _ = programmed_block
+    ber = tester.measure_ber(0, 0, data)
+    # §6.3 implies a baseline public BER around 3e-5.
+    assert 2e-6 < ber < 3e-4
+
+
+def test_wear_shifts_distributions_right():
+    chip = FlashChip(BENCH_MODEL.geometry, BENCH_MODEL.params, seed=91)
+    tester = NandTester([chip])
+    means = []
+    for pec in (0, 1500, 3000):
+        tester.cycle_to_pec(0, 1, pec)
+        data = tester.program_random_block(0, 1, seed=5)
+        voltages = tester.probe_block(0, 1)
+        means.append(voltages[data == 1].astype(float).mean())
+    assert means[0] < means[1] < means[2]
+
+
+def test_block_to_block_variation_exists():
+    chip = FlashChip(BENCH_MODEL.geometry, BENCH_MODEL.params, seed=92)
+    tester = NandTester([chip])
+    means = []
+    for block in range(4):
+        data = tester.program_random_block(0, block, seed=6)
+        voltages = tester.probe_block(0, block)
+        means.append(voltages[data == 0].astype(float).mean())
+        chip.release_block(block)
+    assert np.std(means) > 0.3  # noticeable manufacturing variation
+
+
+def test_chip_to_chip_variation_exists():
+    tester = NandTester.for_samples(BENCH_MODEL, 3, base_seed=300)
+    means = []
+    for index in range(3):
+        data = tester.program_random_block(index, 0, seed=7)
+        voltages = tester.probe_block(index, 0)
+        means.append(voltages[data == 0].astype(float).mean())
+    assert np.std(means) > 0.3
+
+
+def test_op_costs_match_section_6_1():
+    costs = BENCH_MODEL.params.costs
+    assert costs.t_read == pytest.approx(90e-6)
+    assert costs.t_program == pytest.approx(1200e-6)
+    assert costs.t_erase == pytest.approx(5e-3)
+    assert costs.e_read == pytest.approx(50e-6)
+    assert costs.e_program == pytest.approx(68e-6)
+    assert costs.e_erase == pytest.approx(190e-6)
+    assert BENCH_MODEL.params.wear.endurance_pec == 3000

@@ -1,0 +1,129 @@
+"""Property-based invariants of the chip simulator.
+
+These are the physical laws the hiding scheme's correctness rests on:
+voltages only rise under partial programming, reads are pure observations,
+probe output stays in its quantisation range, and erase resets everything.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.nand import TEST_MODEL, FlashChip
+from repro.rng import substream
+
+CELLS = TEST_MODEL.geometry.cells_per_page
+
+relaxed = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+def fresh_chip(seed):
+    return FlashChip(TEST_MODEL.geometry, TEST_MODEL.params, seed=seed)
+
+
+def page_bits(seed):
+    rng = substream(seed, "prop-bits")
+    return (rng.random(CELLS) < 0.5).astype(np.uint8)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    fraction=st.floats(min_value=0.1, max_value=2.0),
+    n_cells=st.integers(min_value=1, max_value=256),
+)
+@relaxed
+def test_partial_program_never_lowers_voltage(seed, fraction, n_cells):
+    """§3: "Once a cell is charged, its level of voltage can only be
+    increased" — PP respects flash's fundamental asymmetry."""
+    chip = fresh_chip(seed % 7)
+    chip.program_page(0, 0, page_bits(seed))
+    cells = substream(seed, "prop-cells").choice(
+        CELLS, size=n_cells, replace=False
+    )
+    before = chip.probe_voltages(0, 0).astype(np.int32)
+    chip.partial_program(0, 0, cells, fraction=min(fraction, 2.0))
+    after = chip.probe_voltages(0, 0).astype(np.int32)
+    assert (after >= before - 1).all()  # -1: probe quantisation slack
+    untouched = np.setdiff1d(np.arange(CELLS), cells)
+    assert (after[untouched] == before[untouched]).all()
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@relaxed
+def test_probe_is_always_in_range(seed):
+    chip = fresh_chip(seed % 7)
+    chip.age_block(0, seed % 3000)
+    chip.program_page(0, 0, page_bits(seed))
+    probe = chip.probe_voltages(0, 0)
+    assert probe.dtype == np.uint8
+    assert probe.min() >= 0
+    assert int(probe.max()) <= chip.params.voltage.probe_max
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    threshold=st.floats(min_value=1.0, max_value=254.0),
+)
+@relaxed
+def test_reads_are_pure_and_monotone_in_threshold(seed, threshold):
+    """Reading never mutates data, and a higher reference threshold can
+    only turn 0s into 1s (more cells fall below it)."""
+    chip = fresh_chip(seed % 7)
+    chip.program_page(0, 0, page_bits(seed))
+    low = chip.read_page(0, 0, threshold=threshold)
+    high = chip.read_page(0, 0, threshold=min(threshold + 30.0, 255.0))
+    again = chip.read_page(0, 0, threshold=threshold)
+    assert np.array_equal(low, again)
+    # monotone: every '1' at the low threshold stays '1' at the high one,
+    # except on cells hit by the (rare) disturb-error overlay, whose flips
+    # are bitwise rather than voltage-based
+    assert (high < low).mean() <= 5e-4
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@relaxed
+def test_erase_resets_all_state(seed):
+    chip = fresh_chip(seed % 7)
+    bits = page_bits(seed)
+    chip.program_page(0, 0, bits)
+    chip.partial_program(0, 0, [0, 1, 2])
+    pec_before = chip.block_pec(0)
+    chip.erase_block(0)
+    assert chip.block_pec(0) == pec_before + 1
+    assert not chip.is_page_programmed(0, 0)
+    assert (chip.read_page(0, 0) == 1).all()
+    assert chip.probe_voltages(0, 0).astype(float).mean() < 5
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    ops=st.lists(
+        st.sampled_from(["read", "probe", "pp"]), min_size=1, max_size=8
+    ),
+)
+@relaxed
+def test_counters_monotone_under_any_op_sequence(seed, ops):
+    chip = fresh_chip(seed % 5)
+    chip.program_page(0, 0, page_bits(seed))
+    previous = chip.counters.copy()
+    for op in ops:
+        if op == "read":
+            chip.read_page(0, 0)
+        elif op == "probe":
+            chip.probe_voltages(0, 0)
+        else:
+            chip.partial_program(0, 0, [seed % CELLS])
+        current = chip.counters
+        assert current.busy_time_s >= previous.busy_time_s
+        assert current.energy_j >= previous.energy_j
+        assert (
+            current.reads + current.programs + current.erases
+            + current.partial_programs
+            > previous.reads + previous.programs + previous.erases
+            + previous.partial_programs
+        )
+        previous = current.copy()

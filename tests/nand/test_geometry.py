@@ -1,0 +1,68 @@
+"""Chip geometry."""
+
+import pytest
+
+from repro.nand import ChipGeometry
+from repro.nand.errors import AddressError
+from repro.nand.vendor import VENDOR_A_GEOMETRY, VENDOR_B_GEOMETRY
+
+
+def test_vendor_a_matches_paper_section_6_1():
+    geo = VENDOR_A_GEOMETRY
+    assert geo.n_blocks == 2048
+    assert geo.pages_per_block == 256  # 128 lower + 128 upper
+    assert geo.page_bytes == 18048
+    # "Each flash package has 8GB total storage capacity"
+    assert geo.capacity_bytes == pytest.approx(8e9, rel=0.25)
+
+
+def test_vendor_b_matches_paper_section_8():
+    assert VENDOR_B_GEOMETRY.n_blocks == 2096
+    assert VENDOR_B_GEOMETRY.page_bytes == 18256
+
+
+def test_cells_per_page_is_bits():
+    geo = ChipGeometry(4, 8, 512)
+    assert geo.cells_per_page == 512 * 8
+    assert geo.cells_per_block == 512 * 8 * 8
+    assert geo.block_bytes == 4096
+    assert geo.total_pages == 32
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(n_blocks=0, pages_per_block=8, page_bytes=512),
+        dict(n_blocks=4, pages_per_block=0, page_bytes=512),
+        dict(n_blocks=4, pages_per_block=8, page_bytes=0),
+        dict(n_blocks=-1, pages_per_block=8, page_bytes=512),
+    ],
+)
+def test_invalid_geometry_rejected(kwargs):
+    with pytest.raises(ValueError):
+        ChipGeometry(**kwargs)
+
+
+def test_address_checks():
+    geo = ChipGeometry(4, 8, 512)
+    geo.check_page(3, 7)
+    with pytest.raises(AddressError):
+        geo.check_block(4)
+    with pytest.raises(AddressError):
+        geo.check_page(0, 8)
+    with pytest.raises(AddressError):
+        geo.check_page(-1, 0)
+
+
+def test_page_address_roundtrip():
+    geo = ChipGeometry(4, 8, 512)
+    for block in range(4):
+        for page in range(8):
+            address = geo.page_address(block, page)
+            assert geo.split_page_address(address) == (block, page)
+
+
+def test_page_address_out_of_range():
+    geo = ChipGeometry(4, 8, 512)
+    with pytest.raises(AddressError):
+        geo.split_page_address(32)

@@ -1,0 +1,87 @@
+"""ONFI command-level interface."""
+
+import numpy as np
+import pytest
+
+from repro.nand import OnfiBus, TEST_MODEL, FlashChip
+from repro.nand.errors import CommandError
+from repro.nand.onfi import Command
+
+
+@pytest.fixture
+def bus(chip):
+    return OnfiBus(chip)
+
+
+def page_bits(chip, seed=0):
+    rng = np.random.default_rng(seed)
+    return (rng.random(chip.geometry.cells_per_page) < 0.5).astype(np.uint8)
+
+
+def test_command_opcodes_are_onfi_standard():
+    assert Command.PROGRAM.value == 0x80
+    assert Command.PROGRAM_CONFIRM.value == 0x10
+    assert Command.RESET.value == 0xFF
+    assert Command.READ_CONFIRM.value == 0x30
+    assert Command.ERASE.value == 0x60
+
+
+def test_program_read_roundtrip(bus, chip):
+    bits = page_bits(chip)
+    bus.program(0, 0, bits)
+    assert (bus.read(0, 0) != bits).mean() < 1e-3
+
+
+def test_threshold_shift_applies_to_reads(bus, chip):
+    bits = page_bits(chip)
+    bus.program(0, 0, bits)
+    bus.set_read_threshold(34.0)
+    shifted = bus.read(0, 0)
+    probe = bus.probe(0, 0)
+    expected = (probe < 34).astype(np.uint8)
+    assert (shifted != expected).mean() < 1e-3
+
+
+def test_reset_clears_threshold(bus, chip):
+    bits = page_bits(chip)
+    bus.program(0, 0, bits)
+    bus.set_read_threshold(34.0)
+    bus.reset()
+    default = bus.read(0, 0)
+    assert (default != bits).mean() < 1e-3
+
+
+def test_threshold_validation(bus):
+    with pytest.raises(CommandError):
+        bus.set_read_threshold(300)
+    with pytest.raises(CommandError):
+        bus.set_read_threshold(-2)
+    bus.set_read_threshold(None)  # restore default is fine
+
+
+def test_partial_program_via_early_reset(bus, chip):
+    """PP really is PROGRAM + early RESET; later aborts inject more."""
+    bits = np.ones(chip.geometry.cells_per_page, dtype=np.uint8)
+    bus.program(0, 0, bits)
+    bus.program(0, 1, bits)
+    cells = list(range(256))
+    bus.partial_program(0, 0, cells, abort_after_us=600.0)
+    bus.partial_program(0, 1, cells, abort_after_us=120.0)
+    v_late = bus.probe(0, 0).astype(float)[cells].mean()
+    v_early = bus.probe(0, 1).astype(float)[cells].mean()
+    assert v_late > v_early
+
+
+def test_partial_program_abort_bounds(bus, chip):
+    bits = np.ones(chip.geometry.cells_per_page, dtype=np.uint8)
+    bus.program(0, 0, bits)
+    with pytest.raises(CommandError):
+        bus.partial_program(0, 0, [0], abort_after_us=0.0)
+    with pytest.raises(CommandError):
+        bus.partial_program(0, 0, [0], abort_after_us=601.0)
+
+
+def test_erase_via_bus(bus, chip):
+    bus.program(0, 0, page_bits(chip))
+    bus.erase(0)
+    assert (bus.read(0, 0) == 1).all()

@@ -1,0 +1,40 @@
+"""Vendor profiles and scaling."""
+
+import pytest
+
+from repro.nand import VENDOR_A, VENDOR_B, scaled_geometry, scaled_model
+from repro.nand.vendor import BENCH_MODEL, TEST_MODEL
+
+
+def test_models_are_distinct_silicon():
+    assert VENDOR_A.params.voltage != VENDOR_B.params.voltage
+    assert VENDOR_A.geometry != VENDOR_B.geometry
+
+
+def test_scaled_geometry_preserves_unspecified_fields():
+    geo = scaled_geometry(VENDOR_A.geometry, n_blocks=16)
+    assert geo.n_blocks == 16
+    assert geo.pages_per_block == VENDOR_A.geometry.pages_per_block
+    assert geo.page_bytes == VENDOR_A.geometry.page_bytes
+
+
+def test_page_divisor_must_divide():
+    with pytest.raises(ValueError):
+        scaled_geometry(VENDOR_A.geometry, page_divisor=7)
+    with pytest.raises(ValueError):
+        scaled_geometry(VENDOR_A.geometry, page_divisor=0)
+
+
+def test_scaled_model_keeps_physics():
+    model = scaled_model(VENDOR_A, n_blocks=4, page_divisor=16)
+    assert model.params is VENDOR_A.params
+    assert model.name != VENDOR_A.name
+
+
+def test_test_model_is_small():
+    assert TEST_MODEL.geometry.cells_per_page <= 16384
+    assert TEST_MODEL.geometry.n_blocks <= 64
+
+
+def test_bench_model_keeps_full_pages():
+    assert BENCH_MODEL.geometry.page_bytes == VENDOR_A.geometry.page_bytes

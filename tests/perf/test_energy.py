@@ -1,0 +1,51 @@
+"""Energy/time accounting against chip counters."""
+
+import numpy as np
+import pytest
+
+from repro.perf import (
+    energy_from_counters,
+    snapshot_energy_difference,
+    time_from_counters,
+)
+
+
+def test_recomputed_energy_matches_counters(chip, random_page):
+    chip.erase_block(0)
+    chip.program_page(0, 0, random_page(0))
+    chip.read_page(0, 0)
+    chip.partial_program(0, 0, [1, 2, 3])
+    ops = chip.counters
+    assert energy_from_counters(ops, chip.params.costs) == pytest.approx(
+        ops.energy_j
+    )
+    assert time_from_counters(ops, chip.params.costs) == pytest.approx(
+        ops.busy_time_s
+    )
+
+
+def test_snapshot_difference(chip, random_page):
+    before = chip.counters.copy()
+    chip.program_page(0, 0, random_page(0))
+    after = chip.counters.copy()
+    assert snapshot_energy_difference(before, after) == pytest.approx(
+        chip.params.costs.e_program
+    )
+
+
+def test_hiding_energy_is_snapshot_inconspicuous(chip, key, random_page):
+    """§8: a two-snapshot energy adversary sees hiding cost comparable to
+    a couple dozen ordinary reads."""
+    from repro.hiding import STANDARD_CONFIG, VtHi
+
+    config = STANDARD_CONFIG.replace(ecc_t=0, bits_per_page=128)
+    vthi = VtHi(chip, config)
+    public = random_page(0)
+    chip.program_page(0, 0, public)
+    rng = np.random.default_rng(0)
+    hidden = (rng.random(128) < 0.5).astype(np.uint8)
+    before = chip.counters.copy()
+    vthi.embed_bits(0, 0, hidden, key, public_bits=public)
+    spent = snapshot_energy_difference(before, chip.counters)
+    reads_equivalent = spent / chip.params.costs.e_read
+    assert reads_equivalent < 50

@@ -1,0 +1,71 @@
+"""Lifetime projection under hiding workloads."""
+
+import pytest
+
+from repro.nand import VENDOR_A
+from repro.perf.lifetime import (
+    HidingWorkload,
+    LifetimeEstimate,
+    estimate_lifetime,
+)
+
+GEO = VENDOR_A.geometry
+
+
+def test_public_only_baseline():
+    # 10 GB/day on an 8 GB device ~ 1.4 full-device cycles/day with WAF
+    workload = HidingWorkload(public_bytes_per_day=10e9, waf=1.1)
+    estimate = estimate_lifetime(GEO, workload)
+    assert estimate.hiding_pec_per_year == 0.0
+    assert estimate.hiding_share == 0.0
+    assert 1 < estimate.years_to_endurance < 20
+
+
+def test_vthi_hiding_is_nearly_free():
+    """§8: VT-HI's wear is 10 PP pulses on a tiny cell fraction —
+    lifetime impact should be negligible against real public traffic."""
+    base = estimate_lifetime(
+        GEO, HidingWorkload(public_bytes_per_day=10e9)
+    )
+    hiding = estimate_lifetime(
+        GEO,
+        HidingWorkload(public_bytes_per_day=10e9, vthi_embeds_per_day=1000),
+    )
+    assert hiding.hiding_share < 0.01
+    assert hiding.years_to_endurance == pytest.approx(
+        base.years_to_endurance, rel=0.01
+    )
+
+
+def test_pthi_hiding_eats_the_budget():
+    """PT-HI's 625 cycles per encode dominate even modest cadences."""
+    hiding = estimate_lifetime(
+        GEO,
+        HidingWorkload(public_bytes_per_day=10e9, pthi_encodes_per_day=10),
+    )
+    assert hiding.hiding_share > 0.3
+    base = estimate_lifetime(GEO, HidingWorkload(public_bytes_per_day=10e9))
+    assert hiding.years_to_endurance < 0.8 * base.years_to_endurance
+
+
+def test_vthi_vs_pthi_wear_gap():
+    vthi = estimate_lifetime(
+        GEO, HidingWorkload(public_bytes_per_day=0.0,
+                            vthi_embeds_per_day=100, waf=1.0)
+    )
+    pthi = estimate_lifetime(
+        GEO, HidingWorkload(public_bytes_per_day=0.0,
+                            pthi_encodes_per_day=100, waf=1.0)
+    )
+    # orders of magnitude, as §8's 10-vs-625 implies
+    assert vthi.years_to_endurance > 1000 * pthi.years_to_endurance
+
+
+def test_idle_device_lives_forever():
+    estimate = estimate_lifetime(GEO, HidingWorkload(0.0))
+    assert estimate.years_to_endurance == float("inf")
+
+
+def test_endurance_validation():
+    with pytest.raises(ValueError):
+        estimate_lifetime(GEO, HidingWorkload(1.0), endurance_pec=0)

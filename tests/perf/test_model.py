@@ -1,0 +1,97 @@
+"""§8 performance arithmetic — the paper's numbers, exactly."""
+
+import pytest
+
+from repro.perf import (
+    paper_comparison,
+    pthi_performance,
+    vthi_performance,
+)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return paper_comparison()
+
+
+class TestVtHiNumbers:
+    def test_encode_time_is_0_44s_per_block(self, comparison):
+        # "(600 + 90) * 10 * 64 / 1,000,000 = 0.44s"
+        assert comparison.vthi.encode_time_s == pytest.approx(0.4416)
+
+    def test_encode_throughput_35kbps(self, comparison):
+        assert comparison.vthi.encode_throughput_bps == pytest.approx(
+            35_000, rel=0.02
+        )
+
+    def test_decode_time_0_006s(self, comparison):
+        # "90 * 64 * 1 / 1,000,000 = 0.006s"
+        assert comparison.vthi.decode_time_s == pytest.approx(0.00576)
+
+    def test_decode_throughput_2_7mbps(self, comparison):
+        assert comparison.vthi.decode_throughput_bps == pytest.approx(
+            2.7e6, rel=0.02
+        )
+
+    def test_energy_1_1mj_per_page(self, comparison):
+        assert comparison.vthi.energy_per_page_j == pytest.approx(1.1e-3)
+
+    def test_non_destructive(self, comparison):
+        assert not comparison.vthi.destructive_decode
+
+
+class TestPtHiNumbers:
+    def test_encode_time_51_1s(self, comparison):
+        # "(1.2 * 64 + 5) * 625 / 1,000 = 51.1s"
+        assert comparison.pthi.encode_time_s == pytest.approx(51.125)
+
+    def test_encode_throughput_1_4kbps(self, comparison):
+        assert comparison.pthi.encode_throughput_bps == pytest.approx(
+            1_400, rel=0.02
+        )
+
+    def test_decode_time_1_32s(self, comparison):
+        # "(600 + 90) * 64 * 30 / 1000000 = 1.32s"
+        assert comparison.pthi.decode_time_s == pytest.approx(1.3248)
+
+    def test_decode_throughput_54kbps(self, comparison):
+        assert comparison.pthi.decode_throughput_bps == pytest.approx(
+            54_000, rel=0.02
+        )
+
+    def test_energy_43mj_per_page(self, comparison):
+        assert comparison.pthi.energy_per_page_j == pytest.approx(
+            42.5e-3, rel=0.02
+        )
+
+    def test_destructive(self, comparison):
+        assert comparison.pthi.destructive_decode
+
+
+class TestHeadlineRatios:
+    def test_encode_speedup_24x(self, comparison):
+        # §1: "Encoding is 24x faster in VT-HI"
+        assert comparison.encode_speedup == pytest.approx(25, rel=0.1)
+
+    def test_decode_speedup_50x(self, comparison):
+        assert comparison.decode_speedup == pytest.approx(50, rel=0.05)
+
+    def test_energy_efficiency_37x(self, comparison):
+        assert comparison.energy_efficiency == pytest.approx(38.6, rel=0.1)
+
+    def test_wear_10_vs_625(self, comparison):
+        assert comparison.vthi.wear_amplification == 10
+        assert comparison.pthi.wear_amplification == 625
+
+
+class TestParametrised:
+    def test_throughput_scales_with_steps(self):
+        fast = vthi_performance(pp_steps=5)
+        slow = vthi_performance(pp_steps=20)
+        assert fast.encode_throughput_bps > slow.encode_throughput_bps
+
+    def test_pthi_scales_with_cycles(self):
+        light = pthi_performance(stress_cycles=100)
+        heavy = pthi_performance(stress_cycles=1000)
+        assert light.encode_time_s < heavy.encode_time_s
+        assert light.wear_amplification == 100

@@ -1,0 +1,105 @@
+"""Cover-traffic policy (§9.2 multi-snapshot mitigation)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import DeviceSnapshot, SnapshotAdversary
+from repro.crypto import HidingKey
+from repro.ecc.page import PagePipeline
+from repro.ftl import Ftl
+from repro.hiding import STANDARD_CONFIG, VtHi
+from repro.stego import CoverTrafficPolicy, HiddenVolume, HiddenVolumeError
+
+CFG = STANDARD_CONFIG.replace(bits_per_page=512, ecc_m=10, ecc_t=18)
+
+
+@pytest.fixture
+def stack(chip, key):
+    pipeline = PagePipeline(chip.geometry.cells_per_page, ecc_m=13, ecc_t=8)
+    ftl = Ftl(chip, pipeline, overprovision_blocks=4)
+    vthi = VtHi(chip, CFG, public_codec=pipeline)
+    volume = HiddenVolume(ftl, vthi, key)
+    policy = CoverTrafficPolicy(volume)
+    return chip, ftl, volume, policy
+
+
+def public_write(ftl, lpa, seed=0):
+    rng = np.random.default_rng(seed)
+    ftl.write(lpa, bytes(rng.integers(0, 256, 200).astype(np.uint8)))
+
+
+class TestQueueing:
+    def test_write_queues_until_cover(self, stack):
+        chip, ftl, volume, policy = stack
+        policy.write(0, b"waiting")
+        assert policy.pending_writes == 1
+        assert volume.read(0) is None  # not embedded yet
+
+    def test_read_through_pending(self, stack):
+        _, _, _, policy = stack
+        policy.write(0, b"queued value")
+        assert policy.read(0) == b"queued value"
+
+    def test_public_write_drains_queue(self, stack):
+        chip, ftl, volume, policy = stack
+        policy.write(0, b"under cover")
+        for lpa in range(8):
+            public_write(ftl, lpa, seed=lpa)
+        assert policy.pending_writes == 0
+        assert volume.read(0) == b"under cover"
+        assert policy.read(0) == b"under cover"
+
+    def test_oversized_rejected(self, stack):
+        _, _, volume, policy = stack
+        with pytest.raises(HiddenVolumeError):
+            policy.write(0, b"x" * (volume.slot_data_bytes + 1))
+
+    def test_multiple_pending_drain_in_order(self, stack):
+        chip, ftl, volume, policy = stack
+        policy.write(0, b"first")
+        policy.write(1, b"second")
+        for lpa in range(12):
+            public_write(ftl, lpa, seed=100 + lpa)
+        assert policy.pending_writes == 0
+        assert volume.read(0) == b"first"
+        assert volume.read(1) == b"second"
+
+
+class TestSnapshotSafety:
+    def test_covered_hiding_defeats_snapshot_adversary(self, stack):
+        """End-to-end §9.2: queue hidden writes, drain under public
+        cover, and the two-snapshot adversary sees nothing."""
+        chip, ftl, volume, policy = stack
+        for lpa in range(12):
+            public_write(ftl, lpa, seed=lpa)
+        blocks = list(range(chip.geometry.n_blocks))
+        before = DeviceSnapshot.capture(chip, blocks)
+        policy.write(0, b"covert")
+        policy.write(1, b"quieter still")
+        for lpa in range(12, 24):
+            public_write(ftl, lpa, seed=lpa)
+        assert policy.pending_writes == 0
+        after = DeviceSnapshot.capture(chip, blocks)
+        findings = SnapshotAdversary().compare(before, after)
+        assert findings == []
+        assert volume.read(0) == b"covert"
+
+    def test_uncovered_hiding_is_caught_for_contrast(self, stack):
+        chip, ftl, volume, policy = stack
+        for lpa in range(12):
+            public_write(ftl, lpa, seed=lpa)
+        blocks = list(range(chip.geometry.n_blocks))
+        before = DeviceSnapshot.capture(chip, blocks)
+        volume.write(5, b"impatient")  # direct write: no cover
+        after = DeviceSnapshot.capture(chip, blocks)
+        findings = SnapshotAdversary().compare(before, after)
+        assert len(findings) == 1
+
+
+def test_drained_counter(stack):
+    chip, ftl, volume, policy = stack
+    assert policy.drained_writes == 0
+    policy.write(0, b"x")
+    for lpa in range(6):
+        public_write(ftl, lpa, seed=50 + lpa)
+    assert policy.drained_writes == 1

@@ -1,0 +1,68 @@
+"""Retention refresh policy."""
+
+import numpy as np
+import pytest
+
+from repro.ecc.page import PagePipeline
+from repro.ftl import Ftl
+from repro.hiding import STANDARD_CONFIG, VtHi
+from repro.stego import HiddenVolume, RefreshPolicy, refresh_volume
+from repro.units import MONTH
+
+
+class TestPolicy:
+    def test_age_and_wear_both_required(self):
+        policy = RefreshPolicy(max_age_s=3 * MONTH, min_pec=1000)
+        assert not policy.due(1 * MONTH, 2000)  # too young
+        assert not policy.due(4 * MONTH, 0)  # fresh cells barely leak
+        assert policy.due(4 * MONTH, 1500)
+
+    def test_negative_age_rejected(self):
+        with pytest.raises(ValueError):
+            RefreshPolicy().due(-1.0, 0)
+
+
+class TestRefreshVolume:
+    @pytest.fixture
+    def volume(self, chip, key):
+        pipeline = PagePipeline(
+            chip.geometry.cells_per_page, ecc_m=13, ecc_t=8
+        )
+        ftl = Ftl(chip, pipeline, overprovision_blocks=4)
+        vthi = VtHi(
+            chip,
+            STANDARD_CONFIG.replace(bits_per_page=512, ecc_m=10, ecc_t=18),
+            public_codec=pipeline,
+        )
+        volume = HiddenVolume(ftl, vthi, key)
+        rng = np.random.default_rng(0)
+        for lpa in range(40):
+            ftl.write(lpa, bytes(rng.integers(0, 256, 200).astype(np.uint8)))
+        return volume
+
+    def test_refresh_reembeds_due_slots(self, volume):
+        volume.write(0, b"keep me alive")
+        volume.write(1, b"me too")
+        volume.ftl.chip.advance_time(4 * MONTH)
+        refreshed = refresh_volume(
+            volume, RefreshPolicy(max_age_s=3 * MONTH, min_pec=0)
+        )
+        assert refreshed == 2
+        assert volume.read(0) == b"keep me alive"
+        assert volume.read(1) == b"me too"
+
+    def test_fresh_slots_left_alone(self, volume):
+        volume.write(0, b"recent")
+        refreshed = refresh_volume(
+            volume, RefreshPolicy(max_age_s=3 * MONTH, min_pec=0)
+        )
+        assert refreshed == 0
+
+    def test_refresh_resets_the_clock(self, volume):
+        volume.write(0, b"cycled")
+        volume.ftl.chip.advance_time(4 * MONTH)
+        refresh_volume(volume, RefreshPolicy(max_age_s=3 * MONTH, min_pec=0))
+        # immediately afterwards nothing is due any more
+        assert refresh_volume(
+            volume, RefreshPolicy(max_age_s=3 * MONTH, min_pec=0)
+        ) == 0

@@ -1,0 +1,167 @@
+"""Hidden volume lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.crypto import HidingKey
+from repro.ecc.page import PagePipeline
+from repro.ftl import Ftl
+from repro.hiding import STANDARD_CONFIG, VtHi
+from repro.stego import HiddenVolume, HiddenVolumeError
+
+VOLUME_CFG = STANDARD_CONFIG.replace(bits_per_page=512, ecc_m=10, ecc_t=18)
+
+
+@pytest.fixture
+def stack(chip, key):
+    pipeline = PagePipeline(chip.geometry.cells_per_page, ecc_m=13, ecc_t=8)
+    ftl = Ftl(chip, pipeline, overprovision_blocks=4)
+    vthi = VtHi(chip, VOLUME_CFG, public_codec=pipeline)
+    volume = HiddenVolume(ftl, vthi, key)
+    rng = np.random.default_rng(0)
+    for lpa in range(60):
+        ftl.write(lpa, bytes(rng.integers(0, 256, 400).astype(np.uint8)))
+    return ftl, volume
+
+
+def secret(volume, seed):
+    rng = np.random.default_rng(seed)
+    return bytes(
+        rng.integers(0, 256, volume.slot_data_bytes).astype(np.uint8)
+    )
+
+
+class TestBasicIO:
+    def test_write_read(self, stack):
+        _, volume = stack
+        data = secret(volume, 1)
+        volume.write(0, data)
+        assert volume.read(0) == data
+
+    def test_unwritten_is_none(self, stack):
+        _, volume = stack
+        assert volume.read(99) is None
+
+    def test_overwrite_updates(self, stack):
+        _, volume = stack
+        volume.write(0, b"v1")
+        volume.write(0, b"v2")
+        assert volume.read(0) == b"v2"
+
+    def test_oversized_block_rejected(self, stack):
+        _, volume = stack
+        with pytest.raises(HiddenVolumeError):
+            volume.write(0, b"x" * (volume.slot_data_bytes + 1))
+
+    def test_delete(self, stack):
+        _, volume = stack
+        volume.write(0, b"doomed")
+        volume.delete(0)
+        assert volume.read(0) is None
+
+    def test_delete_unknown_is_noop(self, stack):
+        _, volume = stack
+        volume.delete(42)
+
+    def test_capacity_rides_on_public_data(self, stack):
+        _, volume = stack
+        assert volume.capacity_slots() > 0
+
+    def test_no_hosts_raises(self, chip, key):
+        pipeline = PagePipeline(
+            chip.geometry.cells_per_page, ecc_m=13, ecc_t=8
+        )
+        ftl = Ftl(chip, pipeline, overprovision_blocks=4)
+        vthi = VtHi(chip, VOLUME_CFG, public_codec=pipeline)
+        volume = HiddenVolume(ftl, vthi, key)
+        with pytest.raises(HiddenVolumeError):
+            volume.write(0, b"no public data yet")
+
+
+class TestMount:
+    def test_mount_rebuilds_map(self, stack):
+        _, volume = stack
+        written = {lba: secret(volume, lba) for lba in range(5)}
+        for lba, data in written.items():
+            volume.write(lba, data)
+        found = volume.mount()
+        assert found == 5
+        for lba, data in written.items():
+            assert volume.read(lba) == data
+
+    def test_mount_respects_tombstones(self, stack):
+        _, volume = stack
+        volume.write(0, b"a")
+        volume.write(1, b"b")
+        volume.delete(0)
+        assert volume.mount() == 1
+        assert volume.read(0) is None
+        assert volume.read(1) == b"b"
+
+    def test_mount_with_wrong_key_finds_nothing(self, stack, chip):
+        ftl, volume = stack
+        volume.write(0, b"present")
+        adversary_vthi = VtHi(
+            chip, VOLUME_CFG, public_codec=volume.vthi.public_codec
+        )
+        adversary = HiddenVolume(
+            ftl, adversary_vthi, HidingKey.generate(b"adversary")
+        )
+        assert adversary.mount() == 0
+
+    def test_mount_sees_latest_version(self, stack):
+        _, volume = stack
+        volume.write(3, b"old")
+        volume.write(3, b"new")
+        volume.mount()
+        assert volume.read(3) == b"new"
+
+
+class TestChurnSurvival:
+    def test_survives_public_overwrites(self, stack):
+        ftl, volume = stack
+        written = {lba: secret(volume, 10 + lba) for lba in range(4)}
+        for lba, data in written.items():
+            volume.write(lba, data)
+        rng = np.random.default_rng(5)
+        for i in range(150):
+            ftl.write(
+                int(rng.integers(0, 60)),
+                bytes(rng.integers(0, 256, 300).astype(np.uint8)),
+            )
+        for lba, data in written.items():
+            assert volume.read(lba) == data
+
+    def test_burned_hosts_not_reused(self, stack):
+        _, volume = stack
+        volume.write(0, b"first")
+        host0 = volume._slots[0][0]
+        volume.write(0, b"second")
+        host1 = volume._slots[0][0]
+        assert host0 != host1
+
+    def test_mismatched_chip_rejected(self, chip, chip_factory, key):
+        pipeline = PagePipeline(
+            chip.geometry.cells_per_page, ecc_m=13, ecc_t=8
+        )
+        ftl = Ftl(chip, pipeline, overprovision_blocks=4)
+        other_vthi = VtHi(chip_factory(99), VOLUME_CFG)
+        with pytest.raises(ValueError):
+            HiddenVolume(ftl, other_vthi, key)
+
+
+def test_empty_hidden_block_rejected(stack):
+    _, volume = stack
+    with pytest.raises(HiddenVolumeError):
+        volume.write(0, b"")
+
+
+def test_panic_erase_clears_the_map(stack):
+    _, volume = stack
+    volume.write(0, b"forget me")
+    volume.panic_erase()
+    assert volume.read(0) is None
+    assert volume._hosts == set()
+    # the data is still physically recoverable until blocks churn — a
+    # remount with the key finds it again (the map was never persisted)
+    assert volume.mount() == 1

@@ -1,0 +1,154 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def device(tmp_path):
+    path = str(tmp_path / "dev.stash")
+    assert main(["init", path, "--seed", "3"]) == 0
+    return path
+
+
+def test_init_creates_device(tmp_path, capsys):
+    path = str(tmp_path / "fresh.stash")
+    assert main(["init", path]) == 0
+    out = capsys.readouterr().out
+    assert "initialised" in out
+    assert "logical pages" in out
+
+
+def test_public_write_read_roundtrip(device, capsys):
+    assert main(["public-write", device, "5", "hello public world"]) == 0
+    assert main(["public-read", device, "5"]) == 0
+    out = capsys.readouterr().out
+    assert "hello public world" in out
+
+
+def test_public_read_unwritten(device, capsys):
+    assert main(["public-read", device, "9"]) == 1
+
+
+def test_public_write_size_limit(device):
+    with pytest.raises(SystemExit):
+        main(["public-write", device, "0", "x" * 5000])
+
+
+def test_hide_reveal_roundtrip(device, capsys):
+    main(["public-write", device, "0", "cover data"])
+    assert main(["hide", device, "-p", "pw", "0", "the secret"]) == 0
+    assert main(["reveal", device, "-p", "pw", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "the secret" in out
+
+
+def test_mount_lists_hidden_blocks(device, capsys):
+    main(["public-write", device, "0", "cover"])
+    main(["public-write", device, "1", "cover"])
+    main(["hide", device, "-p", "pw", "7", "payload"])
+    assert main(["mount", device, "-p", "pw"]) == 0
+    out = capsys.readouterr().out
+    assert "1 blocks" in out
+    assert "lba 7" in out
+
+
+def test_wrong_passphrase_finds_nothing(device, capsys):
+    main(["public-write", device, "0", "cover"])
+    main(["hide", device, "-p", "right", "0", "invisible"])
+    assert main(["reveal", device, "-p", "wrong", "0"]) == 1
+    out = capsys.readouterr().out
+    assert "nothing found" in out
+
+
+def test_delete_tombstones(device, capsys):
+    # tombstones need a free host page of their own
+    for lpa in range(6):
+        main(["public-write", device, str(lpa), "cover"])
+    main(["hide", device, "-p", "pw", "0", "doomed"])
+    assert main(["delete", device, "-p", "pw", "0"]) == 0
+    assert main(["reveal", device, "-p", "pw", "0"]) == 1
+
+
+def test_hide_without_public_data_fails(device):
+    from repro.stego import HiddenVolumeError
+
+    with pytest.raises(HiddenVolumeError):
+        main(["hide", device, "-p", "pw", "0", "no hosts yet"])
+
+
+def test_hide_size_limit(device):
+    main(["public-write", device, "0", "cover"])
+    with pytest.raises(SystemExit):
+        main(["hide", device, "-p", "pw", "0", "x" * 100])
+
+
+def test_file_payloads(device, tmp_path, capsys):
+    source = tmp_path / "note.txt"
+    source.write_bytes(b"from a file")
+    main(["public-write", device, "0", "cover"])
+    assert main(["hide", device, "-p", "pw", "0", str(source),
+                 "--file"]) == 0
+    main(["reveal", device, "-p", "pw", "0"])
+    assert "from a file" in capsys.readouterr().out
+
+
+def test_stats(device, capsys):
+    main(["public-write", device, "0", "cover"])
+    assert main(["stats", device]) == 0
+    out = capsys.readouterr().out
+    assert "WAF" in out
+    assert "chip ops" in out
+
+
+def test_probe_histogram(device, capsys):
+    main(["public-write", device, "0", "cover"])
+    assert main(["probe", device, "0", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "voltage histogram" in out
+    assert "#" in out
+
+
+def test_experiment_runner(capsys):
+    assert main(["experiment", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+
+
+def test_experiment_unknown_name():
+    with pytest.raises(SystemExit):
+        main(["experiment", "fig99"])
+
+
+def test_load_rejects_non_device(tmp_path):
+    bogus = tmp_path / "bogus.stash"
+    import pickle
+
+    bogus.write_bytes(pickle.dumps({"not": "a device"}))
+    with pytest.raises(SystemExit):
+        main(["stats", str(bogus)])
+
+
+def test_persistence_across_invocations(device, capsys):
+    """The hidden volume is rebuilt from the passphrase each time —
+    nothing about it is stored in the device file."""
+    main(["public-write", device, "0", "cover a"])
+    main(["public-write", device, "1", "cover b"])
+    main(["hide", device, "-p", "pw", "3", "persists"])
+    # fresh process simulation: reload and reveal
+    assert main(["reveal", device, "-p", "pw", "3"]) == 0
+    assert "persists" in capsys.readouterr().out
+
+
+def test_report_command_runs_everything(capsys):
+    assert main(["report"]) == 0
+    out = capsys.readouterr().out
+    for marker in ("Fig. 2", "Fig. 11", "Table 1", "§8 Energy",
+                   "Ablation", "§6.2"):
+        assert marker in out
+
+
+def test_missing_device_file_message(tmp_path):
+    with pytest.raises(SystemExit, match="repro-stash init"):
+        main(["stats", str(tmp_path / "nope.stash")])

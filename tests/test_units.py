@@ -1,0 +1,40 @@
+"""Units module."""
+
+import pytest
+
+from repro import units
+
+
+def test_time_constants_are_consistent():
+    assert units.MINUTE == 60 * units.SECOND
+    assert units.HOUR == 60 * units.MINUTE
+    assert units.DAY == 24 * units.HOUR
+    assert units.MONTH == 30 * units.DAY
+
+
+def test_seconds_to_human_scales():
+    assert units.seconds_to_human(2.0) == "2s"
+    assert units.seconds_to_human(0.0015).endswith("ms")
+    assert units.seconds_to_human(90e-6).endswith("us")
+
+
+def test_throughput_requires_positive_duration():
+    with pytest.raises(ValueError):
+        units.throughput_bits_per_s(100, 0.0)
+    with pytest.raises(ValueError):
+        units.throughput_bits_per_s(100, -1.0)
+
+
+def test_throughput_value():
+    assert units.throughput_bits_per_s(1000, 2.0) == 500.0
+
+
+def test_format_throughput_bands():
+    assert units.format_throughput(35_000).endswith("Kb/s")
+    assert units.format_throughput(2_700_000).endswith("Mb/s")
+    assert units.format_throughput(500).endswith("b/s")
+
+
+def test_paper_headline_throughputs_format_like_the_paper():
+    assert units.format_throughput(35_000) == "35Kb/s"
+    assert units.format_throughput(2_700_000) == "2.7Mb/s"
