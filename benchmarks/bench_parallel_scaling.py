@@ -1,0 +1,71 @@
+"""Parallel scaling: the fig6 sweep at 1, 2 and 4 worker processes.
+
+Times the same experiment at each worker count, prints the speedups, and
+asserts the rows are byte-identical — the engine's determinism contract.
+Observed speedup depends on the core count of the machine; on a 4+ core
+box workers=4 should come in well above 2.5x (ISSUE acceptance bar).
+
+Also runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py
+"""
+
+import time
+
+from repro.experiments import fig6
+
+from conftest import run_once
+
+WORKER_COUNTS = (1, 2, 4)
+
+FIG6_KWARGS = dict(
+    page_intervals=(0, 1, 2, 4),
+    bit_counts=(32, 128, 512),
+    max_steps=10,
+    blocks_per_config=2,
+)
+
+
+def scaling_sweep(worker_counts=WORKER_COUNTS, kwargs=FIG6_KWARGS):
+    """Run fig6 once per worker count; return {workers: (seconds, result)}."""
+    timings = {}
+    for workers in worker_counts:
+        start = time.perf_counter()
+        result = fig6.run(workers=workers, **kwargs)
+        timings[workers] = (time.perf_counter() - start, result)
+    return timings
+
+
+def render_scaling(timings) -> str:
+    base_seconds = timings[min(timings)][0]
+    lines = ["fig6 parallel scaling", ""]
+    lines.append(f"{'workers':>8}  {'seconds':>8}  {'speedup':>8}")
+    for workers, (seconds, _result) in sorted(timings.items()):
+        lines.append(
+            f"{workers:>8}  {seconds:>8.2f}  {base_seconds / seconds:>7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def check_identical(timings) -> None:
+    rows = {w: result.rows() for w, (_s, result) in timings.items()}
+    reference_workers = min(rows)
+    for workers, worker_rows in rows.items():
+        assert worker_rows == rows[reference_workers], (
+            f"workers={workers} rows differ from "
+            f"workers={reference_workers}"
+        )
+
+
+def test_parallel_scaling(benchmark, capsys):
+    timings = run_once(benchmark, scaling_sweep)
+    check_identical(timings)
+    with capsys.disabled():
+        print("\n\n" + render_scaling(timings) + "\n")
+
+
+if __name__ == "__main__":
+    timings = scaling_sweep()
+    check_identical(timings)
+    print(render_scaling(timings))
+    print("\nrows identical across worker counts: OK")

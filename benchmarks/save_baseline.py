@@ -1,0 +1,82 @@
+"""Save a parallel-scaling timing baseline to BENCH_parallel.json.
+
+Runs the ported drivers (fig6 and reliability by default) at each worker
+count and dumps wall-clock timings plus machine context, so later PRs can
+diff performance against this baseline::
+
+    PYTHONPATH=src python benchmarks/save_baseline.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import fig6, reliability
+
+WORKER_COUNTS = (1, 2, 4)
+
+DRIVERS = {
+    "fig6": lambda workers: fig6.run(
+        page_intervals=(0, 1, 2, 4),
+        bit_counts=(32, 128, 512),
+        max_steps=10,
+        blocks_per_config=2,
+        workers=workers,
+    ),
+    "reliability": lambda workers: reliability.run(workers=workers),
+}
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+
+def collect() -> dict:
+    results = {}
+    for name, runner in DRIVERS.items():
+        timings = {}
+        rows = None
+        for workers in WORKER_COUNTS:
+            start = time.perf_counter()
+            result = runner(workers)
+            timings[str(workers)] = round(time.perf_counter() - start, 4)
+            if rows is None:
+                rows = result.rows()
+            elif result.rows() != rows:
+                raise AssertionError(
+                    f"{name}: rows differ at workers={workers}"
+                )
+        base = timings[str(min(WORKER_COUNTS))]
+        results[name] = {
+            "seconds": timings,
+            "speedup": {
+                w: round(base / s, 3) for w, s in timings.items()
+            },
+        }
+    return {
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "worker_counts": list(WORKER_COUNTS),
+        "experiments": results,
+    }
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    output = Path(argv[0]) if argv else DEFAULT_OUTPUT
+    baseline = collect()
+    output.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"wrote {output}")
+    for name, entry in baseline["experiments"].items():
+        print(f"  {name}: {entry['seconds']} s, speedup {entry['speedup']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -109,19 +109,19 @@ def sweep_normal_pec(
     scale: DatasetScale = BENCH_SCALE,
     seed: int = 0,
     feature: str = "histogram",
+    workers: Optional[int] = None,
 ) -> list:
-    """The Fig. 10/12 sweep: accuracy for each (hidden, normal) PEC pair."""
-    outcomes = []
-    for hidden_pec in hidden_pecs:
-        for normal_pec in normal_pecs:
-            outcomes.append(
-                detect_at(
-                    config,
-                    normal_pec,
-                    hidden_pec,
-                    scale=scale,
-                    seed=seed,
-                    feature=feature,
-                )
-            )
-    return outcomes
+    """The Fig. 10/12 sweep: accuracy for each (hidden, normal) PEC pair.
+
+    Each grid point is a self-contained attacker run (its chips derive
+    from seeds, not shared state), so the sweep fans out over worker
+    processes; outcomes come back in grid order regardless of scheduling.
+    """
+    from ..parallel import ParallelRunner
+
+    units = [
+        (config, normal_pec, hidden_pec, scale, 3, 2, seed, feature, None)
+        for hidden_pec in hidden_pecs
+        for normal_pec in normal_pecs
+    ]
+    return ParallelRunner(workers).map(detect_at, units)

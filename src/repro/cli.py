@@ -204,6 +204,19 @@ def _cmd_probe(args) -> int:
     return 0
 
 
+def _run_kwargs(run, workers):
+    """`workers=` for drivers whose ``run`` accepts it; {} otherwise."""
+    import inspect
+
+    if workers is None:
+        return {}
+    try:
+        parameters = inspect.signature(run).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins only
+        return {}
+    return {"workers": workers} if "workers" in parameters else {}
+
+
 def _cmd_experiment(args) -> int:
     from . import experiments
 
@@ -217,7 +230,7 @@ def _cmd_experiment(args) -> int:
             f"unknown experiment {args.name!r}; available: "
             f"{', '.join(sorted(names))}"
         )
-    result = module.run()
+    result = module.run(**_run_kwargs(module.run, args.workers))
     print(result.summary.render())
     _render_curves(args.name, result)
     return 0
@@ -260,7 +273,8 @@ def _cmd_report(args) -> int:
         "mlc_extension", "interval_capacity", "ablations",
     ]
     for name in light:
-        result = getattr(experiments, name).run()
+        run = getattr(experiments, name).run
+        result = run(**_run_kwargs(run, args.workers))
         print(result.summary.render())
         for part in getattr(result, "parts", []):
             print()
@@ -334,10 +348,20 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiment",
                        help="run a paper experiment (e.g. fig3, table1)")
     p.add_argument("name")
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for parallelised experiments "
+             "(default: REPRO_WORKERS, then all cores); results are "
+             "identical at any worker count",
+    )
     p.set_defaults(func=_cmd_experiment)
 
     p = sub.add_parser(
         "report", help="run the full light evaluation and print every table"
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the parallelised experiments",
     )
     p.set_defaults(func=_cmd_report)
 

@@ -10,7 +10,7 @@ classifier can see.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..analysis.datasets import DatasetScale
 from ..analysis.detect import sweep_normal_pec
@@ -50,13 +50,15 @@ def run(
     config: HidingConfig = STANDARD_CONFIG,
     seed: int = 0,
     title: str = "Fig. 10 — SVM accuracy (%) vs normal PEC, standard config",
+    workers: Optional[int] = None,
 ) -> Fig10Result:
     if scale is None:
         scale = DatasetScale(
             page_divisor=8, pages_per_block=6, blocks_per_class=10
         )
     outcomes = sweep_normal_pec(
-        config, hidden_pecs, normal_pecs, scale=scale, seed=seed
+        config, hidden_pecs, normal_pecs, scale=scale, seed=seed,
+        workers=workers,
     )
     summary = Table(
         title,

@@ -10,7 +10,7 @@ standard configuration's but far below the wear-mismatched regime.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..analysis.datasets import DatasetScale
 from ..hiding.config import ENHANCED_CONFIG
@@ -22,6 +22,7 @@ def run(
     normal_pecs: Sequence[int] = fig10.DEFAULT_NORMAL_PECS,
     scale: DatasetScale = None,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> fig10.Fig10Result:
     return fig10.run(
         hidden_pecs=hidden_pecs,
@@ -30,4 +31,5 @@ def run(
         config=ENHANCED_CONFIG,
         seed=seed,
         title="Fig. 12 — SVM accuracy (%), enhanced 10x-bits config",
+        workers=workers,
     )

@@ -8,19 +8,27 @@ combination.
 
 The driver instruments Algorithm 1's loop: after each PP step it performs
 the hidden read and records the BER, so one embedding yields the whole
-m-curve (exactly the paper's measurement).
+m-curve (exactly the paper's measurement).  All hidden pages of a block
+advance through the loop together, so each step costs one batched probe
+and one batched read instead of one chip call per page.
+
+The (interval, bits) configurations are independent work units — each owns
+its own block range on a freshly-derived chip sample — so the sweep fans
+out over worker processes (``workers=`` / ``REPRO_WORKERS``) with
+bit-identical results at any worker count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..hiding.config import STANDARD_CONFIG
 from ..hiding.selection import select_cells
 from ..nand.chip import FlashChip
+from ..parallel import ParallelRunner
 from .common import (
     Table,
     default_model,
@@ -55,6 +63,55 @@ class Fig6Result:
         return self.curves[(interval, bits)][steps - 1]
 
 
+def measure_ber_curves(
+    chip: FlashChip,
+    block: int,
+    pages: Sequence[int],
+    bits_list: Sequence[np.ndarray],
+    key,
+    threshold: float,
+    guard: float,
+    max_steps: int,
+    pp_fraction: float = STANDARD_CONFIG.pp_fraction,
+) -> np.ndarray:
+    """Embed hidden bits into several pages of one erased block, recording
+    each page's hidden BER after every PP step.
+
+    Returns a ``(len(pages), max_steps)`` array.  The pages advance
+    step-synchronised: one :meth:`~repro.nand.chip.FlashChip.
+    probe_voltages_batch` and one batched threshold-shifted read per step
+    cover every page.
+    """
+    publics = [
+        random_page_bits(chip, "fig6-public", block * 1000 + page)
+        for page in pages
+    ]
+    chip.program_pages(block, pages, publics)
+    cells_list: List[np.ndarray] = []
+    zero_list: List[np.ndarray] = []
+    for public, page, bits in zip(publics, pages, bits_list):
+        address = chip.geometry.page_address(block, page)
+        cells = select_cells(key, address, public, bits.size)
+        cells_list.append(cells)
+        zero_list.append(cells[bits == 0])
+    target = threshold + guard
+    curves = np.zeros((len(pages), max_steps))
+    for step in range(max_steps):
+        voltages = chip.probe_voltages_batch(block, pages)
+        for i, page in enumerate(pages):
+            below = zero_list[i][voltages[i, zero_list[i]] < target]
+            if below.size:
+                chip.partial_program(
+                    block, page, below, fraction=pp_fraction
+                )
+        readback = chip.read_pages(block, pages, threshold=threshold)
+        for i, bits in enumerate(bits_list):
+            curves[i, step] = float(
+                (readback[i, cells_list[i]] != bits).mean()
+            )
+    return curves
+
+
 def measure_ber_curve(
     chip: FlashChip,
     block: int,
@@ -66,22 +123,52 @@ def measure_ber_curve(
     max_steps: int,
     pp_fraction: float = STANDARD_CONFIG.pp_fraction,
 ) -> List[float]:
-    """Embed while recording hidden BER after every PP step."""
-    public = random_page_bits(chip, "fig6-public", block * 1000 + page)
-    chip.program_page(block, page, public)
-    address = chip.geometry.page_address(block, page)
-    cells = select_cells(key, address, public, bits.size)
-    zero_cells = cells[bits == 0]
-    target = threshold + guard
-    curve = []
-    for _ in range(max_steps):
-        voltages = chip.probe_voltages(block, page)
-        below = zero_cells[voltages[zero_cells] < target]
-        if below.size:
-            chip.partial_program(block, page, below, fraction=pp_fraction)
-        readback = chip.read_page(block, page, threshold=threshold)[cells]
-        curve.append(float((readback != bits).mean()))
-    return curve
+    """Single-page convenience wrapper around :func:`measure_ber_curves`."""
+    curves = measure_ber_curves(
+        chip, block, [page], [bits], key, threshold, guard, max_steps,
+        pp_fraction=pp_fraction,
+    )
+    return list(curves[0])
+
+
+def _config_unit(
+    interval: int,
+    bits_count: int,
+    block_start: int,
+    blocks_per_config: int,
+    max_steps: int,
+    bits_scale_divisor: int,
+    seed: int,
+) -> Tuple[np.ndarray, int]:
+    """One work unit: the full per-config block/trial range.
+
+    Rebuilds the chip sample and key from seeds, so the unit computes the
+    same bits in any process.  Returns (summed curves, sample count).
+    """
+    model = default_model(pages_per_block=8)
+    chip = make_samples(model, 1, base_seed=6000 + seed)[0]
+    key = experiment_key(f"fig6-{seed}")
+    threshold = STANDARD_CONFIG.threshold
+    guard = STANDARD_CONFIG.guard
+    stride = interval + 1
+    scaled_bits = max(bits_count // bits_scale_divisor, 8)
+    accumulated = np.zeros(max_steps)
+    samples = 0
+    for rep in range(blocks_per_config):
+        blk = (block_start + rep) % chip.geometry.n_blocks
+        chip.erase_block(blk)
+        pages = list(range(0, chip.geometry.pages_per_block, stride))
+        bits_list = [
+            random_bits(scaled_bits, "fig6-hidden", blk * 100 + page)
+            for page in pages
+        ]
+        curves = measure_ber_curves(
+            chip, blk, pages, bits_list, key, threshold, guard, max_steps
+        )
+        accumulated += curves.sum(axis=0)
+        samples += len(pages)
+        chip.release_block(blk)
+    return accumulated, samples
 
 
 def run(
@@ -91,42 +178,40 @@ def run(
     blocks_per_config: int = 2,
     bits_scale_divisor: int = 4,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> Fig6Result:
     """Regenerate the Fig. 6 sweep.
 
     `bits_scale_divisor` shrinks hidden-bit counts in proportion to the
     scaled page size (the default experiment model divides pages by 4);
-    pass 1 with a full-page model for paper-fidelity counts.
+    pass 1 with a full-page model for paper-fidelity counts.  `workers`
+    fans the configuration grid out over processes (default: the
+    ``REPRO_WORKERS`` environment variable, then ``os.cpu_count()``);
+    results are identical for every worker count.
     """
-    model = default_model(pages_per_block=8)
-    chip = make_samples(model, 1, base_seed=6000 + seed)[0]
-    key = experiment_key(f"fig6-{seed}")
-    threshold = STANDARD_CONFIG.threshold
-    guard = STANDARD_CONFIG.guard
+    config_keys: List[ConfigKey] = [
+        (interval, bits_count)
+        for interval in page_intervals
+        for bits_count in bit_counts
+    ]
+    units = [
+        (
+            interval,
+            bits_count,
+            index * blocks_per_config,
+            blocks_per_config,
+            max_steps,
+            bits_scale_divisor,
+            seed,
+        )
+        for index, (interval, bits_count) in enumerate(config_keys)
+    ]
+    partials = ParallelRunner(workers).map(_config_unit, units)
     curves: Dict[ConfigKey, List[float]] = {}
-    block = 0
-    for interval in page_intervals:
-        stride = interval + 1
-        for bits_count in bit_counts:
-            scaled_bits = max(bits_count // bits_scale_divisor, 8)
-            accumulated = np.zeros(max_steps)
-            samples = 0
-            for rep in range(blocks_per_config):
-                chip.erase_block(block % chip.geometry.n_blocks)
-                blk = block % chip.geometry.n_blocks
-                block += 1
-                for page in range(0, chip.geometry.pages_per_block, stride):
-                    bits = random_bits(
-                        scaled_bits, "fig6-hidden", blk * 100 + page
-                    )
-                    curve = measure_ber_curve(
-                        chip, blk, page, bits, key, threshold, guard,
-                        max_steps,
-                    )
-                    accumulated += np.asarray(curve)
-                    samples += 1
-                chip.release_block(blk)
-            curves[(interval, bits_count)] = list(accumulated / samples)
+    for (interval, bits_count), (accumulated, samples) in zip(
+        config_keys, partials
+    ):
+        curves[(interval, bits_count)] = list(accumulated / samples)
     summary = Table(
         "Fig. 6 — hidden BER vs PP steps (per interval+bits config)",
         ("interval", "bits/page", "BER@1", "BER@3", "BER@5", "BER@10",

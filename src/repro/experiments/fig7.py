@@ -8,7 +8,7 @@ irregularity "within the bounds of naturally occurring variance".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from .common import Table
 from . import fig6
@@ -33,6 +33,7 @@ def run(
     bit_counts: Sequence[int] = fig6.DEFAULT_BIT_COUNTS,
     blocks_per_config: int = 2,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> Fig7Result:
     sweep = fig6.run(
         page_intervals=page_intervals,
@@ -40,6 +41,7 @@ def run(
         max_steps=10,
         blocks_per_config=blocks_per_config,
         seed=seed,
+        workers=workers,
     )
     points = {
         key: curve[-1] for key, curve in sweep.curves.items()

@@ -11,6 +11,7 @@ erased"; the hidden volume registers this hook to do exactly that.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
@@ -22,7 +23,40 @@ from .mapping import PageMap, PhysicalPage
 from .wear_leveling import least_worn_free_block
 
 #: Hook signature: (lpa, old_location, new_location, new_page_bits).
+#: ``new_page_bits`` are the exact bits the FTL just programmed at the new
+#: location (post-ECC-encode), so hidden-data owners can re-embed without
+#: re-reading the public page.  Legacy three-argument hooks still work.
 RelocationHook = Callable[[int, PhysicalPage, PhysicalPage], None]
+
+
+def _adapt_hook(hook: Callable, max_args: int) -> Callable:
+    """Wrap a hook so callbacks written for the older, shorter signature
+    keep working: extra trailing arguments are dropped if the hook cannot
+    accept them."""
+    try:
+        parameters = inspect.signature(hook).parameters.values()
+    except (TypeError, ValueError):  # builtins, odd callables: pass all
+        return hook
+    if any(
+        p.kind is inspect.Parameter.VAR_POSITIONAL for p in parameters
+    ):
+        return hook
+    accepted = sum(
+        1
+        for p in parameters
+        if p.kind
+        in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        )
+    )
+    if accepted >= max_args:
+        return hook
+
+    def adapted(*args):
+        return hook(*args[:accepted])
+
+    return adapted
 
 
 class FtlError(Exception):
@@ -119,11 +153,14 @@ class Ftl:
     def add_relocation_hook(self, hook: RelocationHook) -> None:
         """Register a callback fired after GC copies a valid page.
 
-        The hook receives (lpa, old_location, new_location) *before* the
-        old block is erased, giving hidden-data owners their §5.1 window to
-        re-embed.
+        The hook receives (lpa, old_location, new_location,
+        new_page_bits) *before* the old block is erased, giving
+        hidden-data owners their §5.1 window to re-embed —
+        ``new_page_bits`` spares them re-reading public data they are
+        about to embed into.  Hooks taking only the first three arguments
+        are still supported.
         """
-        self._relocation_hooks.append(hook)
+        self._relocation_hooks.append(_adapt_hook(hook, 4))
 
     def add_invalidation_hook(
         self, hook: Callable[[int, PhysicalPage], None]
@@ -150,11 +187,13 @@ class Ftl:
     ) -> None:
         """Register a callback fired after each *host* write lands.
 
-        Receives (lpa, new physical location).  This is the cover-traffic
-        signal of §9.2: a freshly-programmed page whose voltage changes
-        are fully explained by visible public activity.
+        Receives (lpa, new physical location, programmed page bits).
+        This is the cover-traffic signal of §9.2: a freshly-programmed
+        page whose voltage changes are fully explained by visible public
+        activity.  The bits let a piggybacking embedder skip the public
+        read.  Hooks taking only (lpa, location) are still supported.
         """
-        self._write_hooks.append(hook)
+        self._write_hooks.append(_adapt_hook(hook, 3))
 
     def write(self, lpa: int, data: bytes) -> PhysicalPage:
         """Write a logical page; returns its new physical location."""
@@ -165,14 +204,14 @@ class Ftl:
                 f"{self.page_data_bytes}"
             )
         old_location = self.page_map.lookup(lpa)
-        location = self._program(data)
+        location, bits = self._program(data)
         self.page_map.bind(lpa, location)
         self.stats.host_writes += 1
         if old_location is not None:
             for hook in self._invalidation_hooks:
                 hook(lpa, old_location)
         for hook in self._write_hooks:
-            hook(lpa, location)
+            hook(lpa, location, bits)
         self._maybe_collect()
         return location
 
@@ -211,7 +250,8 @@ class Ftl:
         data, _ = self.pipeline.decode(raw, page_address=address)
         return data
 
-    def _program(self, data: bytes) -> PhysicalPage:
+    def _program(self, data: bytes):
+        """Program a page; returns ((block, page), programmed bits)."""
         block = self._writable_block()
         page = self.page_map.advance_write_pointer(block)
         address = self.chip.geometry.page_address(block, page)
@@ -223,7 +263,7 @@ class Ftl:
         ):
             self._closed_blocks.append(block)
             self._open_block = None
-        return (block, page)
+        return (block, page), bits
 
     def _writable_block(self) -> int:
         if self._open_block is not None:
@@ -274,11 +314,11 @@ class Ftl:
             return  # nothing reclaimable
         for location, lpa in self.page_map.valid_locations_in(victim):
             data = self._read_physical(location)
-            new_location = self._program(data)
+            new_location, new_bits = self._program(data)
             self.page_map.bind(lpa, new_location)
             self.stats.gc_relocations += 1
             for hook in self._relocation_hooks:
-                hook(lpa, location, new_location)
+                hook(lpa, location, new_location, new_bits)
         self._closed_blocks.remove(victim)
         try:
             self.chip.erase_block(victim)

@@ -23,7 +23,7 @@ observable order the paper's prototype uses.)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -113,45 +113,109 @@ class VtHi:
         knows the public bits (it usually does — it just programmed them),
         passing them skips one public read.
         """
-        bits = np.asarray(hidden_bits, dtype=np.uint8)
-        if bits.ndim != 1 or bits.size > self.config.bits_per_page:
+        return self.embed_pages(
+            block,
+            [page],
+            [hidden_bits],
+            key,
+            public_bits=None if public_bits is None else [public_bits],
+        )[0]
+
+    def embed_pages(
+        self,
+        block: int,
+        pages: Sequence[int],
+        hidden_bits: Sequence[np.ndarray],
+        key: HidingKey,
+        public_bits: Optional[Sequence[Optional[np.ndarray]]] = None,
+    ) -> List[EmbedStats]:
+        """Embed hidden bits into several pages of one block at once.
+
+        Runs Algorithm 1's read-PP loop *step-synchronised* across the
+        pages: each iteration issues one
+        :meth:`~repro.nand.chip.FlashChip.probe_voltages_batch` over every
+        page still converging, then pulses each page's remaining cells.
+        Per-page outcomes are bit-identical to embedding the pages one
+        after another (pulse randomness, probe values and step counts are
+        all per-page state), but the probe — the embed hot path — runs as
+        one vectorised chip op per step instead of one per page per step.
+        """
+        if len(hidden_bits) != len(pages):
             raise ValueError(
-                f"hidden bits must be a vector of <= "
-                f"{self.config.bits_per_page} bits, got shape {bits.shape}"
+                f"got {len(hidden_bits)} hidden-bit vectors for "
+                f"{len(pages)} pages"
             )
-        if not self.chip.is_page_programmed(block, page):
-            raise SelectionError(
-                f"page {page} of block {block} holds no public data; "
-                "VT-HI hides inside public data (§5.1)"
-            )
-        address = self.chip.geometry.page_address(block, page)
         if public_bits is None:
-            public_bits = self.public_view(block, page)
-        cells = select_cells(key, address, public_bits, bits.size)
-        zero_cells = cells[bits == 0]
-        target = self.config.threshold + self.config.guard
-        steps = 0
-        below = zero_cells
-        for _ in range(self.config.pp_steps):
-            voltages = self.chip.probe_voltages(block, page)
-            below = zero_cells[voltages[zero_cells] < target]
-            if below.size == 0:
-                break
-            self.chip.partial_program(
-                block,
-                page,
-                below,
-                fraction=self.config.pp_fraction,
-                precision=self.config.pp_precision,
+            public_bits = [None] * len(pages)
+        elif len(public_bits) != len(pages):
+            raise ValueError(
+                f"got {len(public_bits)} public-bit vectors for "
+                f"{len(pages)} pages"
             )
-            steps += 1
-        return EmbedStats(
-            page_address=address,
-            n_hidden_bits=int(bits.size),
-            n_zero_bits=int(zero_cells.size),
-            pp_steps_used=steps,
-            cells_left_below=int(below.size),
-        )
+        all_bits: List[np.ndarray] = []
+        for bits in hidden_bits:
+            bits = np.asarray(bits, dtype=np.uint8)
+            if bits.ndim != 1 or bits.size > self.config.bits_per_page:
+                raise ValueError(
+                    f"hidden bits must be a vector of <= "
+                    f"{self.config.bits_per_page} bits, got shape "
+                    f"{bits.shape}"
+                )
+            all_bits.append(bits)
+        for page in pages:
+            if not self.chip.is_page_programmed(block, page):
+                raise SelectionError(
+                    f"page {page} of block {block} holds no public data; "
+                    "VT-HI hides inside public data (§5.1)"
+                )
+        addresses = [
+            self.chip.geometry.page_address(block, page) for page in pages
+        ]
+        zero_cells: List[np.ndarray] = []
+        for i, page in enumerate(pages):
+            public = public_bits[i]
+            if public is None:
+                public = self.public_view(block, page)
+            cells = select_cells(
+                key, addresses[i], public, all_bits[i].size
+            )
+            zero_cells.append(cells[all_bits[i] == 0])
+        target = self.config.threshold + self.config.guard
+        steps = [0] * len(pages)
+        below = list(zero_cells)
+        active = list(range(len(pages)))
+        for _ in range(self.config.pp_steps):
+            if not active:
+                break
+            probe_pages = [pages[i] for i in active]
+            voltages = self.chip.probe_voltages_batch(block, probe_pages)
+            still_active = []
+            for row, i in enumerate(active):
+                below[i] = zero_cells[i][
+                    voltages[row, zero_cells[i]] < target
+                ]
+                if below[i].size == 0:
+                    continue
+                self.chip.partial_program(
+                    block,
+                    pages[i],
+                    below[i],
+                    fraction=self.config.pp_fraction,
+                    precision=self.config.pp_precision,
+                )
+                steps[i] += 1
+                still_active.append(i)
+            active = still_active
+        return [
+            EmbedStats(
+                page_address=addresses[i],
+                n_hidden_bits=int(all_bits[i].size),
+                n_zero_bits=int(zero_cells[i].size),
+                pp_steps_used=steps[i],
+                cells_left_below=int(below[i].size),
+            )
+            for i in range(len(pages))
+        ]
 
     def read_bits(
         self,

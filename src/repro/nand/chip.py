@@ -263,6 +263,143 @@ class FlashChip:
         return np.packbits(self.read_page(block, page)).tobytes()
 
     # ------------------------------------------------------------------
+    # batched operations
+    #
+    # Each batch op is bit-identical to calling its single-page
+    # counterpart once per page, in list order, and accounts the same
+    # operation counts/time/energy — it only removes the per-page Python
+    # dispatch and performs the array work in one numpy pass over
+    # ``BlockState.voltages``.  Pages must be distinct (the serial loops
+    # these mirror never legally touch a page twice).
+
+    def program_pages(
+        self, block: int, pages: Sequence[int], data
+    ) -> None:
+        """Program public data into many erased pages of one block.
+
+        `data` is a ``(len(pages), cells_per_page)`` bit array or a
+        sequence of per-page :data:`DataLike` payloads.  Equivalent to
+        ``for p, d in zip(pages, data): program_page(block, p, d)``.
+        """
+        pages = self._check_pages(block, pages)
+        state = self._block(block)
+        if state.bad:
+            raise ProgramError(f"block {block} is marked bad")
+        if state.page_programmed[pages].any():
+            already = [int(p) for p in pages if state.page_programmed[p]]
+            raise ProgramError(
+                f"pages {already} of block {block} already programmed; "
+                "NAND requires erase before reprogram"
+            )
+        data = list(data)
+        if len(data) != len(pages):
+            raise ProgramError(
+                f"got {len(data)} payloads for {len(pages)} pages"
+            )
+        n = self.geometry.cells_per_page
+        all_bits = np.stack([self._as_bits(d) for d in data])
+        voltages = np.empty((len(pages), n), dtype=np.float32)
+        for i, page in enumerate(pages):
+            # Per-page RNG substreams keep the batch bit-identical to the
+            # serial loop; the sampling itself is vectorised over cells.
+            levels = self._page_levels(state, int(page))
+            rng = substream(
+                self.seed, "program", block, int(page), state.erase_epoch
+            )
+            ones = all_bits[i] == 1
+            n_ones = int(ones.sum())
+            if n_ones:
+                voltages[i, ones] = sample_erased(rng, n_ones, levels)
+            if n_ones < n:
+                voltages[i, ~ones] = sample_programmed(rng, n - n_ones, levels)
+        state.voltages[pages] = voltages
+        state.page_programmed[pages] = True
+        state.page_program_time[pages] = self.clock
+        state.page_pec[pages] = state.pec
+        state.page_epoch[pages] = state.erase_epoch
+        flip_prob = self.params.disturb.program_flip_prob
+        for page in pages:
+            self._expose_neighbours(state, int(page), flip_prob)
+        self._account("program", len(pages))
+
+    def probe_voltages_batch(
+        self, block: int, pages: Sequence[int]
+    ) -> np.ndarray:
+        """Per-cell voltages of many pages, shape ``(len(pages), cells)``.
+
+        Equivalent to stacking :meth:`probe_voltages` per page; one read
+        operation is accounted per page probed.
+        """
+        pages = self._check_pages(block, pages)
+        state = self._block(block)
+        voltages = self._effective_voltages_batch(state, pages)
+        self._account("read", len(pages))
+        quantised = np.clip(
+            np.rint(voltages), 0, self.params.voltage.probe_max
+        )
+        return quantised.astype(np.uint8)
+
+    def read_pages(
+        self,
+        block: int,
+        pages: Sequence[int],
+        threshold: Optional[float] = None,
+    ) -> np.ndarray:
+        """Read many pages as a ``(len(pages), cells)`` bit array.
+
+        Equivalent to stacking :meth:`read_page` per page (disturb masks
+        are computed against each page's pre-read exposure, exactly as the
+        serial loop over distinct pages does).
+        """
+        pages = self._check_pages(block, pages)
+        state = self._block(block)
+        if threshold is None:
+            threshold = self.params.voltage.slc_threshold
+        voltages = self._effective_voltages_batch(state, pages)
+        bits = (voltages < threshold).astype(np.uint8)
+        for i, page in enumerate(pages):
+            flip = self._disturb_mask(state, int(page))
+            if flip.any():
+                bits[i, flip] ^= 1
+        state.page_exposure[pages] += self.params.disturb.read_flip_prob
+        self._account("read", len(pages))
+        return bits
+
+    def _check_pages(self, block: int, pages: Sequence[int]) -> np.ndarray:
+        pages = np.asarray(pages, dtype=np.int64)
+        if pages.ndim != 1 or pages.size == 0:
+            raise AddressError("pages must be a non-empty 1-D sequence")
+        for page in pages:
+            self.geometry.check_page(block, int(page))
+        if np.unique(pages).size != pages.size:
+            raise AddressError("batched pages must be distinct")
+        return pages
+
+    def _effective_voltages_batch(
+        self, state: BlockState, pages: np.ndarray
+    ) -> np.ndarray:
+        """Stacked :meth:`_effective_voltages` rows for distinct pages."""
+        voltages = state.voltages[pages]  # fancy indexing copies
+        for i, page in enumerate(pages):
+            page = int(page)
+            if not state.page_programmed[page]:
+                continue
+            elapsed = self.clock - state.page_program_time[page]
+            if elapsed <= 0:
+                continue
+            voltages[i] -= leakage(
+                self.params.retention,
+                chip_seed=self.seed,
+                block=state.index,
+                page=page,
+                epoch=int(state.page_epoch[page]),
+                elapsed_s=elapsed,
+                pec_at_program=int(state.page_pec[page]),
+                n_cells=self.geometry.cells_per_page,
+            )
+        return voltages
+
+    # ------------------------------------------------------------------
     # vendor (NDA) operations
 
     def probe_voltages(self, block: int, page: int) -> np.ndarray:
@@ -533,23 +670,24 @@ class FlashChip:
                 if 0 <= neighbour < self.geometry.pages_per_block:
                     state.page_exposure[neighbour] += flip_prob
 
-    def _account(self, op: str) -> None:
+    def _account(self, op: str, count: int = 1) -> None:
         costs = self.params.costs
         if op == "read":
-            self.counters.reads += 1
-            self.counters.busy_time_s += costs.t_read
-            self.counters.energy_j += costs.e_read
+            self.counters.reads += count
+            time, energy = costs.t_read, costs.e_read
         elif op == "program":
-            self.counters.programs += 1
-            self.counters.busy_time_s += costs.t_program
-            self.counters.energy_j += costs.e_program
+            self.counters.programs += count
+            time, energy = costs.t_program, costs.e_program
         elif op == "erase":
-            self.counters.erases += 1
-            self.counters.busy_time_s += costs.t_erase
-            self.counters.energy_j += costs.e_erase
+            self.counters.erases += count
+            time, energy = costs.t_erase, costs.e_erase
         elif op == "partial_program":
-            self.counters.partial_programs += 1
-            self.counters.busy_time_s += costs.t_partial_program
-            self.counters.energy_j += costs.e_partial_program
+            self.counters.partial_programs += count
+            time, energy = costs.t_partial_program, costs.e_partial_program
         else:  # pragma: no cover - internal misuse
             raise ValueError(f"unknown op {op!r}")
+        # Accumulate per operation so batched calls reproduce the serial
+        # loop's float totals exactly (addition is not associative).
+        for _ in range(count):
+            self.counters.busy_time_s += time
+            self.counters.energy_j += energy

@@ -10,6 +10,7 @@ through these samplers.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -45,6 +46,11 @@ def page_levels(
 ) -> PageLevels:
     """Effective voltage levels for a page.
 
+    Memoized: the derivation is pure in its arguments, and experiments
+    hammer the same handful of ``(params, pec, offsets)`` combinations —
+    every trial on a same-wear block re-derives identical levels.  The
+    returned :class:`PageLevels` is frozen, so sharing is safe.
+
     Args:
         params: the chip model.
         pec: program/erase cycles endured by the containing block.
@@ -53,6 +59,20 @@ def page_levels(
         tail_mult: per-block x per-page charged-tail-mass multiplier.
         tail_scale_mult: per-block x per-page charged-tail-depth multiplier.
     """
+    return _page_levels_cached(
+        params, pec, mean_offset, std_mult, tail_mult, tail_scale_mult
+    )
+
+
+@lru_cache(maxsize=8192)
+def _page_levels_cached(
+    params: ChipParams,
+    pec: int,
+    mean_offset: float,
+    std_mult: float,
+    tail_mult: float,
+    tail_scale_mult: float,
+) -> PageLevels:
     voltage = params.voltage
     wear = params.wear
     kpec = pec / 1000.0

@@ -1,0 +1,105 @@
+"""Deterministic process-pool experiment engine.
+
+The paper's evaluation is embarrassingly parallel: four independent chip
+samples, per-block trials, a grid of (wear, configuration) points (§6-§8).
+Every experiment driver therefore decomposes into *work units* — typically
+``(chip seed, block/trial range)`` tuples — whose randomness derives from
+the :mod:`repro.rng` substream hierarchy, never from shared mutable state.
+That property makes fan-out trivial *and* exact: a unit computes the same
+bits whether it runs in the main process, in any worker, in any order.
+
+:class:`ParallelRunner` executes units through a
+:class:`concurrent.futures.ProcessPoolExecutor` and returns partial results
+in *submission* order, so the caller's merge is deterministic regardless of
+worker count or OS scheduling.  ``workers=1`` (the default on single-core
+machines) bypasses the pool entirely — no processes, no pickling, identical
+results.
+
+Worker-count resolution, in priority order:
+
+1. an explicit ``workers=`` argument (drivers expose it; the CLI maps
+   ``--workers`` onto it);
+2. the ``REPRO_WORKERS`` environment variable;
+3. ``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, List, Optional, Sequence, Tuple
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The effective worker count (kwarg > ``REPRO_WORKERS`` > cpu_count)."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{WORKERS_ENV} must be an integer, got {env!r}"
+                ) from None
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def split_range(n: int, n_units: int) -> List[Tuple[int, int]]:
+    """Split ``range(n)`` into at most `n_units` contiguous (start, stop)
+    spans of near-equal size, preserving order.  Useful for carving a
+    driver's block/trial loop into work units."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    n_units = max(min(n_units, n), 1)
+    spans = []
+    base, extra = divmod(n, n_units)
+    start = 0
+    for i in range(n_units):
+        stop = start + base + (1 if i < extra else 0)
+        if stop > start:
+            spans.append((start, stop))
+        start = stop
+    return spans
+
+
+class ParallelRunner:
+    """Run independent, deterministic work units across worker processes.
+
+    `fn` must be a module-level (picklable) function; each unit is the
+    tuple of positional arguments for one call.  Results come back in unit
+    order.  Exceptions in workers propagate to the caller.
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = resolve_workers(workers)
+
+    def map(self, fn: Callable, units: Sequence[tuple]) -> list:
+        units = list(units)
+        if self.workers == 1 or len(units) <= 1:
+            return [fn(*unit) for unit in units]
+        results: list = [None] * len(units)
+        max_workers = min(self.workers, len(units))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(fn, *unit): index
+                for index, unit in enumerate(units)
+            }
+            for future in as_completed(futures):
+                results[futures[future]] = future.result()
+        return results
+
+
+def run_units(
+    fn: Callable,
+    units: Sequence[tuple],
+    workers: Optional[int] = None,
+) -> list:
+    """One-shot convenience wrapper around :class:`ParallelRunner`."""
+    return ParallelRunner(workers).map(fn, units)

@@ -61,7 +61,9 @@ class CoverTrafficPolicy:
 
     # ------------------------------------------------------------------
 
-    def _on_public_write(self, lpa: int, location: Location) -> None:
+    def _on_public_write(
+        self, lpa: int, location: Location, page_bits=None
+    ) -> None:
         """A public program just created a fresh page: use it as cover."""
         if self._armed or not self._pending:
             return
@@ -75,7 +77,9 @@ class CoverTrafficPolicy:
         # keep the guard in case future policies do.
         self._armed = True
         try:
-            self.volume.write_at(lba, data, host=location)
+            self.volume.write_at(
+                lba, data, host=location, public_bits=page_bits
+            )
         except HiddenVolumeError:
             return  # wait for a better-placed public write
         finally:

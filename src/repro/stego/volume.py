@@ -107,13 +107,21 @@ class HiddenVolume:
         if old is not None:
             self._hosts.discard(old[0])
 
-    def write_at(self, lba: int, data: bytes, host: Location) -> None:
+    def write_at(
+        self,
+        lba: int,
+        data: bytes,
+        host: Location,
+        public_bits=None,
+    ) -> None:
         """Write a hidden block into a *specific* host page.
 
         Used by the cover-traffic policy (§9.2): the caller names a page
         that public activity just programmed, so the embedding hides under
         visible cover.  The host must be hidden-eligible, hold valid
-        public data, and be unburned this erase cycle.
+        public data, and be unburned this erase cycle.  `public_bits` —
+        the page bits public activity just programmed, as delivered by the
+        FTL write hook — lets the embedding skip re-reading them.
         """
         if len(data) > self.slot_data_bytes:
             raise HiddenVolumeError(
@@ -132,7 +140,12 @@ class HiddenVolume:
                 f"host {host} holds no valid public data"
             )
         self._seq += 1
-        self._embed(host, SlotHeader(lba, self._seq, len(data)), data)
+        self._embed(
+            host,
+            SlotHeader(lba, self._seq, len(data)),
+            data,
+            public_bits=public_bits,
+        )
         old = self._slots.get(lba)
         self._slots[lba] = (host, len(data), self._seq)
         self._hosts.add(host)
@@ -258,7 +271,13 @@ class HiddenVolume:
             key=lambda loc: (self.ftl.chip.block_pec(loc[0]), loc),
         )
 
-    def _embed(self, host: Location, header: SlotHeader, payload: bytes) -> None:
+    def _embed(
+        self,
+        host: Location,
+        header: SlotHeader,
+        payload: bytes,
+        public_bits=None,
+    ) -> None:
         if host in self._burned:
             raise HiddenVolumeError(
                 f"host {host} already carries an embedding this erase cycle"
@@ -271,15 +290,19 @@ class HiddenVolume:
         block, page = host
         address = self.ftl.chip.geometry.page_address(block, page)
         coded = self.vthi.codec.encode(self.key, address, blob)
-        self.vthi.embed_bits(block, page, coded, self.key)
+        self.vthi.embed_bits(
+            block, page, coded, self.key, public_bits=public_bits
+        )
         self._burned.add(host)
         self._embed_time[header.lba] = self.ftl.chip.clock
 
     # ------------------------------------------------------------------
     # FTL hooks (§5.1 re-embedding)
 
-    def _on_relocation(self, lpa: int, old: Location, new: Location) -> None:
-        self._rescue(old, preferred=new)
+    def _on_relocation(
+        self, lpa: int, old: Location, new: Location, new_bits=None
+    ) -> None:
+        self._rescue(old, preferred=new, preferred_bits=new_bits)
 
     def _on_invalidation(self, lpa: int, old: Location) -> None:
         self._rescue(old, preferred=None)
@@ -287,7 +310,12 @@ class HiddenVolume:
     def _on_erase(self, block: int) -> None:
         self._burned = {loc for loc in self._burned if loc[0] != block}
 
-    def _rescue(self, old: Location, preferred: Optional[Location]) -> None:
+    def _rescue(
+        self,
+        old: Location,
+        preferred: Optional[Location],
+        preferred_bits=None,
+    ) -> None:
         for lba, (host, length, seq) in list(self._slots.items()):
             if host != old:
                 continue
@@ -302,6 +330,7 @@ class HiddenVolume:
             _, payload = parsed
             stride = self.vthi.config.page_stride
             target = None
+            target_bits = None
             if (
                 preferred is not None
                 and preferred[1] % stride == 0
@@ -309,6 +338,9 @@ class HiddenVolume:
                 and preferred not in self._burned
             ):
                 target = preferred
+                # The FTL hands over the bits it just programmed there,
+                # so the re-embedding skips the public-page read.
+                target_bits = preferred_bits
             else:
                 candidates = (
                     self._eligible_hosts() - self._hosts - self._burned - {old}
@@ -326,7 +358,12 @@ class HiddenVolume:
                     f"no host available to rescue hidden block {lba}"
                 )
             self._seq += 1
-            self._embed(target, SlotHeader(lba, self._seq, length), payload)
+            self._embed(
+                target,
+                SlotHeader(lba, self._seq, length),
+                payload,
+                public_bits=target_bits,
+            )
             self._slots[lba] = (target, length, self._seq)
             self._hosts.discard(old)
             self._hosts.add(target)

@@ -1,0 +1,152 @@
+"""The parallel experiment engine: worker resolution, mapping, determinism.
+
+The contract under test is the tentpole guarantee: every ported driver
+returns byte-identical rows at any worker count, because each work unit
+re-derives its randomness from seeds instead of sharing state.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.datasets import DatasetScale
+from repro.experiments import fig6, fig7, fig10, reliability
+from repro.parallel import (
+    WORKERS_ENV,
+    ParallelRunner,
+    resolve_workers,
+    run_units,
+    split_range,
+)
+
+#: Tiny driver parameters so each serial/parallel pair runs in seconds.
+FIG6_TINY = dict(
+    page_intervals=(0, 1), bit_counts=(32,), max_steps=5,
+    blocks_per_config=1,
+)
+FIG10_TINY = dict(
+    hidden_pecs=(0,),
+    normal_pecs=(0, 2000),
+    scale=DatasetScale(page_divisor=16, pages_per_block=4,
+                       blocks_per_class=3),
+)
+
+
+def _double(x):
+    return 2 * x
+
+
+def _add(x, y):
+    return x + y
+
+
+def _boom(x):
+    raise ValueError(f"unit {x} failed")
+
+
+class TestResolveWorkers:
+    def test_kwarg_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_wins_over_cpu_count(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "5")
+        assert resolve_workers() == 5
+
+    def test_defaults_to_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers() == (os.cpu_count() or 1)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
+    def test_rejects_bad_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        with pytest.raises(ValueError):
+            resolve_workers()
+
+
+class TestSplitRange:
+    def test_covers_range_contiguously(self):
+        spans = split_range(10, 3)
+        assert [i for start, stop in spans for i in range(start, stop)] \
+            == list(range(10))
+
+    def test_near_equal_sizes(self):
+        sizes = [stop - start for start, stop in split_range(11, 4)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_units_than_items(self):
+        spans = split_range(2, 5)
+        assert sum(stop - start for start, stop in spans) == 2
+        assert all(stop > start for start, stop in spans)
+
+
+class TestParallelRunnerMap:
+    def test_serial_map(self):
+        assert ParallelRunner(1).map(_double, [(i,) for i in range(5)]) \
+            == [0, 2, 4, 6, 8]
+
+    def test_pooled_map_preserves_order(self):
+        units = [(i,) for i in range(20)]
+        assert ParallelRunner(2).map(_double, units) \
+            == ParallelRunner(1).map(_double, units)
+
+    def test_multi_argument_units(self):
+        assert run_units(_add, [(1, 2), (3, 4)], workers=2) == [3, 7]
+
+    def test_single_unit_skips_pool(self):
+        assert ParallelRunner(8).map(_double, [(21,)]) == [42]
+
+    def test_exception_propagates_serial(self):
+        with pytest.raises(ValueError, match="unit 3"):
+            ParallelRunner(1).map(_boom, [(3,)])
+
+    def test_exception_propagates_pooled(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(2).map(_boom, [(0,), (1,)])
+
+
+class TestDriverDeterminism:
+    """Serial vs pooled rows are identical for every ported driver."""
+
+    def test_fig6(self):
+        serial = fig6.run(workers=1, **FIG6_TINY)
+        pooled = fig6.run(workers=2, **FIG6_TINY)
+        assert serial.rows() == pooled.rows()
+        assert serial.curves == pooled.curves
+
+    def test_fig7(self):
+        serial = fig7.run(
+            page_intervals=(0, 1), bit_counts=(32,), blocks_per_config=1,
+            workers=1,
+        )
+        pooled = fig7.run(
+            page_intervals=(0, 1), bit_counts=(32,), blocks_per_config=1,
+            workers=2,
+        )
+        assert serial.rows() == pooled.rows()
+        assert serial.points == pooled.points
+
+    def test_reliability(self):
+        serial = reliability.run(
+            pec_levels=(0, 1000), n_chips=2, pages=2, workers=1
+        )
+        pooled = reliability.run(
+            pec_levels=(0, 1000), n_chips=2, pages=2, workers=2
+        )
+        assert serial.rows() == pooled.rows()
+        assert serial.ber_by_pec == pooled.ber_by_pec
+
+    def test_fig10(self):
+        serial = fig10.run(workers=1, **FIG10_TINY)
+        pooled = fig10.run(workers=2, **FIG10_TINY)
+        assert serial.rows() == pooled.rows()
+        assert serial.outcomes == pooled.outcomes
+
+    def test_env_variable_reaches_drivers(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        from_env = fig6.run(**FIG6_TINY)
+        monkeypatch.delenv(WORKERS_ENV)
+        assert from_env.rows() == fig6.run(workers=1, **FIG6_TINY).rows()
