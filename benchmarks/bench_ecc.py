@@ -1,0 +1,162 @@
+"""Scalar vs batch BCH throughput on page-shaped workloads → BENCH_ecc.json.
+
+Times four hot-path shapes on the public pipeline's code (BCH m=13, t=8,
+page split into ~`words_per_page` shortened codewords, as `PagePipeline`
+does for the TEST_MODEL page):
+
+- ``encode``: full-page encode, scalar loop vs ``encode_many``;
+- ``decode_clean``: error-free page decode — the FTL/stego common case the
+  all-zero-syndrome fast path exists for;
+- ``decode_dirty``: every codeword carries t errors — worst case, bounded
+  below by the scalar Berlekamp-Massey/Chien work both paths share.
+
+Acceptance bars (ISSUE 2): batch/scalar >= 5x for ``decode_clean`` and
+>= 2x for ``encode``.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ecc.py [output.json]
+    PYTHONPATH=src python benchmarks/bench_ecc.py --tiny   # CI smoke
+
+``--tiny`` shrinks the workload so the whole script runs in seconds and
+skips the speedup assertions (tiny batches can't amortise anything); it
+still exercises every kernel and verifies scalar/batch agreement.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.ecc.bch import get_code
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_ecc.json"
+
+#: The public page pipeline's codec (cli.py init uses m=13, t=8).
+CODE_PARAMS = (13, 8)
+
+FULL = dict(words_per_page=2, word_bits=4512, pages=64, repeats=3)
+TINY = dict(words_per_page=2, word_bits=512, pages=2, repeats=1)
+
+#: (benchmark name, minimum batch/scalar speedup) — ISSUE 2 acceptance.
+SPEEDUP_FLOORS = {"decode_clean": 5.0, "encode": 2.0}
+
+
+def _page_words(code, word_bits, pages, words_per_page, with_errors):
+    """Encoded words for `pages` pages, optionally t errors per word."""
+    rng = np.random.default_rng(1234)
+    data_bits = word_bits - code.n_parity
+    datas = [
+        rng.integers(0, 2, data_bits).astype(np.uint8)
+        for _ in range(pages * words_per_page)
+    ]
+    coded = code.encode_many(datas)
+    if with_errors:
+        for word in coded:
+            positions = rng.choice(word.size, size=code.t, replace=False)
+            word[positions] ^= 1
+    return datas, coded
+
+
+def _time(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def collect(params) -> dict:
+    code = get_code(*CODE_PARAMS)
+    repeats = params["repeats"]
+    datas, clean = _page_words(
+        code, params["word_bits"], params["pages"],
+        params["words_per_page"], with_errors=False,
+    )
+    _, dirty = _page_words(
+        code, params["word_bits"], params["pages"],
+        params["words_per_page"], with_errors=True,
+    )
+
+    benchmarks = {}
+
+    def record(name, scalar_fn, batch_fn):
+        scalar_s = _time(scalar_fn, repeats)
+        batch_s = _time(batch_fn, repeats)
+        benchmarks[name] = {
+            "scalar_s": round(scalar_s, 4),
+            "batch_s": round(batch_s, 4),
+            "speedup": round(scalar_s / batch_s, 2),
+        }
+
+    record(
+        "encode",
+        lambda: [code.encode(d) for d in datas],
+        lambda: code.encode_many(datas),
+    )
+    record(
+        "decode_clean",
+        lambda: [code.decode(w) for w in clean],
+        lambda: code.decode_many(clean),
+    )
+    record(
+        "decode_dirty",
+        lambda: [code.decode(w) for w in dirty],
+        lambda: code.decode_many(dirty),
+    )
+
+    # Scalar/batch agreement on the timed workload (cheap sanity check).
+    for batch, scalar in zip(code.decode_many(dirty),
+                             [code.decode(w) for w in dirty[:4]]):
+        assert np.array_equal(batch.data, scalar.data)
+        assert batch.corrected_errors == scalar.corrected_errors
+
+    return {
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "code": {
+            "m": CODE_PARAMS[0], "t": CODE_PARAMS[1],
+            "n": code.n, "n_parity": code.n_parity,
+        },
+        "workload": {k: params[k] for k in
+                     ("words_per_page", "word_bits", "pages", "repeats")},
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    tiny = "--tiny" in argv
+    argv = [a for a in argv if a != "--tiny"]
+    output = Path(argv[0]) if argv else DEFAULT_OUTPUT
+    results = collect(TINY if tiny else FULL)
+    if tiny:
+        print("tiny workload: skipping speedup floors, not writing "
+              f"{output.name}")
+    else:
+        output.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {output}")
+    for name, entry in results["benchmarks"].items():
+        print(f"  {name}: scalar {entry['scalar_s']}s, "
+              f"batch {entry['batch_s']}s, {entry['speedup']}x")
+    if not tiny:
+        for name, floor in SPEEDUP_FLOORS.items():
+            speedup = results["benchmarks"][name]["speedup"]
+            assert speedup >= floor, (
+                f"{name}: {speedup}x is below the {floor}x acceptance bar"
+            )
+        print("speedup floors met: "
+              + ", ".join(f"{k} >= {v}x" for k, v in SPEEDUP_FLOORS.items()))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,8 +17,12 @@ import time
 from pathlib import Path
 
 from repro.experiments import fig6, reliability
+from repro.parallel import ParallelRunner, resolve_backend
 
 WORKER_COUNTS = (1, 2, 4)
+
+#: Representative unit count used to report which backend ``auto`` picks.
+TYPICAL_UNITS = 8
 
 DRIVERS = {
     "fig6": lambda workers: fig6.run(
@@ -63,6 +67,13 @@ def collect() -> dict:
             "python": platform.python_version(),
         },
         "worker_counts": list(WORKER_COUNTS),
+        "backend": {
+            "requested": resolve_backend(),
+            "effective": {
+                str(w): ParallelRunner(w).effective_backend(TYPICAL_UNITS)
+                for w in WORKER_COUNTS
+            },
+        },
         "experiments": results,
     }
 

@@ -110,12 +110,14 @@ def sweep_normal_pec(
     seed: int = 0,
     feature: str = "histogram",
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> list:
     """The Fig. 10/12 sweep: accuracy for each (hidden, normal) PEC pair.
 
     Each grid point is a self-contained attacker run (its chips derive
-    from seeds, not shared state), so the sweep fans out over worker
-    processes; outcomes come back in grid order regardless of scheduling.
+    from seeds, not shared state), so the sweep fans out over workers on
+    the chosen backend; outcomes come back in grid order regardless of
+    scheduling.
     """
     from ..parallel import ParallelRunner
 
@@ -124,4 +126,4 @@ def sweep_normal_pec(
         for hidden_pec in hidden_pecs
         for normal_pec in normal_pecs
     ]
-    return ParallelRunner(workers).map(detect_at, units)
+    return ParallelRunner(workers, backend).map(detect_at, units)

@@ -204,17 +204,23 @@ def _cmd_probe(args) -> int:
     return 0
 
 
-def _run_kwargs(run, workers):
-    """`workers=` for drivers whose ``run`` accepts it; {} otherwise."""
+def _run_kwargs(run, workers, backend=None):
+    """``workers=`` / ``backend=`` for drivers whose ``run`` accepts them;
+    unsupported (or unset) knobs are silently dropped."""
     import inspect
 
-    if workers is None:
+    requested = {"workers": workers, "backend": backend}
+    if all(value is None for value in requested.values()):
         return {}
     try:
         parameters = inspect.signature(run).parameters
     except (TypeError, ValueError):  # pragma: no cover - builtins only
         return {}
-    return {"workers": workers} if "workers" in parameters else {}
+    return {
+        name: value
+        for name, value in requested.items()
+        if value is not None and name in parameters
+    }
 
 
 def _cmd_experiment(args) -> int:
@@ -230,7 +236,9 @@ def _cmd_experiment(args) -> int:
             f"unknown experiment {args.name!r}; available: "
             f"{', '.join(sorted(names))}"
         )
-    result = module.run(**_run_kwargs(module.run, args.workers))
+    result = module.run(
+        **_run_kwargs(module.run, args.workers, args.backend)
+    )
     print(result.summary.render())
     _render_curves(args.name, result)
     return 0
@@ -274,7 +282,7 @@ def _cmd_report(args) -> int:
     ]
     for name in light:
         run = getattr(experiments, name).run
-        result = run(**_run_kwargs(run, args.workers))
+        result = run(**_run_kwargs(run, args.workers, args.backend))
         print(result.summary.render())
         for part in getattr(result, "parts", []):
             print()
@@ -354,6 +362,13 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: REPRO_WORKERS, then all cores); results are "
              "identical at any worker count",
     )
+    p.add_argument(
+        "--backend", choices=("auto", "process", "thread", "serial"),
+        default=None,
+        help="execution backend for parallelised experiments "
+             "(default: REPRO_BACKEND, then auto); results are identical "
+             "on every backend",
+    )
     p.set_defaults(func=_cmd_experiment)
 
     p = sub.add_parser(
@@ -362,6 +377,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--workers", type=int, default=None,
         help="worker processes for the parallelised experiments",
+    )
+    p.add_argument(
+        "--backend", choices=("auto", "process", "thread", "serial"),
+        default=None,
+        help="execution backend for the parallelised experiments",
     )
     p.set_defaults(func=_cmd_report)
 

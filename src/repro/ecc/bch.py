@@ -11,28 +11,49 @@ polynomials, LFSR-style systematic encoding, syndrome computation,
 Berlekamp-Massey for the error locator, and Chien search for the roots.
 Shortened codes (fewer data bits than k) are supported, which is how the
 hiding layer matches codewords to its per-page hidden-bit budget.
+
+Batch APIs (:meth:`BchCode.encode_many` / :meth:`BchCode.decode_many`)
+vectorise the per-page hot paths: encoding is one GF(2) matrix multiply
+against the precomputed parity generator, and decoding re-encodes the
+whole batch to find the (rare) dirty words, so the common error-free case
+never touches Berlekamp-Massey or Chien search.  Codecs are cached in a
+process-wide registry (:func:`get_code`), so the expensive generator /
+remainder tables are built once per process — including pool workers.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .gf import GF2m
+from .gf import get_field
 
 
 class EccError(Exception):
-    """Raised when a codeword is uncorrectable."""
+    """Raised when a codeword is uncorrectable.
+
+    When raised by a batch decode, :attr:`batch_index` names the failing
+    word's position in the input sequence.
+    """
+
+    batch_index: Optional[int] = None
 
 
 @dataclass(frozen=True)
 class DecodeResult:
-    """Decoded data plus correction statistics."""
+    """Decoded data plus correction statistics.
+
+    ``codeword`` is the corrected transmitted word (data + parity) —
+    callers that need the exact programmed bit vector (the page pipeline's
+    ``correct``) read it instead of re-encoding the data.
+    """
 
     data: np.ndarray
     corrected_errors: int
+    codeword: Optional[np.ndarray] = None
 
 
 class BchCode:
@@ -46,7 +67,7 @@ class BchCode:
     def __init__(self, m: int, t: int) -> None:
         if t < 1:
             raise ValueError(f"t must be >= 1, got {t}")
-        self.field = GF2m(m)
+        self.field = get_field(m)
         self.n = self.field.order
         self.t = t
         generator = [1]
@@ -71,8 +92,12 @@ class BchCode:
                 f"BCH(m={m}, t={t}) has no data capacity (k={self.k})"
             )
         self._remainder_table = None
+        self._parity_matrix_cache = None
+        self._power_table_cache = None
         #: exp table as a numpy array for vectorised syndromes/Chien.
         self._exp = np.array(self.field.exp, dtype=np.int64)
+        #: syndrome indices 1..2t, precomputed for the batch kernels.
+        self._js = np.arange(1, 2 * self.t + 1, dtype=np.int64)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"BchCode(n={self.n}, k={self.k}, t={self.t})"
@@ -115,7 +140,7 @@ class BchCode:
         shortening = self.n - received.size
         syndromes = self._syndromes(received, shortening)
         if not any(syndromes):
-            return DecodeResult(received[: -self.n_parity], 0)
+            return DecodeResult(received[: -self.n_parity], 0, received)
         locator = self._berlekamp_massey(syndromes)
         n_errors = len(locator) - 1
         if n_errors > self.t:
@@ -132,7 +157,143 @@ class BchCode:
         # Re-check: a decoding beyond capacity can produce bogus fixes.
         if any(self._syndromes(received, shortening)):
             raise EccError("correction did not zero the syndromes")
-        return DecodeResult(received[: -self.n_parity], n_errors)
+        return DecodeResult(received[: -self.n_parity], n_errors, received)
+
+    # ------------------------------------------------------------------
+    # batch APIs: every codeword of a page (or of many pages) in one
+    # numpy pass.  Bit-identical to calling encode()/decode() in a loop.
+
+    def encode_many(self, data_words: Sequence) -> List[np.ndarray]:
+        """Systematically encode a batch of data words.
+
+        `data_words` is a sequence of bit vectors (or a 2-D bit array);
+        words may have different (shortened) lengths.  Returns one codeword
+        per input word, identical to ``[self.encode(w) for w in
+        data_words]`` — but the parity of every word is computed in one
+        vectorised pass over the parity generator matrix instead of one
+        gather/XOR per word.
+        """
+        words = [np.asarray(w, dtype=np.uint8) for w in data_words]
+        for i, data in enumerate(words):
+            if data.ndim != 1 or data.size > self.k:
+                raise ValueError(
+                    f"data word {i} must be a bit vector of <= {self.k} "
+                    f"bits, got shape {data.shape}"
+                )
+        results: List[Optional[np.ndarray]] = [None] * len(words)
+        for size, indices in _group_by_size(words).items():
+            stacked = (
+                np.stack([words[i] for i in indices])
+                if size
+                else np.zeros((len(indices), 0), dtype=np.uint8)
+            )
+            if size and not ((stacked == 0) | (stacked == 1)).all():
+                raise ValueError("data must contain only 0/1")
+            codewords = self._encode_batch(stacked)
+            for row, index in enumerate(indices):
+                results[index] = codewords[row]
+        return results  # type: ignore[return-value]
+
+    def decode_many(
+        self, codeword_words: Sequence, on_error: str = "raise"
+    ) -> List[DecodeResult]:
+        """Correct a batch of codewords; the common error-free case is one
+        numpy pass.
+
+        Syndromes for every word of a (same-length) group are computed in
+        a single vectorised kernel; words whose syndromes are all zero —
+        the overwhelmingly common case on a healthy page — skip
+        Berlekamp-Massey and Chien search entirely.  Words with errors
+        fall back to the scalar locator path.  Results are identical to
+        ``[self.decode(w) for w in codeword_words]``; an uncorrectable
+        word raises :class:`EccError` with ``batch_index`` set to the
+        lowest failing input position (the word the scalar loop would
+        have raised on).
+
+        With ``on_error="return"``, uncorrectable words do not raise;
+        their result slot holds the :class:`EccError` instance instead
+        (``batch_index`` set), so callers probing many words — the hidden
+        volume's mount scan — keep the batch amortisation when failures
+        are expected.
+        """
+        if on_error not in ("raise", "return"):
+            raise ValueError(f"on_error must be 'raise' or 'return', got {on_error!r}")
+        words = [np.asarray(w, dtype=np.uint8) for w in codeword_words]
+        for i, received in enumerate(words):
+            if received.ndim != 1 or received.size <= self.n_parity:
+                raise ValueError(
+                    f"codeword {i} must be a bit vector longer than "
+                    f"{self.n_parity} bits, got shape {received.shape}"
+                )
+            if received.size > self.n:
+                raise ValueError(
+                    f"codeword {i} of {received.size} bits exceeds code "
+                    f"length {self.n}"
+                )
+        results: List[Optional[DecodeResult]] = [None] * len(words)
+        first_error: Optional[Tuple[int, EccError]] = None
+        for size, indices in _group_by_size(words).items():
+            stacked = np.stack([words[i] for i in indices])
+            shortening = self.n - size
+            # All-zero-syndrome fast path, in one vectorised pass: the
+            # syndromes of a received word are all zero iff it is a valid
+            # codeword, i.e. iff re-encoding its data bits reproduces it.
+            # Batch re-encode (the GEMM kernel) is far cheaper than
+            # evaluating 2t syndromes per word.
+            reencoded = self._encode_batch(stacked[:, : size - self.n_parity])
+            dirty = (reencoded != stacked).any(axis=1)
+            for row, index in enumerate(indices):
+                if dirty[row]:
+                    continue
+                codeword = stacked[row]
+                results[index] = DecodeResult(
+                    codeword[: -self.n_parity], 0, codeword
+                )
+            dirty_rows = np.flatnonzero(dirty)
+            if dirty_rows.size:
+                syndromes = self._syndromes_batch(
+                    stacked[dirty_rows], shortening
+                )
+                for position, row in enumerate(dirty_rows):
+                    index = indices[row]
+                    try:
+                        results[index] = self._decode_dirty(
+                            stacked[row], syndromes[position], shortening
+                        )
+                    except EccError as exc:
+                        if on_error == "return":
+                            exc.batch_index = index
+                            results[index] = exc  # type: ignore[call-overload]
+                        elif first_error is None or index < first_error[0]:
+                            first_error = (index, exc)
+        if first_error is not None:
+            index, exc = first_error
+            error = EccError(str(exc))
+            error.batch_index = index
+            raise error
+        return results  # type: ignore[return-value]
+
+    def _decode_dirty(
+        self, received: np.ndarray, syndromes: np.ndarray, shortening: int
+    ) -> DecodeResult:
+        """Scalar locator path for one word with non-zero syndromes."""
+        received = received.copy()
+        locator = self._berlekamp_massey([int(s) for s in syndromes])
+        n_errors = len(locator) - 1
+        if n_errors > self.t:
+            raise EccError(
+                f"error locator degree {n_errors} exceeds t={self.t}"
+            )
+        positions = self._chien_search(locator, shortening, received.size)
+        if len(positions) != n_errors:
+            raise EccError(
+                "Chien search found "
+                f"{len(positions)} roots for a degree-{n_errors} locator"
+            )
+        received[positions] ^= 1
+        if any(self._syndromes(received, shortening)):
+            raise EccError("correction did not zero the syndromes")
+        return DecodeResult(received[: -self.n_parity], n_errors, received)
 
     # ------------------------------------------------------------------
 
@@ -173,6 +334,95 @@ class BchCode:
                 table[j] = current
             self._remainder_table = table
         return self._remainder_table
+
+    def _parity_matrix(self) -> np.ndarray:
+        """The GF(2) parity generator as a float32 matrix, lazily built.
+
+        Shape ``(k, n_parity)``: row ``i`` is the remainder of
+        ``x^(k - 1 - i + n_parity)`` mod g(x), i.e. the parity
+        contribution of data bit ``i`` of a *full-length* word.  A
+        shortened length-L word's matrix is the contiguous tail
+        ``matrix[k - L:]`` (its omitted leading bits are implicit zeros).
+        float32 so the batch kernel can ride BLAS: bit counts never exceed
+        n < 2**24, so the float sums are exact integers.
+        """
+        if self._parity_matrix_cache is None:
+            degrees = np.arange(self.k - 1, -1, -1) + self.n_parity
+            self._parity_matrix_cache = (
+                self._position_remainders()[degrees].astype(np.float32)
+            )
+        return self._parity_matrix_cache
+
+    def _encode_batch(self, data: np.ndarray) -> np.ndarray:
+        """Parity for a uniform-length batch: GF(2) matrix encode.
+
+        `data` is ``(B, L)`` bits; returns ``(B, L + n_parity)``
+        codewords.  Parity bit counts are one (B, L) x (L, n_parity)
+        GEMM — exact in float32 since every count is an integer < 2**24 —
+        and the GF(2) reduction is ``count & 1``.
+        """
+        n_words, length = data.shape
+        if length:
+            counts = data.astype(np.float32) @ self._parity_matrix()[
+                self.k - length:
+            ]
+            parity = (counts.astype(np.int64) & 1).astype(np.uint8)
+        else:
+            parity = np.zeros((n_words, self.n_parity), dtype=np.uint8)
+        # Parity column j is the coefficient of x^j; transmitted parity
+        # is ordered highest degree first.
+        return np.ascontiguousarray(
+            np.concatenate([data, parity[:, ::-1]], axis=1)
+        )
+
+    def _power_table(self) -> np.ndarray:
+        """``alpha^(j * d)`` for j in 1..2t and d in [0, n), lazily built.
+
+        Turns batch syndrome evaluation into a pure gather — no per-call
+        exponent multiply/modulo.
+        """
+        if self._power_table_cache is None:
+            degrees = np.arange(self.n, dtype=np.int64)
+            exponents = (self._js[:, None] * degrees[None, :]) % (
+                self.field.order
+            )
+            self._power_table_cache = self._exp[exponents]
+        return self._power_table_cache
+
+    def _syndromes_batch(
+        self, received: np.ndarray, shortening: int
+    ) -> np.ndarray:
+        """S_1..S_2t for every row of a uniform-length batch.
+
+        `received` is ``(B, W)`` bits; returns ``(B, 2t)`` int64.  All
+        rows' syndromes come out of one gather over the exp table plus one
+        XOR ``reduceat`` — no per-word Python loop.
+        """
+        n_words, word_len = received.shape
+        n_syndromes = 2 * self.t
+        out = np.zeros((n_words, n_syndromes), dtype=np.int64)
+        # Bound the (2t, set-bit-count) temporary: large batches (a whole
+        # block's pages) chunk by rows, each chunk one vectorised pass.
+        max_cells = 4_000_000
+        chunk_rows = max(1, max_cells // max(word_len * n_syndromes, 1))
+        if n_words > chunk_rows:
+            for start in range(0, n_words, chunk_rows):
+                out[start:start + chunk_rows] = self._syndromes_batch(
+                    received[start:start + chunk_rows], shortening
+                )
+            return out
+        set_rows, set_cols = np.nonzero(received)
+        if set_rows.size == 0:
+            return out
+        degrees = (self.n - 1 - shortening - set_cols).astype(np.int64)
+        values = self._power_table()[:, degrees]  # (2t, S)
+        counts = np.bincount(set_rows, minlength=n_words)
+        boundaries = np.zeros(n_words, dtype=np.int64)
+        boundaries[1:] = np.cumsum(counts)[:-1]
+        safe = np.minimum(boundaries, set_rows.size - 1)
+        acc = np.bitwise_xor.reduceat(values, safe, axis=1)  # (2t, B)
+        acc[:, counts == 0] = 0
+        return acc.T.copy()
 
     def _syndromes(self, received: np.ndarray, shortening: int) -> List[int]:
         """S_j = r(alpha^j) for j = 1..2t, for a shortened word.
@@ -246,6 +496,40 @@ class BchCode:
             exponent = (log[coeff] + k * inv_exponents) % order
             values ^= self._exp[exponent]
         return np.flatnonzero(values == 0)
+
+
+#: Process-wide codec registry.  Generator polynomial and remainder-table
+#: construction are O(n * n_parity) — page-sized codes take milliseconds —
+#: so codecs are built once per (m, t) per process (pool workers included)
+#: and shared by every pipeline, payload codec and experiment unit.
+_CODES: Dict[Tuple[int, int], BchCode] = {}
+_CODES_LOCK = threading.Lock()
+
+
+def get_code(m: int, t: int) -> BchCode:
+    """The cached ``BchCode(m, t)`` instance for this process.
+
+    Thread-safe; the instance is immutable apart from its lazily-built
+    lookup tables, so sharing it across threads and call sites is sound.
+    """
+    key = (m, t)
+    code = _CODES.get(key)
+    if code is None:
+        with _CODES_LOCK:
+            code = _CODES.get(key)
+            if code is None:
+                code = BchCode(m, t)
+                _CODES[key] = code
+    return code
+
+
+def _group_by_size(words: Sequence[np.ndarray]) -> Dict[int, List[int]]:
+    """Input indices grouped by word length (shortened words batch with
+    their own kind), insertion-ordered for deterministic processing."""
+    groups: Dict[int, List[int]] = {}
+    for index, word in enumerate(words):
+        groups.setdefault(word.size, []).append(index)
+    return groups
 
 
 def _poly_mul_gf2(p: List[int], q: List[int]) -> List[int]:

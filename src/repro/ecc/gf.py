@@ -7,7 +7,8 @@ uses precomputed exponential/logarithm tables over a primitive element.
 
 from __future__ import annotations
 
-from typing import List
+import threading
+from typing import Dict, List
 
 #: Primitive polynomials (including the x^m term) for GF(2^m), m = 2..14.
 #: Standard choices from the coding-theory literature.
@@ -26,6 +27,29 @@ PRIMITIVE_POLYS = {
     13: 0b10000000011011,
     14: 0b100010001000011,
 }
+
+
+#: Process-wide field registry: exp/log tables are pure functions of ``m``,
+#: so every codec (and every pool worker) shares one instance per field.
+_FIELDS: Dict[int, "GF2m"] = {}
+_FIELDS_LOCK = threading.Lock()
+
+
+def get_field(m: int) -> "GF2m":
+    """The cached GF(2^m) instance for this process.
+
+    Building the tables is O(2^m); hot paths construct codecs per page, so
+    the registry makes field construction a dictionary lookup after the
+    first use.  Thread-safe (the thread execution backend shares it).
+    """
+    field = _FIELDS.get(m)
+    if field is None:
+        with _FIELDS_LOCK:
+            field = _FIELDS.get(m)
+            if field is None:
+                field = GF2m(m)
+                _FIELDS[m] = field
+    return field
 
 
 class GF2m:

@@ -23,15 +23,22 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import List, Tuple
+from functools import lru_cache
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from .bch import BchCode, EccError
+from .bch import EccError, get_code
 
 
+@lru_cache(maxsize=1024)
 def _scrambler_bytes(page_address: int, n: int) -> bytes:
-    """Unkeyed, publicly-known scrambler stream for a page."""
+    """Unkeyed, publicly-known scrambler stream for a page.
+
+    Cached: the stream is a pure function of (address, length), and hot
+    paths (FTL writes plus the decode of every read) would otherwise pay
+    the SHA-256 expansion twice per page touch.
+    """
     out = bytearray()
     counter = 0
     while len(out) < n:
@@ -64,7 +71,7 @@ class PagePipeline:
         n_words: int = None,
     ) -> None:
         self.cells_per_page = cells_per_page
-        self.code = BchCode(ecc_m, ecc_t)
+        self.code = get_code(ecc_m, ecc_t)
         if n_words is None:
             n_words = -(-cells_per_page // self.code.n)  # ceil
         if n_words < 1:
@@ -118,14 +125,14 @@ class PagePipeline:
         bits = np.concatenate(
             [bits, np.zeros(self._slack_bits, dtype=np.uint8)]
         )
-        page = np.empty(self.cells_per_page, dtype=np.uint8)
+        chunks = []
         cursor = 0
         for word in self.words:
-            chunk = bits[cursor:cursor + word.data_bits]
+            chunks.append(bits[cursor:cursor + word.data_bits])
             cursor += word.data_bits
-            page[word.start:word.start + word.coded_bits] = self.code.encode(
-                chunk
-            )
+        page = np.empty(self.cells_per_page, dtype=np.uint8)
+        for word, coded in zip(self.words, self.code.encode_many(chunks)):
+            page[word.start:word.start + word.coded_bits] = coded
         return page
 
     def decode(self, page_bits: np.ndarray, page_address: int = 0) -> Tuple[bytes, int]:
@@ -134,18 +141,44 @@ class PagePipeline:
         Returns (data, total corrected bit errors).  Raises
         :class:`~repro.ecc.bch.EccError` if any codeword is uncorrectable.
         """
-        corrected_bits, n_corrected = self._correct_words(page_bits)
-        data_bits = []
-        for word in self.words:
-            data_bits.append(
-                corrected_bits[word.start:word.start + word.data_bits]
+        return self.decode_pages([page_bits], [page_address])[0]
+
+    def decode_pages(
+        self,
+        pages_bits: Sequence[np.ndarray],
+        page_addresses: Sequence[int],
+    ) -> List[Tuple[bytes, int]]:
+        """Batch :meth:`decode`: every codeword of every page in one pass.
+
+        `pages_bits` is a sequence of raw page reads (or a 2-D array, one
+        row per page); returns one ``(data, corrected_errors)`` pair per
+        page, identical to decoding the pages one at a time.  This is the
+        FTL's GC relocation path: a victim block's valid pages decode in
+        a single vectorised ECC kernel instead of page by page.
+        """
+        if len(pages_bits) != len(page_addresses):
+            raise ValueError(
+                f"got {len(page_addresses)} page addresses for "
+                f"{len(pages_bits)} pages"
             )
-        bits = np.concatenate(data_bits)
-        if self._slack_bits:
-            bits = bits[: -self._slack_bits]
-        scrambled = np.packbits(bits).tobytes()
-        scrambler = _scrambler_bytes(page_address, self.data_bytes)
-        return bytes(a ^ b for a, b in zip(scrambled, scrambler)), n_corrected
+        corrected_pages = self._correct_words_many(pages_bits)
+        out: List[Tuple[bytes, int]] = []
+        for (corrected_bits, n_corrected), address in zip(
+            corrected_pages, page_addresses
+        ):
+            data_bits = [
+                corrected_bits[word.start:word.start + word.data_bits]
+                for word in self.words
+            ]
+            bits = np.concatenate(data_bits)
+            if self._slack_bits:
+                bits = bits[: -self._slack_bits]
+            scrambled = np.packbits(bits).tobytes()
+            scrambler = _scrambler_bytes(address, self.data_bytes)
+            out.append(
+                (bytes(a ^ b for a, b in zip(scrambled, scrambler)), n_corrected)
+            )
+        return out
 
     def correct(self, page_bits: np.ndarray) -> np.ndarray:
         """Return the exact programmed page bit vector from a raw read.
@@ -156,25 +189,51 @@ class PagePipeline:
         corrected, _ = self._correct_words(page_bits)
         return corrected
 
+    def correct_pages(
+        self, pages_bits: Sequence[np.ndarray]
+    ) -> List[np.ndarray]:
+        """Batch :meth:`correct` for several raw page reads."""
+        return [
+            corrected for corrected, _ in self._correct_words_many(pages_bits)
+        ]
+
     def _correct_words(self, page_bits: np.ndarray) -> Tuple[np.ndarray, int]:
-        bits = np.asarray(page_bits, dtype=np.uint8)
-        if bits.shape != (self.cells_per_page,):
-            raise ValueError(
-                f"page bits must have shape ({self.cells_per_page},), "
-                f"got {bits.shape}"
-            )
-        corrected = bits.copy()
-        total = 0
-        for word in self.words:
-            segment = bits[word.start:word.start + word.coded_bits]
-            try:
-                result = self.code.decode(segment)
-            except EccError as exc:
-                raise EccError(
-                    f"public page word at bit {word.start} uncorrectable: "
-                    f"{exc}"
-                ) from exc
-            fixed = self.code.encode(result.data)
-            corrected[word.start:word.start + word.coded_bits] = fixed
-            total += result.corrected_errors
-        return corrected, total
+        return self._correct_words_many([page_bits])[0]
+
+    def _correct_words_many(
+        self, pages_bits: Sequence[np.ndarray]
+    ) -> List[Tuple[np.ndarray, int]]:
+        pages = []
+        for bits in pages_bits:
+            bits = np.asarray(bits, dtype=np.uint8)
+            if bits.shape != (self.cells_per_page,):
+                raise ValueError(
+                    f"page bits must have shape ({self.cells_per_page},), "
+                    f"got {bits.shape}"
+                )
+            pages.append(bits)
+        segments = [
+            bits[word.start:word.start + word.coded_bits]
+            for bits in pages
+            for word in self.words
+        ]
+        results = self.code.decode_many(segments, on_error="return")
+        n_words = len(self.words)
+        out: List[Tuple[np.ndarray, int]] = []
+        for p, bits in enumerate(pages):
+            corrected = bits.copy()
+            total = 0
+            for w, word in enumerate(self.words):
+                result = results[p * n_words + w]
+                if isinstance(result, EccError):
+                    prefix = f"page {p} of batch: " if len(pages) > 1 else ""
+                    raise EccError(
+                        f"{prefix}public page word at bit {word.start} "
+                        f"uncorrectable: {result}"
+                    ) from result
+                corrected[word.start:word.start + word.coded_bits] = (
+                    result.codeword
+                )
+                total += result.corrected_errors
+            out.append((corrected, total))
+        return out

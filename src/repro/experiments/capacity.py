@@ -10,11 +10,13 @@ device bits used (§1: "about 0.02% of the bits ... with firmware support
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from ..hiding.capacity import plan_capacity, shannon_parity_fraction
-from ..hiding.config import ENHANCED_CONFIG, STANDARD_CONFIG
+from ..hiding.config import ENHANCED_CONFIG, STANDARD_CONFIG, HidingConfig
 from ..hiding.payload import PayloadCodec
 from ..nand.vendor import VENDOR_A
+from ..parallel import ParallelRunner
 from ..perf.model import PAPER_PTHI_HIDDEN_BITS_PER_BLOCK
 from .common import Table
 
@@ -45,8 +47,38 @@ class CapacityResult:
         )
 
 
-def run() -> CapacityResult:
+def _config_unit(
+    name: str, config: HidingConfig, raw_ber: float
+) -> Tuple[str, int, float, int]:
+    """One work unit: the capacity arithmetic for one configuration.
+
+    The BCH plan is the only non-trivial cost (the concrete codec's
+    generator polynomial); both the Shannon estimate and the plan are pure
+    functions of the arguments, so units are trivially deterministic.
+    Returns (name, data bits/page, device fraction, concrete parity bits).
+    """
     geometry = VENDOR_A.geometry
+    plan = plan_capacity(
+        VENDOR_A.params,
+        geometry.pages_per_block,
+        geometry.cells_per_page,
+        config,
+        raw_ber,
+    )
+    codec = PayloadCodec(config)
+    concrete_parity = config.bits_per_page - codec.max_data_bits
+    return (
+        name,
+        codec.max_data_bits,
+        plan.fraction_of_device_bits,
+        concrete_parity,
+    )
+
+
+def run(
+    workers: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> CapacityResult:
     summary = Table(
         "§8 Capacity — standard vs enhanced configuration (full geometry)",
         (
@@ -54,29 +86,26 @@ def run() -> CapacityResult:
             "BCH parity (concrete)", "data bits/page", "device fraction",
         ),
     )
-    results = {}
-    for name, config, raw_ber in (
+    configs = (
         ("standard", STANDARD_CONFIG, STANDARD_RAW_BER),
         ("enhanced", ENHANCED_CONFIG, ENHANCED_RAW_BER),
-    ):
-        plan = plan_capacity(
-            VENDOR_A.params,
-            geometry.pages_per_block,
-            geometry.cells_per_page,
-            config,
-            raw_ber,
-        )
-        codec = PayloadCodec(config)
-        concrete_parity = config.bits_per_page - codec.max_data_bits
-        results[name] = codec.max_data_bits
+    )
+    partials = ParallelRunner(workers, backend).map(
+        _config_unit, list(configs)
+    )
+    results = {}
+    for (name, config, raw_ber), (
+        _, data_bits, device_fraction, concrete_parity
+    ) in zip(configs, partials):
+        results[name] = data_bits
         summary.add(
             name,
             config.bits_per_page,
             raw_ber,
             f"{100*shannon_parity_fraction(raw_ber):.1f}%",
             f"{100*concrete_parity/config.bits_per_page:.1f}%",
-            codec.max_data_bits,
-            f"{100*plan.fraction_of_device_bits:.3f}%",
+            data_bits,
+            f"{100*device_fraction:.3f}%",
         )
     pthi_per_page = PAPER_PTHI_HIDDEN_BITS_PER_BLOCK / 64
     summary.add(

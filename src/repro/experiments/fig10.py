@@ -51,6 +51,7 @@ def run(
     seed: int = 0,
     title: str = "Fig. 10 — SVM accuracy (%) vs normal PEC, standard config",
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Fig10Result:
     if scale is None:
         scale = DatasetScale(
@@ -58,7 +59,7 @@ def run(
         )
     outcomes = sweep_normal_pec(
         config, hidden_pecs, normal_pecs, scale=scale, seed=seed,
-        workers=workers,
+        workers=workers, backend=backend,
     )
     summary = Table(
         title,

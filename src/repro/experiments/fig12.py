@@ -23,6 +23,7 @@ def run(
     scale: DatasetScale = None,
     seed: int = 0,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> fig10.Fig10Result:
     return fig10.run(
         hidden_pecs=hidden_pecs,
@@ -32,4 +33,5 @@ def run(
         seed=seed,
         title="Fig. 12 — SVM accuracy (%), enhanced 10x-bits config",
         workers=workers,
+        backend=backend,
     )

@@ -179,15 +179,18 @@ def run(
     bits_scale_divisor: int = 4,
     seed: int = 0,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Fig6Result:
     """Regenerate the Fig. 6 sweep.
 
     `bits_scale_divisor` shrinks hidden-bit counts in proportion to the
     scaled page size (the default experiment model divides pages by 4);
     pass 1 with a full-page model for paper-fidelity counts.  `workers`
-    fans the configuration grid out over processes (default: the
-    ``REPRO_WORKERS`` environment variable, then ``os.cpu_count()``);
-    results are identical for every worker count.
+    fans the configuration grid out over workers (default: the
+    ``REPRO_WORKERS`` environment variable, then ``os.cpu_count()``) on
+    the chosen execution `backend` (process/thread/serial; default
+    ``REPRO_BACKEND``, then auto); results are identical for every
+    worker count and backend.
     """
     config_keys: List[ConfigKey] = [
         (interval, bits_count)
@@ -206,7 +209,7 @@ def run(
         )
         for index, (interval, bits_count) in enumerate(config_keys)
     ]
-    partials = ParallelRunner(workers).map(_config_unit, units)
+    partials = ParallelRunner(workers, backend).map(_config_unit, units)
     curves: Dict[ConfigKey, List[float]] = {}
     for (interval, bits_count), (accumulated, samples) in zip(
         config_keys, partials

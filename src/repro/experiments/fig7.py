@@ -34,6 +34,7 @@ def run(
     blocks_per_config: int = 2,
     seed: int = 0,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Fig7Result:
     sweep = fig6.run(
         page_intervals=page_intervals,
@@ -42,6 +43,7 @@ def run(
         blocks_per_config=blocks_per_config,
         seed=seed,
         workers=workers,
+        backend=backend,
     )
     points = {
         key: curve[-1] for key, curve in sweep.curves.items()

@@ -101,13 +101,14 @@ def run(
     bits_per_page: int = 512,
     seed: int = 0,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> ReliabilityResult:
     units = [
         (index, pec, 21_000 + seed + chip_index, pages, bits_per_page, seed)
         for index, pec in enumerate(pec_levels)
         for chip_index in range(n_chips)
     ]
-    partials = ParallelRunner(workers).map(_chip_unit, units)
+    partials = ParallelRunner(workers, backend).map(_chip_unit, units)
     ber_by_pec: Dict[int, float] = {}
     summary = Table(
         "§8 Reliability — hidden BER vs wear at write time",

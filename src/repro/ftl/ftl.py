@@ -312,8 +312,25 @@ class Ftl:
         info = self.page_map.blocks[victim]
         if not force and info.valid_pages >= self.chip.geometry.pages_per_block:
             return  # nothing reclaimable
-        for location, lpa in self.page_map.valid_locations_in(victim):
-            data = self._read_physical(location)
+        # Batch the victim's reads: all valid pages come back in one chip
+        # op and their ECC decodes in one vectorised pass.  Relocations
+        # (and their hooks) then run in the same order as the serial loop;
+        # page results are bit-identical because reads only touch per-page
+        # chip state and the destination block is never the victim.
+        victims = list(self.page_map.valid_locations_in(victim))
+        datas: List[bytes] = []
+        if victims:
+            pages = [location[1] for location, _ in victims]
+            raw = self.chip.read_pages(victim, pages)
+            addresses = [
+                self.chip.geometry.page_address(victim, page)
+                for page in pages
+            ]
+            datas = [
+                data
+                for data, _ in self.pipeline.decode_pages(raw, addresses)
+            ]
+        for (location, lpa), data in zip(victims, datas):
             new_location, new_bits = self._program(data)
             self.page_map.bind(lpa, new_location)
             self.stats.gc_relocations += 1

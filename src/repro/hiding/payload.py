@@ -12,12 +12,12 @@ arithmetic; this module is what actually runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..crypto.keys import HidingKey
-from ..ecc.bch import BchCode, EccError
+from ..ecc.bch import EccError, get_code
 from .config import HidingConfig
 
 
@@ -39,7 +39,7 @@ class PayloadCodec:
     def __init__(self, config: HidingConfig) -> None:
         self.config = config
         if config.ecc_t:
-            self._code = BchCode(config.ecc_m, config.ecc_t)
+            self._code = get_code(config.ecc_m, config.ecc_t)
             self._plan = self._plan_words()
         else:
             self._code = None
@@ -119,11 +119,12 @@ class PayloadCodec:
                     f"{self.config.bits_per_page}"
                 )
             return bits
-        words = []
+        chunks = []
         cursor = 0
         for used in self._allocate(bits.size):
-            words.append(self._code.encode(bits[cursor:cursor + used]))
+            chunks.append(bits[cursor:cursor + used])
             cursor += used
+        words = self._code.encode_many(chunks)
         return np.concatenate(words) if words else bits[:0]
 
     def decode(
@@ -133,30 +134,84 @@ class PayloadCodec:
 
         Raises :class:`PayloadError` when ECC cannot correct the word.
         """
-        coded = np.asarray(coded_bits, dtype=np.uint8)
-        expected = self.coded_length(n_bytes)
-        if coded.size != expected:
-            raise PayloadError(
-                f"expected {expected} coded bits for a {n_bytes}-byte "
-                f"payload, got {coded.size}"
+        return self.decode_pages(
+            key, [page_address], [coded_bits], n_bytes
+        )[0]
+
+    def decode_pages(
+        self,
+        key: HidingKey,
+        page_addresses: Sequence[int],
+        coded_pages: Sequence[np.ndarray],
+        n_bytes: int,
+        on_error: str = "raise",
+    ) -> List[Optional[bytes]]:
+        """Batch :meth:`decode`: payloads of the same known length from
+        several pages' read-back bits, their ECC in one vectorised pass.
+
+        With ``on_error="return"``, a page whose ECC fails yields ``None``
+        instead of raising — the mount scan probes every eligible page and
+        expects most to fail.
+        """
+        if len(coded_pages) != len(page_addresses):
+            raise ValueError(
+                f"got {len(page_addresses)} page addresses for "
+                f"{len(coded_pages)} coded pages"
             )
-        data_bits = []
+        expected = self.coded_length(n_bytes)
+        allocation = self._allocate(n_bytes * 8)
+        pages = []
+        for coded_bits in coded_pages:
+            coded = np.asarray(coded_bits, dtype=np.uint8)
+            if coded.size != expected:
+                raise PayloadError(
+                    f"expected {expected} coded bits for a {n_bytes}-byte "
+                    f"payload, got {coded.size}"
+                )
+            pages.append(coded)
         if self._code is None:
-            data_bits.append(coded)
+            page_words = [[coded] for coded in pages]
         else:
-            cursor = 0
-            for used in self._allocate(n_bytes * 8):
-                word_len = used + self._plan.parity_bits
-                word = coded[cursor:cursor + word_len]
-                cursor += word_len
-                try:
-                    result = self._code.decode(word)
-                except EccError as exc:
-                    raise PayloadError(
-                        f"hidden payload uncorrectable on page "
-                        f"{page_address}: {exc}"
-                    ) from exc
-                data_bits.append(result.data)
-        bits = np.concatenate(data_bits) if data_bits else np.zeros(0, np.uint8)
-        encrypted = np.packbits(bits).tobytes()[:n_bytes]
-        return key.cipher().decrypt(encrypted, nonce=b"payload:%d" % page_address)
+            segments = []
+            for coded in pages:
+                cursor = 0
+                words = []
+                for used in allocation:
+                    word_len = used + self._plan.parity_bits
+                    words.append(coded[cursor:cursor + word_len])
+                    cursor += word_len
+                segments.append(words)
+            flat = [word for words in segments for word in words]
+            results = self._code.decode_many(flat, on_error="return")
+            n_words = len(allocation)
+            page_words = []
+            for p in range(len(pages)):
+                page_words.append(results[p * n_words:(p + 1) * n_words])
+        out: List[Optional[bytes]] = []
+        for address, words in zip(page_addresses, page_words):
+            failure = next(
+                (w for w in words if isinstance(w, EccError)), None
+            )
+            if failure is not None:
+                if on_error == "return":
+                    out.append(None)
+                    continue
+                raise PayloadError(
+                    f"hidden payload uncorrectable on page "
+                    f"{address}: {failure}"
+                ) from failure
+            data_bits = [
+                w if self._code is None else w.data for w in words
+            ]
+            bits = (
+                np.concatenate(data_bits)
+                if data_bits
+                else np.zeros(0, np.uint8)
+            )
+            encrypted = np.packbits(bits).tobytes()[:n_bytes]
+            out.append(
+                key.cipher().decrypt(
+                    encrypted, nonce=b"payload:%d" % address
+                )
+            )
+        return out

@@ -291,6 +291,47 @@ class VtHi:
         )
         return self.codec.decode(key, address, coded, n_bytes)
 
+    def recover_pages(
+        self,
+        block: int,
+        pages: Sequence[int],
+        key: HidingKey,
+        n_bytes: int,
+        on_error: str = "raise",
+    ) -> List[Optional[bytes]]:
+        """Recover same-length payloads from several pages of one block.
+
+        Per-page results are bit-identical to calling :meth:`recover`
+        page by page, but the chip reads run as two batched ops (one raw
+        read per page for the selection maps, one threshold-shifted read
+        per page for the hidden bits) and the ECC of all pages decodes in
+        one vectorised pass.  With ``on_error="return"``, a page whose
+        payload is uncorrectable yields ``None`` instead of raising —
+        the mount scan's expected case.
+        """
+        if not pages:
+            return []
+        addresses = [
+            self.chip.geometry.page_address(block, page) for page in pages
+        ]
+        coded_len = self.codec.coded_length(n_bytes)
+        raw = self.chip.read_pages(block, pages)
+        if self.public_codec is None:
+            views = list(raw)
+        else:
+            views = self.public_codec.correct_pages(raw)
+        cells = [
+            select_cells(key, addresses[i], views[i], coded_len)
+            for i in range(len(pages))
+        ]
+        shifted = self.chip.read_pages(
+            block, pages, threshold=self.config.threshold
+        )
+        coded = [shifted[i][cells[i]] for i in range(len(pages))]
+        return self.codec.decode_pages(
+            key, addresses, coded, n_bytes, on_error=on_error
+        )
+
     # ------------------------------------------------------------------
     # lifecycle (§5.1, §9.1)
 

@@ -1,4 +1,4 @@
-"""Deterministic process-pool experiment engine.
+"""Deterministic experiment execution engine with pluggable backends.
 
 The paper's evaluation is embarrassingly parallel: four independent chip
 samples, per-block trials, a grid of (wear, configuration) points (§6-§8).
@@ -6,31 +6,61 @@ Every experiment driver therefore decomposes into *work units* — typically
 ``(chip seed, block/trial range)`` tuples — whose randomness derives from
 the :mod:`repro.rng` substream hierarchy, never from shared mutable state.
 That property makes fan-out trivial *and* exact: a unit computes the same
-bits whether it runs in the main process, in any worker, in any order.
+bits whether it runs in the main process, in any worker thread or process,
+in any order.
 
-:class:`ParallelRunner` executes units through a
-:class:`concurrent.futures.ProcessPoolExecutor` and returns partial results
-in *submission* order, so the caller's merge is deterministic regardless of
-worker count or OS scheduling.  ``workers=1`` (the default on single-core
-machines) bypasses the pool entirely — no processes, no pickling, identical
-results.
+:class:`ParallelRunner` executes units through one of three *backends* and
+returns partial results in *submission* order, so the caller's merge is
+deterministic regardless of backend, worker count or OS scheduling:
 
-Worker-count resolution, in priority order:
+``process``
+    A :class:`concurrent.futures.ProcessPoolExecutor`.  True parallelism;
+    pays process spawn + pickling overhead, which only amortises with
+    multiple cores and non-trivial units.
+``thread``
+    A :class:`concurrent.futures.ThreadPoolExecutor`.  No pickling and
+    cheap startup, but the GIL serialises pure-Python work — it wins only
+    when units release the GIL (large numpy kernels) and still shares
+    process-wide caches (the BCH codec registry).
+``serial``
+    A plain loop in the calling process.  Zero overhead; the baseline
+    every other backend must beat.
+``auto`` (default)
+    ``process`` when it can plausibly win, ``serial`` when it cannot:
+    a single worker, a single unit, or a single-CPU machine (where the
+    measured pool "speedup" is < 1) all degrade to serial, with a log
+    line saying why.
 
-1. an explicit ``workers=`` argument (drivers expose it; the CLI maps
-   ``--workers`` onto it);
-2. the ``REPRO_WORKERS`` environment variable;
-3. ``os.cpu_count()``.
+Resolution priority, for both knobs:
+
+1. explicit ``workers=`` / ``backend=`` arguments (drivers expose them;
+   the CLI maps ``--workers`` / ``--backend`` onto them);
+2. the ``REPRO_WORKERS`` / ``REPRO_BACKEND`` environment variables;
+3. ``os.cpu_count()`` / ``"auto"``.
 """
 
 from __future__ import annotations
 
+import logging
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from typing import Callable, List, Optional, Sequence, Tuple
+
+logger = logging.getLogger(__name__)
 
 #: Environment variable consulted when no explicit worker count is given.
 WORKERS_ENV = "REPRO_WORKERS"
+
+#: Environment variable consulted when no explicit backend is given.
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: Recognised execution backends.
+BACKENDS = ("auto", "process", "thread", "serial")
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -49,6 +79,18 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     return workers
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """The requested backend (kwarg > ``REPRO_BACKEND`` > ``"auto"``)."""
+    if backend is None:
+        env = os.environ.get(BACKEND_ENV, "").strip()
+        backend = env or "auto"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {', '.join(BACKENDS)}, got {backend!r}"
+        )
+    return backend
 
 
 def split_range(n: int, n_units: int) -> List[Tuple[int, int]]:
@@ -70,23 +112,59 @@ def split_range(n: int, n_units: int) -> List[Tuple[int, int]]:
 
 
 class ParallelRunner:
-    """Run independent, deterministic work units across worker processes.
+    """Run independent, deterministic work units through a backend.
 
     `fn` must be a module-level (picklable) function; each unit is the
     tuple of positional arguments for one call.  Results come back in unit
-    order.  Exceptions in workers propagate to the caller.
+    order whatever the backend.  Exceptions in workers propagate to the
+    caller.
     """
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> None:
         self.workers = resolve_workers(workers)
+        self.backend = resolve_backend(backend)
+
+    def effective_backend(self, n_units: int) -> str:
+        """The backend a :meth:`map` over `n_units` units would use.
+
+        An explicit ``process``/``thread``/``serial`` request is honoured
+        (modulo the degenerate one-worker / one-unit cases, where a pool
+        could only add overhead); ``auto`` additionally degrades to serial
+        on a single-CPU machine, where ``BENCH_parallel.json`` shows the
+        process pool is a net loss.
+        """
+        if self.workers == 1 or n_units <= 1 or self.backend == "serial":
+            return "serial"
+        if self.backend == "auto":
+            cpus = os.cpu_count() or 1
+            if cpus == 1:
+                logger.info(
+                    "auto backend: running %d units serially "
+                    "(cpu_count == 1; a worker pool cannot outrun the "
+                    "serial loop here)",
+                    n_units,
+                )
+                return "serial"
+            return "process"
+        return self.backend
 
     def map(self, fn: Callable, units: Sequence[tuple]) -> list:
         units = list(units)
-        if self.workers == 1 or len(units) <= 1:
+        backend = self.effective_backend(len(units))
+        if backend == "serial":
             return [fn(*unit) for unit in units]
-        results: list = [None] * len(units)
         max_workers = min(self.workers, len(units))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        pool: Executor
+        if backend == "thread":
+            pool = ThreadPoolExecutor(max_workers=max_workers)
+        else:
+            pool = ProcessPoolExecutor(max_workers=max_workers)
+        results: list = [None] * len(units)
+        with pool:
             futures = {
                 pool.submit(fn, *unit): index
                 for index, unit in enumerate(units)
@@ -100,6 +178,7 @@ def run_units(
     fn: Callable,
     units: Sequence[tuple],
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> list:
     """One-shot convenience wrapper around :class:`ParallelRunner`."""
-    return ParallelRunner(workers).map(fn, units)
+    return ParallelRunner(workers, backend).map(fn, units)

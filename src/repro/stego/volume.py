@@ -27,7 +27,6 @@ from typing import Dict, Optional, Set, Tuple
 
 from ..crypto.keys import HidingKey
 from ..ftl.ftl import Ftl
-from ..hiding.payload import PayloadError
 from ..hiding.vthi import VtHi
 from .metadata import HEADER_BYTES, SlotHeader, pack_slot, unpack_slot
 
@@ -189,18 +188,29 @@ class HiddenVolume:
 
         Tries every hidden-eligible physical page holding valid public
         data; a slot is recognised purely by its keyed MAC.  Returns the
-        number of live hidden blocks found.
+        number of live hidden blocks found.  The scan batches per block:
+        all of a block's candidate pages are read and ECC-decoded in one
+        vectorised pass (``recover_pages``), with uncorrectable pages —
+        the common case, since most candidates hold no slot — skipped
+        instead of raising.
         """
         found: Dict[int, Tuple[Location, int, int]] = {}
         tombstones: Dict[int, int] = {}
         max_blob = self.vthi.max_data_bytes_per_page
-        for host in self._eligible_hosts():
-            try:
-                blob = self.vthi.recover(
-                    host[0], host[1], self.key, max_blob
-                )
-            except PayloadError:
-                continue
+        by_block: Dict[int, list] = {}
+        for block, page in sorted(self._eligible_hosts()):
+            by_block.setdefault(block, []).append(page)
+        candidates = []
+        for block, pages in by_block.items():
+            blobs = self.vthi.recover_pages(
+                block, pages, self.key, max_blob, on_error="return"
+            )
+            candidates.extend(
+                ((block, page), blob)
+                for page, blob in zip(pages, blobs)
+                if blob is not None
+            )
+        for host, blob in candidates:
             parsed = unpack_slot(self.key, blob)
             if parsed is None:
                 continue

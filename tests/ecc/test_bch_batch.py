@@ -1,0 +1,179 @@
+"""Batch BCH APIs: bit-identical to the scalar loops, plus the cache.
+
+The contract under test is the tentpole guarantee: ``encode_many`` /
+``decode_many`` are pure vectorisations — for every word they produce
+exactly what a scalar ``encode`` / ``decode`` loop would, including which
+words raise, across random field sizes, error counts beyond capacity, and
+shortened lengths.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc import BchCode, EccError
+from repro.ecc.bch import get_code
+
+CODE = BchCode(7, 5)  # n=127
+
+#: (m, t) pairs small enough that hypothesis can sweep them repeatedly.
+SMALL_PARAMS = [(4, 1), (4, 2), (5, 1), (5, 3), (6, 2), (7, 5)]
+
+
+def _random_words(code, rng, n_words, shortened=True):
+    """Random (possibly shortened) data words for one code."""
+    words = []
+    for _ in range(n_words):
+        k_use = int(rng.integers(1, code.k + 1)) if shortened else code.k
+        words.append(rng.integers(0, 2, k_use).astype(np.uint8))
+    return words
+
+
+class TestEncodeMany:
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scalar_encode(self, data):
+        m, t = data.draw(st.sampled_from(SMALL_PARAMS))
+        code = get_code(m, t)
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+        n_words = data.draw(st.integers(min_value=1, max_value=12))
+        words = _random_words(code, rng, n_words)
+        batch = code.encode_many(words)
+        for word, coded in zip(words, batch):
+            assert np.array_equal(coded, code.encode(word))
+
+    def test_empty_batch(self):
+        assert CODE.encode_many([]) == []
+
+    def test_trailing_all_zero_word_does_not_truncate_predecessor(self):
+        # Regression: an all-zero word at the end of a size group used to
+        # clamp its reduceat boundary into the previous word's segment.
+        code = get_code(4, 1)
+        words = [
+            np.array([1, 1], dtype=np.uint8),
+            np.array([0, 0], dtype=np.uint8),
+        ]
+        batch = code.encode_many(words)
+        for word, coded in zip(words, batch):
+            assert np.array_equal(coded, code.encode(word))
+
+    def test_mixed_shortened_lengths(self):
+        words = [
+            np.ones(k, dtype=np.uint8) for k in (1, 3, CODE.k, 3, 1)
+        ]
+        batch = CODE.encode_many(words)
+        for word, coded in zip(words, batch):
+            assert np.array_equal(coded, CODE.encode(word))
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            CODE.encode_many([np.array([0, 1, 2], dtype=np.uint8)])
+
+    def test_rejects_oversized_word(self):
+        with pytest.raises(ValueError):
+            CODE.encode_many([np.zeros(CODE.k + 1, dtype=np.uint8)])
+
+
+class TestDecodeMany:
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scalar_decode(self, data):
+        """Error counts 0..t+1 per word; batch and scalar agree bitwise —
+        on data, corrected counts, and on *which* words fail."""
+        m, t = data.draw(st.sampled_from(SMALL_PARAMS))
+        code = get_code(m, t)
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+        n_words = data.draw(st.integers(min_value=1, max_value=10))
+        corrupted = []
+        for word in _random_words(code, rng, n_words):
+            codeword = code.encode(word)
+            n_errors = int(rng.integers(0, code.t + 2))
+            positions = rng.choice(
+                codeword.size,
+                size=min(n_errors, codeword.size),
+                replace=False,
+            )
+            bad = codeword.copy()
+            bad[positions] ^= 1
+            corrupted.append(bad)
+
+        batch = code.decode_many(corrupted, on_error="return")
+        for index, received in enumerate(corrupted):
+            try:
+                scalar = code.decode(received)
+            except EccError:
+                scalar = None
+            result = batch[index]
+            if scalar is None:
+                assert isinstance(result, EccError)
+                assert result.batch_index == index
+            else:
+                assert not isinstance(result, EccError)
+                assert np.array_equal(result.data, scalar.data)
+                assert result.corrected_errors == scalar.corrected_errors
+                assert np.array_equal(result.codeword, scalar.codeword)
+
+    def test_empty_batch(self):
+        assert CODE.decode_many([]) == []
+
+    def test_error_free_fast_path_returns_codeword(self):
+        words = [np.ones(CODE.k, dtype=np.uint8) for _ in range(4)]
+        batch = CODE.decode_many(CODE.encode_many(words))
+        for word, result in zip(words, batch):
+            assert result.corrected_errors == 0
+            assert np.array_equal(result.data, word)
+            assert np.array_equal(result.codeword, CODE.encode(word))
+
+    def test_raise_mode_reports_first_failing_index(self):
+        rng = np.random.default_rng(7)
+        clean = CODE.encode(np.ones(CODE.k, dtype=np.uint8))
+        broken = clean.copy()
+        positions = rng.choice(clean.size, size=CODE.t + 4, replace=False)
+        broken[positions] ^= 1
+        try:
+            CODE.decode(broken)
+            pytest.skip("corruption pattern miscorrected silently")
+        except EccError:
+            pass
+        with pytest.raises(EccError) as excinfo:
+            CODE.decode_many([clean, broken, broken])
+        assert excinfo.value.batch_index == 1
+
+    def test_return_mode_keeps_good_words(self):
+        rng = np.random.default_rng(11)
+        clean = CODE.encode(np.zeros(CODE.k, dtype=np.uint8))
+        broken = clean.copy()
+        positions = rng.choice(clean.size, size=CODE.t + 4, replace=False)
+        broken[positions] ^= 1
+        try:
+            CODE.decode(broken)
+            pytest.skip("corruption pattern miscorrected silently")
+        except EccError:
+            pass
+        batch = CODE.decode_many([clean, broken, clean], on_error="return")
+        assert not isinstance(batch[0], EccError)
+        assert isinstance(batch[1], EccError)
+        assert batch[1].batch_index == 1
+        assert not isinstance(batch[2], EccError)
+
+    def test_rejects_unknown_on_error(self):
+        with pytest.raises(ValueError):
+            CODE.decode_many([], on_error="ignore")
+
+    def test_rejects_wrong_sizes(self):
+        with pytest.raises(ValueError):
+            CODE.decode_many([np.zeros(CODE.n_parity, dtype=np.uint8)])
+
+
+class TestCodecRegistry:
+    def test_same_instance_per_params(self):
+        assert get_code(7, 5) is get_code(7, 5)
+
+    def test_distinct_params_distinct_codes(self):
+        assert get_code(7, 5) is not get_code(7, 4)
+
+    def test_registry_code_matches_fresh_code(self):
+        data = np.ones(10, dtype=np.uint8)
+        assert np.array_equal(
+            get_code(6, 2).encode(data), BchCode(6, 2).encode(data)
+        )

@@ -86,6 +86,45 @@ def test_shape_validation(pipeline):
         pipeline.correct(np.zeros(10, dtype=np.uint8))
 
 
+def test_decode_pages_matches_scalar_loop(pipeline):
+    rng = np.random.default_rng(3)
+    pages, addresses = [], []
+    for address in range(4):
+        data = bytes(rng.integers(0, 256, pipeline.data_bytes, np.uint8))
+        bits = pipeline.encode(data, page_address=address)
+        positions = rng.choice(bits.size, size=address * 3, replace=False)
+        bits[positions.astype(int)] ^= 1
+        pages.append(bits)
+        addresses.append(address)
+    batch = pipeline.decode_pages(pages, addresses)
+    scalar = [
+        pipeline.decode(bits, address)
+        for bits, address in zip(pages, addresses)
+    ]
+    assert batch == scalar
+
+
+def test_decode_pages_reports_failing_page(pipeline):
+    good = pipeline.encode(b"ok", page_address=0)
+    bad = pipeline.encode(b"bad", page_address=1)
+    rng = np.random.default_rng(4)
+    positions = rng.choice(pipeline.words[0].coded_bits, size=60,
+                           replace=False)
+    bad[positions] ^= 1
+    with pytest.raises(EccError, match="page 1 of batch"):
+        pipeline.decode_pages([good, bad], [0, 1])
+
+
+def test_correct_pages_matches_scalar_correct(pipeline):
+    first = pipeline.encode(b"alpha", page_address=0)
+    second = pipeline.encode(b"beta", page_address=7)
+    noisy_first = first.copy()
+    noisy_first[[2, 99]] ^= 1
+    corrected = pipeline.correct_pages([noisy_first, second])
+    assert np.array_equal(corrected[0], pipeline.correct(noisy_first))
+    assert np.array_equal(corrected[1], second)
+
+
 def test_word_layout_covers_page_exactly(pipeline):
     total = sum(w.coded_bits for w in pipeline.words)
     assert total == CELLS

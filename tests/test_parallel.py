@@ -1,19 +1,33 @@
 """The parallel experiment engine: worker resolution, mapping, determinism.
 
 The contract under test is the tentpole guarantee: every ported driver
-returns byte-identical rows at any worker count, because each work unit
-re-derives its randomness from seeds instead of sharing state.
+returns byte-identical rows at any worker count *and on any backend*,
+because each work unit re-derives its randomness from seeds instead of
+sharing state.
 """
 
+import logging
 import os
 
 import pytest
 
 from repro.analysis.datasets import DatasetScale
-from repro.experiments import fig6, fig7, fig10, reliability
+from repro.experiments import (
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    reliability,
+    throughput,
+)
 from repro.parallel import (
+    BACKEND_ENV,
+    BACKENDS,
     WORKERS_ENV,
     ParallelRunner,
+    resolve_backend,
     resolve_workers,
     run_units,
     split_range,
@@ -67,6 +81,62 @@ class TestResolveWorkers:
             resolve_workers()
 
 
+class TestResolveBackend:
+    def test_kwarg_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "process")
+        assert resolve_backend("thread") == "thread"
+
+    def test_env_wins_over_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "serial")
+        assert resolve_backend() == "serial"
+
+    def test_defaults_to_auto(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend() == "auto"
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend must be one of"):
+            resolve_backend("gpu")
+
+    def test_rejects_bad_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "cluster")
+        with pytest.raises(ValueError):
+            resolve_backend()
+
+    def test_all_declared_backends_resolve(self):
+        for backend in BACKENDS:
+            assert resolve_backend(backend) == backend
+
+
+class TestEffectiveBackend:
+    """The auto mode's serial degrade and the degenerate-case shortcuts."""
+
+    def test_auto_degrades_to_serial_on_one_cpu(self, monkeypatch, caplog):
+        monkeypatch.setattr("repro.parallel.os.cpu_count", lambda: 1)
+        runner = ParallelRunner(workers=4, backend="auto")
+        with caplog.at_level(logging.INFO, logger="repro.parallel"):
+            assert runner.effective_backend(8) == "serial"
+        assert any("cpu_count == 1" in rec.message for rec in caplog.records)
+
+    def test_auto_uses_process_pool_on_multicore(self, monkeypatch):
+        monkeypatch.setattr("repro.parallel.os.cpu_count", lambda: 8)
+        assert ParallelRunner(4, "auto").effective_backend(8) == "process"
+
+    def test_explicit_backend_honoured_on_one_cpu(self, monkeypatch):
+        monkeypatch.setattr("repro.parallel.os.cpu_count", lambda: 1)
+        assert ParallelRunner(4, "process").effective_backend(8) == "process"
+        assert ParallelRunner(4, "thread").effective_backend(8) == "thread"
+
+    def test_one_worker_is_always_serial(self):
+        assert ParallelRunner(1, "process").effective_backend(8) == "serial"
+
+    def test_one_unit_is_always_serial(self):
+        assert ParallelRunner(4, "thread").effective_backend(1) == "serial"
+
+    def test_serial_backend_is_serial(self):
+        assert ParallelRunner(4, "serial").effective_backend(8) == "serial"
+
+
 class TestSplitRange:
     def test_covers_range_contiguously(self):
         spans = split_range(10, 3)
@@ -88,13 +158,16 @@ class TestParallelRunnerMap:
         assert ParallelRunner(1).map(_double, [(i,) for i in range(5)]) \
             == [0, 2, 4, 6, 8]
 
-    def test_pooled_map_preserves_order(self):
+    @pytest.mark.parametrize("backend", ["process", "thread"])
+    def test_pooled_map_preserves_order(self, backend):
         units = [(i,) for i in range(20)]
-        assert ParallelRunner(2).map(_double, units) \
+        assert ParallelRunner(2, backend).map(_double, units) \
             == ParallelRunner(1).map(_double, units)
 
     def test_multi_argument_units(self):
-        assert run_units(_add, [(1, 2), (3, 4)], workers=2) == [3, 7]
+        assert run_units(
+            _add, [(1, 2), (3, 4)], workers=2, backend="process"
+        ) == [3, 7]
 
     def test_single_unit_skips_pool(self):
         assert ParallelRunner(8).map(_double, [(21,)]) == [42]
@@ -103,19 +176,31 @@ class TestParallelRunnerMap:
         with pytest.raises(ValueError, match="unit 3"):
             ParallelRunner(1).map(_boom, [(3,)])
 
-    def test_exception_propagates_pooled(self):
+    @pytest.mark.parametrize("backend", ["process", "thread"])
+    def test_exception_propagates_pooled(self, backend):
         with pytest.raises(ValueError):
-            ParallelRunner(2).map(_boom, [(0,), (1,)])
+            ParallelRunner(2, backend).map(_boom, [(0,), (1,)])
 
 
 class TestDriverDeterminism:
-    """Serial vs pooled rows are identical for every ported driver."""
+    """Serial vs pooled rows are identical for every ported driver.
+
+    The pooled sides pin an explicit backend: on a single-CPU host the
+    default ``auto`` mode degrades to serial, which would make these
+    comparisons vacuous.
+    """
 
     def test_fig6(self):
         serial = fig6.run(workers=1, **FIG6_TINY)
-        pooled = fig6.run(workers=2, **FIG6_TINY)
+        pooled = fig6.run(workers=2, backend="process", **FIG6_TINY)
         assert serial.rows() == pooled.rows()
         assert serial.curves == pooled.curves
+
+    def test_fig6_thread_backend(self):
+        serial = fig6.run(workers=1, **FIG6_TINY)
+        threaded = fig6.run(workers=2, backend="thread", **FIG6_TINY)
+        assert serial.rows() == threaded.rows()
+        assert serial.curves == threaded.curves
 
     def test_fig7(self):
         serial = fig7.run(
@@ -124,7 +209,7 @@ class TestDriverDeterminism:
         )
         pooled = fig7.run(
             page_intervals=(0, 1), bit_counts=(32,), blocks_per_config=1,
-            workers=2,
+            workers=2, backend="process",
         )
         assert serial.rows() == pooled.rows()
         assert serial.points == pooled.points
@@ -134,19 +219,60 @@ class TestDriverDeterminism:
             pec_levels=(0, 1000), n_chips=2, pages=2, workers=1
         )
         pooled = reliability.run(
-            pec_levels=(0, 1000), n_chips=2, pages=2, workers=2
+            pec_levels=(0, 1000), n_chips=2, pages=2, workers=2,
+            backend="thread",
         )
         assert serial.rows() == pooled.rows()
         assert serial.ber_by_pec == pooled.ber_by_pec
 
     def test_fig10(self):
         serial = fig10.run(workers=1, **FIG10_TINY)
-        pooled = fig10.run(workers=2, **FIG10_TINY)
+        pooled = fig10.run(workers=2, backend="process", **FIG10_TINY)
         assert serial.rows() == pooled.rows()
         assert serial.outcomes == pooled.outcomes
+
+    def test_fig8(self):
+        kwargs = dict(
+            densities=(0, 32), blocks_per_density=1, bits_scale_divisor=8
+        )
+        serial = fig8.run(backend="serial", **kwargs)
+        threaded = fig8.run(workers=2, backend="thread", **kwargs)
+        assert serial.rows() == threaded.rows()
+
+    def test_fig9(self):
+        kwargs = dict(n_chips=2, bits_scale_divisor=8)
+        serial = fig9.run(backend="serial", **kwargs)
+        threaded = fig9.run(workers=2, backend="thread", **kwargs)
+        assert serial.rows() == threaded.rows()
+
+    def test_fig11(self):
+        from repro.units import DAY
+
+        kwargs = dict(
+            pec_levels=(0, 1000), periods=(("1 day", DAY),),
+            bits_per_page=64, pages=2,
+        )
+        serial = fig11.run(backend="serial", **kwargs)
+        threaded = fig11.run(workers=2, backend="thread", **kwargs)
+        assert serial.normalized == threaded.normalized
+        assert serial.zero_time == threaded.zero_time
+
+    def test_throughput(self):
+        serial = throughput.run(backend="serial")
+        threaded = throughput.run(workers=2, backend="thread")
+        assert serial.measured_vthi_encode_s_per_page \
+            == threaded.measured_vthi_encode_s_per_page
+        assert serial.measured_pthi_decode_s_per_page \
+            == threaded.measured_pthi_decode_s_per_page
 
     def test_env_variable_reaches_drivers(self, monkeypatch):
         monkeypatch.setenv(WORKERS_ENV, "2")
         from_env = fig6.run(**FIG6_TINY)
         monkeypatch.delenv(WORKERS_ENV)
+        assert from_env.rows() == fig6.run(workers=1, **FIG6_TINY).rows()
+
+    def test_backend_env_variable_reaches_drivers(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "thread")
+        from_env = fig6.run(workers=2, **FIG6_TINY)
+        monkeypatch.delenv(BACKEND_ENV)
         assert from_env.rows() == fig6.run(workers=1, **FIG6_TINY).rows()
