@@ -1,24 +1,30 @@
 """Scalar vs batch BCH throughput on page-shaped workloads → BENCH_ecc.json.
 
-Times four hot-path shapes on the public pipeline's code (BCH m=13, t=8,
+Times the hot-path shapes on the public pipeline's code (BCH m=13, t=8,
 page split into ~`words_per_page` shortened codewords, as `PagePipeline`
 does for the TEST_MODEL page):
 
 - ``encode``: full-page encode, scalar loop vs ``encode_many``;
 - ``decode_clean``: error-free page decode — the FTL/stego common case the
   all-zero-syndrome fast path exists for;
-- ``decode_dirty``: every codeword carries t errors — worst case, bounded
-  below by the scalar Berlekamp-Massey/Chien work both paths share.
+- ``decode_dirty``: every codeword carries t errors — worst case for the
+  batched locator kernels (lockstep Berlekamp-Massey + table-driven Chien);
+- ``decode_dirty_w<k>``: a sweep over error weights 1, t/2, t and t+1 —
+  the last one beyond capacity, timed with ``on_error="return"`` against a
+  try/except scalar loop, the retention/high-PEC shape where failures are
+  expected.
 
-Acceptance bars (ISSUE 2): batch/scalar >= 5x for ``decode_clean`` and
->= 2x for ``encode``.  Usage::
+Acceptance bars: batch/scalar >= 5x for ``decode_clean`` and
+``decode_dirty`` (ISSUE 3), >= 2x for ``encode`` (ISSUE 2).  Usage::
 
     PYTHONPATH=src python benchmarks/bench_ecc.py [output.json]
     PYTHONPATH=src python benchmarks/bench_ecc.py --tiny   # CI smoke
 
 ``--tiny`` shrinks the workload so the whole script runs in seconds and
-skips the speedup assertions (tiny batches can't amortise anything); it
-still exercises every kernel and verifies scalar/batch agreement.
+skips the speedup floors (tiny batches can't amortise anything); it still
+exercises every kernel, verifies bit-exact scalar/batch agreement on every
+workload — including which words fail and with what message — and asserts
+the batch dirty path is not slower than the scalar loop even at toy sizes.
 """
 
 from __future__ import annotations
@@ -32,7 +38,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.ecc.bch import get_code
+from repro.ecc.bch import EccError, get_code
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_ecc.json"
 
@@ -40,26 +46,64 @@ DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_ecc.json"
 CODE_PARAMS = (13, 8)
 
 FULL = dict(words_per_page=2, word_bits=4512, pages=64, repeats=3)
-TINY = dict(words_per_page=2, word_bits=512, pages=2, repeats=1)
+TINY = dict(words_per_page=2, word_bits=512, pages=16, repeats=3)
 
-#: (benchmark name, minimum batch/scalar speedup) — ISSUE 2 acceptance.
-SPEEDUP_FLOORS = {"decode_clean": 5.0, "encode": 2.0}
+#: (benchmark name, minimum batch/scalar speedup) — ISSUE 2/3 acceptance.
+SPEEDUP_FLOORS = {"decode_clean": 5.0, "encode": 2.0, "decode_dirty": 5.0}
 
 
-def _page_words(code, word_bits, pages, words_per_page, with_errors):
-    """Encoded words for `pages` pages, optionally t errors per word."""
-    rng = np.random.default_rng(1234)
+def _page_words(code, word_bits, pages, words_per_page, weight):
+    """Encoded words for `pages` pages with `weight` errors per word."""
+    rng = np.random.default_rng(1234 + weight)
     data_bits = word_bits - code.n_parity
     datas = [
         rng.integers(0, 2, data_bits).astype(np.uint8)
         for _ in range(pages * words_per_page)
     ]
     coded = code.encode_many(datas)
-    if with_errors:
-        for word in coded:
-            positions = rng.choice(word.size, size=code.t, replace=False)
-            word[positions] ^= 1
+    for word in coded:
+        positions = rng.choice(word.size, size=weight, replace=False)
+        word[positions] ^= 1
     return datas, coded
+
+
+def _scalar_decode_all(code, words):
+    """The scalar loop with per-word failure capture (the baseline the
+    batch ``on_error="return"`` path replaces)."""
+    results = []
+    for word in words:
+        try:
+            results.append(code.decode(word))
+        except EccError as error:
+            results.append(error)
+    return results
+
+
+def _assert_agreement(code, words):
+    """Batch results bit-identical to scalar: data, codeword, corrected
+    counts, error positions, and the failure set with its messages."""
+    scalar = _scalar_decode_all(code, words)
+    batch = code.decode_many(words, on_error="return")
+    for index, (expected, got) in enumerate(zip(scalar, batch)):
+        if isinstance(expected, EccError):
+            assert isinstance(got, EccError), (
+                f"word {index}: batch decoded a word the scalar "
+                f"decoder rejects"
+            )
+            assert str(got) == str(expected)
+            assert got.batch_index == index
+        else:
+            assert not isinstance(got, EccError), (
+                f"word {index}: batch rejected a word the scalar "
+                f"decoder corrects: {got}"
+            )
+            assert np.array_equal(got.data, expected.data)
+            assert got.corrected_errors == expected.corrected_errors
+            assert np.array_equal(got.codeword, expected.codeword)
+            assert np.array_equal(
+                np.asarray(got.error_positions),
+                np.asarray(expected.error_positions),
+            )
 
 
 def _time(fn, repeats):
@@ -74,14 +118,11 @@ def _time(fn, repeats):
 def collect(params) -> dict:
     code = get_code(*CODE_PARAMS)
     repeats = params["repeats"]
-    datas, clean = _page_words(
-        code, params["word_bits"], params["pages"],
-        params["words_per_page"], with_errors=False,
+    shape = (
+        params["word_bits"], params["pages"], params["words_per_page"],
     )
-    _, dirty = _page_words(
-        code, params["word_bits"], params["pages"],
-        params["words_per_page"], with_errors=True,
-    )
+    datas, clean = _page_words(code, *shape, weight=0)
+    _, dirty = _page_words(code, *shape, weight=code.t)
 
     benchmarks = {}
 
@@ -109,12 +150,22 @@ def collect(params) -> dict:
         lambda: [code.decode(w) for w in dirty],
         lambda: code.decode_many(dirty),
     )
+    _assert_agreement(code, clean)
+    _assert_agreement(code, dirty)
 
-    # Scalar/batch agreement on the timed workload (cheap sanity check).
-    for batch, scalar in zip(code.decode_many(dirty),
-                             [code.decode(w) for w in dirty[:4]]):
-        assert np.array_equal(batch.data, scalar.data)
-        assert batch.corrected_errors == scalar.corrected_errors
+    # Error-weight sweep: light (weight 1), half-capacity, at capacity,
+    # and beyond capacity (weight t+1, where words are *expected* to
+    # fail and both sides run in failure-capture mode).
+    for weight in sorted({1, max(1, code.t // 2), code.t, code.t + 1}):
+        _, words = _page_words(code, *shape, weight=weight)
+        record(
+            f"decode_dirty_w{weight}",
+            lambda words=words: _scalar_decode_all(code, words),
+            lambda words=words: code.decode_many(
+                words, on_error="return"
+            ),
+        )
+        _assert_agreement(code, words)
 
     return {
         "machine": {
@@ -147,7 +198,17 @@ def main(argv=None) -> int:
     for name, entry in results["benchmarks"].items():
         print(f"  {name}: scalar {entry['scalar_s']}s, "
               f"batch {entry['batch_s']}s, {entry['speedup']}x")
-    if not tiny:
+    if tiny:
+        # Even without amortisation the batch dirty path must not lose
+        # to the scalar loop — the dispatch overhead has to stay small.
+        entry = results["benchmarks"]["decode_dirty"]
+        assert entry["batch_s"] <= entry["scalar_s"], (
+            f"tiny dirty batch ({entry['batch_s']}s) slower than scalar "
+            f"({entry['scalar_s']}s)"
+        )
+        print("tiny smoke: batch dirty path agrees with scalar and is "
+              "not slower")
+    else:
         for name, floor in SPEEDUP_FLOORS.items():
             speedup = results["benchmarks"][name]["speedup"]
             assert speedup >= floor, (

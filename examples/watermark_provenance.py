@@ -23,7 +23,7 @@ import numpy as np
 
 from repro import FlashChip, TEST_MODEL
 from repro.crypto import HidingKey
-from repro.hiding import PayloadError, STANDARD_CONFIG, VtHi
+from repro.hiding import STANDARD_CONFIG, VtHi
 from repro.rng import substream
 
 CONFIG = STANDARD_CONFIG.replace(bits_per_page=512, ecc_m=10, ecc_t=18)
@@ -39,32 +39,45 @@ def watermark_for(device_serial: str, page_address: int) -> bytes:
 
 def provision(chip: FlashChip, serial: str, vendor_key: HidingKey,
               n_pages: int) -> None:
-    """Factory step: write firmware pages and embed watermarks."""
+    """Factory step: write firmware pages and embed watermarks.
+
+    One batched :meth:`VtHi.hide_pages` call: every page's payload ECC
+    encodes in one vectorised pass and the embed loop step-synchronises
+    across pages.
+    """
     vthi = VtHi(chip, CONFIG)
     rng = substream(99, "firmware-image")
-    for page in range(n_pages):
-        firmware = (rng.random(chip.geometry.cells_per_page) < 0.5).astype(
-            np.uint8
-        )
-        address = chip.geometry.page_address(0, page)
-        vthi.hide(0, page, firmware, watermark_for(serial, address),
-                  vendor_key)
+    pages = list(range(n_pages))
+    firmware_pages = [
+        (rng.random(chip.geometry.cells_per_page) < 0.5).astype(np.uint8)
+        for _ in pages
+    ]
+    watermarks = [
+        watermark_for(serial, chip.geometry.page_address(0, page))
+        for page in pages
+    ]
+    vthi.hide_pages(0, pages, firmware_pages, watermarks, vendor_key)
 
 
 def verify(chip: FlashChip, serial: str, vendor_key: HidingKey,
            n_pages: int) -> int:
-    """Field step: count pages whose watermark authenticates."""
+    """Field step: count pages whose watermark authenticates.
+
+    One batched :meth:`VtHi.recover_pages` call — failed pages come back
+    as ``None`` instead of raising, and all pages' ECC decodes share one
+    vectorised pass.
+    """
     vthi = VtHi(chip, CONFIG)
-    good = 0
-    for page in range(n_pages):
-        address = chip.geometry.page_address(0, page)
-        try:
-            found = vthi.recover(0, page, vendor_key, 16)
-        except PayloadError:
-            continue
-        if found == watermark_for(serial, address):
-            good += 1
-    return good
+    pages = list(range(n_pages))
+    found = vthi.recover_pages(0, pages, vendor_key, 16, on_error="return")
+    return sum(
+        1
+        for page, payload in zip(pages, found)
+        if payload is not None
+        and payload == watermark_for(
+            serial, chip.geometry.page_address(0, page)
+        )
+    )
 
 
 def main() -> None:

@@ -15,10 +15,16 @@ hiding layer matches codewords to its per-page hidden-bit budget.
 Batch APIs (:meth:`BchCode.encode_many` / :meth:`BchCode.decode_many`)
 vectorise the per-page hot paths: encoding is one GF(2) matrix multiply
 against the precomputed parity generator, and decoding re-encodes the
-whole batch to find the (rare) dirty words, so the common error-free case
-never touches Berlekamp-Massey or Chien search.  Codecs are cached in a
-process-wide registry (:func:`get_code`), so the expensive generator /
-remainder tables are built once per process — including pool workers.
+whole batch to find the dirty words, so the common error-free case never
+touches Berlekamp-Massey or Chien search.  Dirty words no longer fall
+back to scalar Python either: Berlekamp-Massey runs in lockstep over the
+whole dirty batch as numpy int arrays (fixed 2t iterations, vectorised
+GF arithmetic from :mod:`repro.ecc.gf`), and Chien search evaluates all
+error locators at all positions via a precomputed ``(t+1, n)`` exponent
+matrix — log-domain adds plus antilog gathers, no per-root loop.  Codecs
+are cached in a process-wide registry (:func:`get_code`), so the
+expensive generator / remainder / Chien tables are built once per
+process — including pool workers.
 """
 
 from __future__ import annotations
@@ -49,11 +55,14 @@ class DecodeResult:
     ``codeword`` is the corrected transmitted word (data + parity) —
     callers that need the exact programmed bit vector (the page pipeline's
     ``correct``) read it instead of re-encoding the data.
+    ``error_positions`` lists the corrected bit offsets within the
+    transmitted word, ascending (empty for a clean word).
     """
 
     data: np.ndarray
     corrected_errors: int
     codeword: Optional[np.ndarray] = None
+    error_positions: Optional[np.ndarray] = None
 
 
 class BchCode:
@@ -94,8 +103,23 @@ class BchCode:
         self._remainder_table = None
         self._parity_matrix_cache = None
         self._power_table_cache = None
-        #: exp table as a numpy array for vectorised syndromes/Chien.
-        self._exp = np.array(self.field.exp, dtype=np.int64)
+        self._chien_table_cache = None
+        #: duplicated exp table for vectorised syndromes/Chien — any sum
+        #: of two logs indexes it without a modulo.
+        self._exp = self.field.exp_np
+        #: int16 copies for the Chien kernel: its (rows, word_len)
+        #: temporaries are the largest arrays on the dirty path, and the
+        #: exponent sums fit exactly — log + table <= 2 * order - 2,
+        #: which is 32764 < 2^15 for the largest supported field (m=14).
+        self._exp16 = self.field.exp_np.astype(np.int16)
+        self._log16 = self.field.log_np.astype(np.int16)
+        #: byte-folded exp table (high byte XORed into the low byte) for
+        #: the Chien pre-screen.  Folding commutes with XOR, so a zero
+        #: locator evaluation always folds to zero — the screen has no
+        #: false negatives and candidates are ~1/256 of the positions.
+        self._expf8 = (
+            self.field.exp_np ^ (self.field.exp_np >> 8)
+        ).astype(np.uint8)
         #: syndrome indices 1..2t, precomputed for the batch kernels.
         self._js = np.arange(1, 2 * self.t + 1, dtype=np.int64)
 
@@ -140,7 +164,10 @@ class BchCode:
         shortening = self.n - received.size
         syndromes = self._syndromes(received, shortening)
         if not any(syndromes):
-            return DecodeResult(received[: -self.n_parity], 0, received)
+            return DecodeResult(
+                received[: -self.n_parity], 0, received,
+                np.zeros(0, dtype=np.int64),
+            )
         locator = self._berlekamp_massey(syndromes)
         n_errors = len(locator) - 1
         if n_errors > self.t:
@@ -157,7 +184,9 @@ class BchCode:
         # Re-check: a decoding beyond capacity can produce bogus fixes.
         if any(self._syndromes(received, shortening)):
             raise EccError("correction did not zero the syndromes")
-        return DecodeResult(received[: -self.n_parity], n_errors, received)
+        return DecodeResult(
+            received[: -self.n_parity], n_errors, received, positions
+        )
 
     # ------------------------------------------------------------------
     # batch APIs: every codeword of a page (or of many pages) in one
@@ -200,15 +229,15 @@ class BchCode:
         """Correct a batch of codewords; the common error-free case is one
         numpy pass.
 
-        Syndromes for every word of a (same-length) group are computed in
-        a single vectorised kernel; words whose syndromes are all zero —
+        Dispatch is weight-aware: words whose syndromes are all zero —
         the overwhelmingly common case on a healthy page — skip
-        Berlekamp-Massey and Chien search entirely.  Words with errors
-        fall back to the scalar locator path.  Results are identical to
-        ``[self.decode(w) for w in codeword_words]``; an uncorrectable
-        word raises :class:`EccError` with ``batch_index`` set to the
-        lowest failing input position (the word the scalar loop would
-        have raised on).
+        Berlekamp-Massey and Chien search entirely, and the dirty rest
+        runs through the *batched* solver (lockstep Berlekamp-Massey,
+        table-driven Chien search) rather than per-word Python.  Results
+        are identical to ``[self.decode(w) for w in codeword_words]``; an
+        uncorrectable word raises :class:`EccError` with ``batch_index``
+        set to the lowest failing input position (the word the scalar
+        loop would have raised on).
 
         With ``on_error="return"``, uncorrectable words do not raise;
         their result slot holds the :class:`EccError` instance instead
@@ -241,31 +270,47 @@ class BchCode:
             # Batch re-encode (the GEMM kernel) is far cheaper than
             # evaluating 2t syndromes per word.
             reencoded = self._encode_batch(stacked[:, : size - self.n_parity])
-            dirty = (reencoded != stacked).any(axis=1)
+            diff = stacked ^ reencoded
+            dirty = diff.any(axis=1)
             for row, index in enumerate(indices):
                 if dirty[row]:
                     continue
                 codeword = stacked[row]
                 results[index] = DecodeResult(
-                    codeword[: -self.n_parity], 0, codeword
+                    codeword[: -self.n_parity], 0, codeword,
+                    np.zeros(0, dtype=np.int64),
                 )
             dirty_rows = np.flatnonzero(dirty)
-            if dirty_rows.size:
-                syndromes = self._syndromes_batch(
-                    stacked[dirty_rows], shortening
+            # Bound the batch solver's (rows, word_len) temporaries the
+            # same way _syndromes_batch does: chunk huge dirty batches.
+            chunk_rows = max(1, 4_000_000 // max(size, 1))
+            for start in range(0, dirty_rows.size, chunk_rows):
+                rows = dirty_rows[start:start + chunk_rows]
+                received = stacked[rows]
+                # S(received) == S(received ^ reencoded): the re-encoded
+                # word is a valid codeword (zero syndromes) and syndromes
+                # are GF-linear.  The XOR difference is far sparser than
+                # the received word — error-ish set bits instead of ~W/2 —
+                # so the gather/reduceat kernel touches 20x fewer cells.
+                # (flatnonzero + divmod beats 2-D nonzero ~1.7x here.)
+                flat = np.flatnonzero(diff[rows].reshape(-1))
+                set_rows, set_cols = np.divmod(flat, size)
+                syndromes = self._syndromes_from_bits(
+                    set_rows, set_cols, rows.size, shortening
                 )
-                for position, row in enumerate(dirty_rows):
+                outcomes = self._decode_dirty_batch(
+                    received, syndromes, shortening
+                )
+                for row, outcome in zip(rows, outcomes):
                     index = indices[row]
-                    try:
-                        results[index] = self._decode_dirty(
-                            stacked[row], syndromes[position], shortening
-                        )
-                    except EccError as exc:
+                    if isinstance(outcome, EccError):
                         if on_error == "return":
-                            exc.batch_index = index
-                            results[index] = exc  # type: ignore[call-overload]
+                            outcome.batch_index = index
+                            results[index] = outcome  # type: ignore[call-overload]
                         elif first_error is None or index < first_error[0]:
-                            first_error = (index, exc)
+                            first_error = (index, outcome)
+                    else:
+                        results[index] = outcome
         if first_error is not None:
             index, exc = first_error
             error = EccError(str(exc))
@@ -273,27 +318,80 @@ class BchCode:
             raise error
         return results  # type: ignore[return-value]
 
-    def _decode_dirty(
+    def _decode_dirty_batch(
         self, received: np.ndarray, syndromes: np.ndarray, shortening: int
-    ) -> DecodeResult:
-        """Scalar locator path for one word with non-zero syndromes."""
-        received = received.copy()
-        locator = self._berlekamp_massey([int(s) for s in syndromes])
-        n_errors = len(locator) - 1
-        if n_errors > self.t:
-            raise EccError(
-                f"error locator degree {n_errors} exceeds t={self.t}"
+    ) -> List:
+        """Batched locator path for words with non-zero syndromes.
+
+        ``received`` is a ``(B, W)`` bit array, ``syndromes`` the matching
+        ``(B, 2t)`` int64 array.  Returns one outcome per row — a
+        :class:`DecodeResult`, or the :class:`EccError` the scalar decoder
+        would have raised for that word (same message, same failure
+        class).  No per-word Python algebra: Berlekamp-Massey runs in
+        lockstep over all rows and Chien search is one table-driven
+        evaluation of every locator at every position.
+        """
+        n_rows, word_len = received.shape
+        outcomes: List = [None] * n_rows
+        sigma = self._berlekamp_massey_batch(syndromes)
+        # Degree after trailing-zero trim; the constant term is always 1,
+        # so argmax over the reversed nonzero mask is well defined.
+        nonzero = sigma != 0
+        degree = (
+            sigma.shape[1] - 1 - np.argmax(nonzero[:, ::-1], axis=1)
+        ).astype(np.int64)
+        overweight = degree > self.t
+        for row in np.flatnonzero(overweight):
+            outcomes[row] = EccError(
+                f"error locator degree {degree[row]} exceeds t={self.t}"
             )
-        positions = self._chien_search(locator, shortening, received.size)
-        if len(positions) != n_errors:
-            raise EccError(
+        solvable = np.flatnonzero(~overweight)
+        if solvable.size == 0:
+            return outcomes
+        root_rows, root_cols = self._chien_batch(
+            sigma[solvable], shortening, word_len
+        )
+        root_counts = np.bincount(root_rows, minlength=solvable.size)
+        counts_match = root_counts == degree[solvable]
+        for position in np.flatnonzero(~counts_match):
+            row = solvable[position]
+            outcomes[row] = EccError(
                 "Chien search found "
-                f"{len(positions)} roots for a degree-{n_errors} locator"
+                f"{root_counts[position]} roots for a "
+                f"degree-{degree[row]} locator"
             )
-        received[positions] ^= 1
-        if any(self._syndromes(received, shortening)):
-            raise EccError("correction did not zero the syndromes")
-        return DecodeResult(received[: -self.n_parity], n_errors, received)
+        located = solvable[counts_match]
+        if located.size == 0:
+            return outcomes
+        # Flip indices of the surviving rows, renumbered to positions
+        # within `located` (cumsum of the keep mask is the new row id).
+        keep = counts_match[root_rows]
+        flip_cols = root_cols[keep]
+        flip_rows = (np.cumsum(counts_match) - 1)[root_rows[keep]]
+        corrected = received[located]  # fancy index -> fresh copy
+        corrected[flip_rows, flip_cols] ^= 1
+        # Re-check: a decoding beyond capacity can produce bogus fixes.
+        # S(corrected) = S(received) ^ S(flips), and the flip coordinates
+        # are already in hand, so the recheck costs a gather over <= t
+        # flip bits per word — no dense array, no full syndrome pass.
+        residual = syndromes[located] ^ self._syndromes_from_bits(
+            flip_rows, flip_cols, located.size, shortening
+        )
+        still_dirty = (residual != 0).any(axis=1)
+        offsets = np.zeros(located.size + 1, dtype=np.int64)
+        np.cumsum(root_counts[counts_match], out=offsets[1:])
+        for position, row in enumerate(located):
+            if still_dirty[position]:
+                outcomes[row] = EccError(
+                    "correction did not zero the syndromes"
+                )
+                continue
+            word = corrected[position]
+            positions = flip_cols[offsets[position]:offsets[position + 1]]
+            outcomes[row] = DecodeResult(
+                word[: -self.n_parity], int(degree[row]), word, positions
+            )
+        return outcomes
 
     # ------------------------------------------------------------------
 
@@ -412,6 +510,27 @@ class BchCode:
                 )
             return out
         set_rows, set_cols = np.nonzero(received)
+        return self._syndromes_from_bits(
+            set_rows, set_cols, n_words, shortening, out=out
+        )
+
+    def _syndromes_from_bits(
+        self,
+        set_rows: np.ndarray,
+        set_cols: np.ndarray,
+        n_words: int,
+        shortening: int,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """S_1..S_2t for a batch given as set-bit ``(row, col)`` indices.
+
+        ``set_rows`` must be sorted ascending (row-major nonzero order).
+        Callers that already hold the set-bit coordinates — the recheck
+        of the corrected words knows its flip positions exactly — skip
+        the dense ``(B, W)`` materialisation and its nonzero pass.
+        """
+        if out is None:
+            out = np.zeros((n_words, 2 * self.t), dtype=np.int64)
         if set_rows.size == 0:
             return out
         degrees = (self.n - 1 - shortening - set_cols).astype(np.int64)
@@ -419,10 +538,18 @@ class BchCode:
         counts = np.bincount(set_rows, minlength=n_words)
         boundaries = np.zeros(n_words, dtype=np.int64)
         boundaries[1:] = np.cumsum(counts)[:-1]
-        safe = np.minimum(boundaries, set_rows.size - 1)
-        acc = np.bitwise_xor.reduceat(values, safe, axis=1)  # (2t, B)
-        acc[:, counts == 0] = 0
-        return acc.T.copy()
+        # reduceat over the occupied rows only: their boundaries are
+        # strictly increasing and in range, and each segment ends exactly
+        # at the next occupied row's start.  (Clamping boundaries of
+        # zero-bit rows instead would corrupt the preceding row's
+        # segment — all-zero rows do occur, e.g. a corrected word that is
+        # the all-zero codeword.)
+        occupied = np.flatnonzero(counts)
+        acc = np.bitwise_xor.reduceat(
+            values, boundaries[occupied], axis=1
+        )  # (2t, occupied)
+        out[occupied] = acc.T
+        return out
 
     def _syndromes(self, received: np.ndarray, shortening: int) -> List[int]:
         """S_j = r(alpha^j) for j = 1..2t, for a shortened word.
@@ -496,6 +623,146 @@ class BchCode:
             exponent = (log[coeff] + k * inv_exponents) % order
             values ^= self._exp[exponent]
         return np.flatnonzero(values == 0)
+
+    # ------------------------------------------------------------------
+    # batched locator kernels: the dirty-path counterparts of the scalar
+    # Berlekamp-Massey / Chien methods above, bit-identical per word
+
+    def _berlekamp_massey_batch(self, syndromes: np.ndarray) -> np.ndarray:
+        """Error-locator polynomials for a whole batch, in lockstep.
+
+        ``syndromes`` is ``(B, 2t)`` int64; returns ``(B, 2t + 1)`` int64
+        coefficient rows, lowest degree first.  Row b equals
+        ``_berlekamp_massey(list(syndromes[b]))`` zero-padded on the
+        right: the iteration count (2t) is data-independent, so all words
+        advance together and per-word control flow becomes masks.  Width
+        2t + 1 suffices because Massey's invariant deg(sigma) <= L <= 2t
+        bounds every locator the scalar code can build.
+        """
+        field = self.field
+        n_rows, n_syndromes = syndromes.shape
+        width = n_syndromes + 1
+        row_ids = np.arange(n_rows)[:, None]
+        columns = np.arange(width, dtype=np.int64)[None, :]
+        sigma = np.zeros((n_rows, width), dtype=np.int64)
+        sigma[:, 0] = 1
+        prev_sigma = sigma.copy()
+        prev_discrepancy = np.ones(n_rows, dtype=np.int64)
+        m_gap = np.ones(n_rows, dtype=np.int64)
+        length = np.zeros(n_rows, dtype=np.int64)
+        for i in range(n_syndromes):
+            discrepancy = syndromes[:, i].copy()
+            # j runs over 1..length per word; length never exceeds i here
+            # (it was set at an earlier iteration), so the max() bound
+            # keeps the inner loop at the longest live LFSR.
+            for j in range(1, min(i, int(length.max())) + 1):
+                term = field.mul_vec(sigma[:, j], syndromes[:, i - j])
+                discrepancy ^= np.where(j <= length, term, 0)
+            active = discrepancy != 0
+            if not active.any():
+                m_gap += 1
+                continue
+            # Inactive rows get scale 0, so their adjustment vanishes and
+            # sigma passes through unchanged — no scatter needed.
+            scale = field.div_vec(
+                np.where(active, discrepancy, 0), prev_discrepancy
+            )
+            # x^m_gap * prev_sigma, each row shifted by its own gap.
+            source = columns - m_gap[:, None]
+            shifted = np.where(
+                source >= 0,
+                prev_sigma[row_ids, np.maximum(source, 0)],
+                0,
+            )
+            adjustment = field.mul_vec(scale[:, None], shifted)
+            update = active & (2 * length <= i)
+            prev_sigma = np.where(update[:, None], sigma, prev_sigma)
+            prev_discrepancy = np.where(
+                update, discrepancy, prev_discrepancy
+            )
+            length = np.where(update, i + 1 - length, length)
+            m_gap = np.where(update, 1, m_gap + 1)
+            sigma ^= adjustment
+        return sigma
+
+    def _chien_table(self) -> np.ndarray:
+        """``(k * -d) mod order`` for k in 0..t and every degree d < n.
+
+        The evaluation-point exponent matrix of the batched Chien search:
+        coefficient k of a locator contributes
+        ``alpha^(log(coeff) + table[k, d])`` at the position of degree d.
+        Lazily built and cached per codec — i.e. once per ``(m, t)`` per
+        process via the :func:`get_code` registry.
+        """
+        if self._chien_table_cache is None:
+            degrees = np.arange(self.n, dtype=np.int64)
+            inv_exponents = (-degrees) % self.field.order
+            ks = np.arange(self.t + 1, dtype=np.int64)
+            self._chien_table_cache = (
+                (ks[:, None] * inv_exponents[None, :]) % self.field.order
+            ).astype(np.int16)
+        return self._chien_table_cache
+
+    def _chien_batch(
+        self, sigma: np.ndarray, shortening: int, word_len: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Root positions of every locator at every transmitted position.
+
+        ``sigma`` is ``(B, >= t + 1)`` locator rows of degree <= t;
+        returns ``(root_rows, root_cols)`` index arrays in row-major
+        order — exactly the ``(row, position)`` pairs where
+        sigma(alpha^-degree) == 0, i.e. the positions the scalar Chien
+        search returns per word.  Two table-driven passes instead of one
+        Python loop per word: a byte-folded screen over the full
+        ``(B, word_len)`` grid (no false negatives — folding commutes
+        with XOR), then a full-width evaluation of the ~1/256 surviving
+        candidates.
+        """
+        n_rows = sigma.shape[0]
+        n_coeffs = min(self.t, sigma.shape[1] - 1) + 1
+        degrees = (
+            self.n - 1 - shortening - np.arange(word_len, dtype=np.int64)
+        )
+        table = self._chien_table()[:, degrees]  # (t + 1, word_len)
+        log16 = self._log16
+        folded = np.zeros((n_rows, word_len), dtype=np.uint8)
+        for k in range(n_coeffs):
+            coefficients = sigma[:, k]
+            rows = np.flatnonzero(coefficients)
+            if rows.size == 0:
+                continue
+            # np.take beats fancy indexing for this gather (~1.6x on the
+            # uint8 screen); in-place XOR on all rows beats the
+            # fancy-indexed scatter when every row participates.
+            if rows.size == n_rows:
+                folded ^= np.take(
+                    self._expf8,
+                    log16[coefficients][:, None] + table[k][None, :],
+                )
+            else:
+                folded[rows] ^= np.take(
+                    self._expf8,
+                    log16[coefficients[rows]][:, None] + table[k][None, :],
+                )
+        # flatnonzero + divmod beats 2-D nonzero ~1.7x on this array.
+        cand_rows, cand_cols = np.divmod(
+            np.flatnonzero(folded.reshape(-1) == 0), word_len
+        )
+        if cand_rows.size == 0:
+            return cand_rows, cand_cols
+        # Full-width evaluation of the candidates only.  int16 is exact:
+        # log + table <= 2 * order - 2 = 32764 < 2^15 for m <= 14.
+        values = np.zeros(cand_rows.size, dtype=np.int16)
+        for k in range(n_coeffs):
+            coefficients = sigma[cand_rows, k]
+            live = coefficients != 0
+            values[live] ^= np.take(
+                self._exp16,
+                log16[coefficients[live]]
+                + np.take(table[k], cand_cols[live]),
+            )
+        is_root = values == 0
+        return cand_rows[is_root], cand_cols[is_root]
 
 
 #: Process-wide codec registry.  Generator polynomial and remainder-table

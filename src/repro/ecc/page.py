@@ -113,27 +113,49 @@ class PagePipeline:
         whole data area is then scrambled with the page-address-seeded
         stream, so the stored bit pattern is uniform whatever the payload.
         """
-        if len(data) > self.data_bytes:
+        return self.encode_pages([data], [page_address])[0]
+
+    def encode_pages(
+        self,
+        payloads: Sequence[bytes],
+        page_addresses: Sequence[int],
+    ) -> List[np.ndarray]:
+        """Batch :meth:`encode`: several pages' bit vectors, with every
+        codeword of every page going through one ``encode_many`` pass.
+        """
+        if len(payloads) != len(page_addresses):
             raise ValueError(
-                f"payload of {len(data)} bytes exceeds page data capacity "
-                f"{self.data_bytes} bytes"
+                f"got {len(page_addresses)} page addresses for "
+                f"{len(payloads)} payloads"
             )
-        padded = data + b"\x00" * (self.data_bytes - len(data))
-        scrambler = _scrambler_bytes(page_address, self.data_bytes)
-        scrambled = bytes(a ^ b for a, b in zip(padded, scrambler))
-        bits = np.unpackbits(np.frombuffer(scrambled, dtype=np.uint8))
-        bits = np.concatenate(
-            [bits, np.zeros(self._slack_bits, dtype=np.uint8)]
-        )
-        chunks = []
-        cursor = 0
-        for word in self.words:
-            chunks.append(bits[cursor:cursor + word.data_bits])
-            cursor += word.data_bits
-        page = np.empty(self.cells_per_page, dtype=np.uint8)
-        for word, coded in zip(self.words, self.code.encode_many(chunks)):
-            page[word.start:word.start + word.coded_bits] = coded
-        return page
+        chunks: List[np.ndarray] = []
+        for data, page_address in zip(payloads, page_addresses):
+            if len(data) > self.data_bytes:
+                raise ValueError(
+                    f"payload of {len(data)} bytes exceeds page data "
+                    f"capacity {self.data_bytes} bytes"
+                )
+            padded = data + b"\x00" * (self.data_bytes - len(data))
+            scrambler = _scrambler_bytes(page_address, self.data_bytes)
+            scrambled = bytes(a ^ b for a, b in zip(padded, scrambler))
+            bits = np.unpackbits(np.frombuffer(scrambled, dtype=np.uint8))
+            bits = np.concatenate(
+                [bits, np.zeros(self._slack_bits, dtype=np.uint8)]
+            )
+            cursor = 0
+            for word in self.words:
+                chunks.append(bits[cursor:cursor + word.data_bits])
+                cursor += word.data_bits
+        coded_words = self.code.encode_many(chunks)
+        out: List[np.ndarray] = []
+        n_words = len(self.words)
+        for index in range(len(payloads)):
+            page = np.empty(self.cells_per_page, dtype=np.uint8)
+            page_words = coded_words[index * n_words:(index + 1) * n_words]
+            for word, coded in zip(self.words, page_words):
+                page[word.start:word.start + word.coded_bits] = coded
+            out.append(page)
+        return out
 
     def decode(self, page_bits: np.ndarray, page_address: int = 0) -> Tuple[bytes, int]:
         """Recover user bytes from a raw page read.

@@ -108,24 +108,58 @@ class PayloadCodec:
 
     def encode(self, key: HidingKey, page_address: int, data: bytes) -> np.ndarray:
         """Whiten and encode a payload into hidden bits for one page."""
-        encrypted = key.cipher().encrypt(
-            data, nonce=b"payload:%d" % page_address
-        )
-        bits = np.unpackbits(np.frombuffer(encrypted, dtype=np.uint8))
-        if self._code is None:
-            if bits.size > self.config.bits_per_page:
+        return self.encode_pages(key, [page_address], [data])[0]
+
+    def encode_pages(
+        self,
+        key: HidingKey,
+        page_addresses: Sequence[int],
+        payloads: Sequence[bytes],
+    ) -> List[np.ndarray]:
+        """Batch :meth:`encode`: several pages' payloads, all their BCH
+        codewords through one vectorised ``encode_many`` pass.
+
+        Identical output to encoding page by page (whitening nonces are
+        per page address), minus the per-page parity passes.
+        """
+        if len(payloads) != len(page_addresses):
+            raise ValueError(
+                f"got {len(page_addresses)} page addresses for "
+                f"{len(payloads)} payloads"
+            )
+        per_page_bits = []
+        for address, data in zip(page_addresses, payloads):
+            encrypted = key.cipher().encrypt(
+                data, nonce=b"payload:%d" % address
+            )
+            bits = np.unpackbits(np.frombuffer(encrypted, dtype=np.uint8))
+            if self._code is None and bits.size > self.config.bits_per_page:
                 raise PayloadError(
                     f"payload of {bits.size} bits exceeds hidden budget "
                     f"{self.config.bits_per_page}"
                 )
-            return bits
+            per_page_bits.append(bits)
+        if self._code is None:
+            return per_page_bits
         chunks = []
-        cursor = 0
-        for used in self._allocate(bits.size):
-            chunks.append(bits[cursor:cursor + used])
-            cursor += used
+        word_counts = []
+        for bits in per_page_bits:
+            allocation = self._allocate(bits.size)
+            cursor = 0
+            for used in allocation:
+                chunks.append(bits[cursor:cursor + used])
+                cursor += used
+            word_counts.append(len(allocation))
         words = self._code.encode_many(chunks)
-        return np.concatenate(words) if words else bits[:0]
+        out = []
+        cursor = 0
+        for bits, count in zip(per_page_bits, word_counts):
+            page_words = words[cursor:cursor + count]
+            cursor += count
+            out.append(
+                np.concatenate(page_words) if page_words else bits[:0]
+            )
+        return out
 
     def decode(
         self, key: HidingKey, page_address: int, coded_bits: np.ndarray, n_bytes: int

@@ -86,16 +86,32 @@ class ProtectedGroup:
         ).parity
         parity_bytes = np.packbits(parity).tobytes()
 
-        for index, (host, data) in enumerate(
-            zip(hosts + [parity_host], chunks + [None])
-        ):
-            payload_bytes = (
-                parity_bytes if data is None else data.tobytes()
+        # The whole stripe's payload BCH encodes run as one batched
+        # pass; embedding then goes block by block (the step-synchronised
+        # embed loop works within one block).
+        all_hosts = hosts + [parity_host]
+        payloads = [data.tobytes() for data in chunks] + [parity_bytes]
+        addresses = [
+            self.vthi.chip.geometry.page_address(block, page)
+            for block, page in all_hosts
+        ]
+        coded = self.vthi.codec.encode_pages(self.key, addresses, payloads)
+        publics = (
+            list(public_pages)
+            if public_pages is not None
+            else [None] * len(all_hosts)
+        )
+        by_block = {}
+        for index, (block, _) in enumerate(all_hosts):
+            by_block.setdefault(block, []).append(index)
+        for block, indices in by_block.items():
+            self.vthi.embed_pages(
+                block,
+                [all_hosts[i][1] for i in indices],
+                [coded[i] for i in indices],
+                self.key,
+                public_bits=[publics[i] for i in indices],
             )
-            public = None
-            if public_pages is not None:
-                public = public_pages[index]
-            self._embed(host, payload_bytes, public)
         return StripeLayout(hosts, parity_host, chunk)
 
     def read(
@@ -106,10 +122,9 @@ class ProtectedGroup:
     ) -> bytes:
         """Read a stripe back, rebuilding one lost chunk if needed."""
         chunk_bits = layout.chunk_bytes * 8
-        members: List[Optional[np.ndarray]] = []
-        for index, host in enumerate(layout.data_hosts):
-            public = public_pages[index] if public_pages else None
-            members.append(self._recover_bits(host, chunk_bits, public))
+        members = self._recover_members(
+            layout.data_hosts, chunk_bits, public_pages
+        )
         missing = [i for i, m in enumerate(members) if m is None]
         if missing:
             parity_public = (
@@ -131,14 +146,43 @@ class ProtectedGroup:
 
     # ------------------------------------------------------------------
 
-    def _embed(
-        self, host: Location, payload: bytes, public: Optional[np.ndarray]
-    ) -> None:
-        block, page = host
-        address = self.vthi.chip.geometry.page_address(block, page)
-        coded = self.vthi.codec.encode(self.key, address, payload)
-        self.vthi.embed_bits(block, page, coded, self.key,
-                             public_bits=public)
+    def _recover_members(
+        self,
+        hosts: Sequence[Location],
+        n_bits: int,
+        public_pages: Sequence[Optional[np.ndarray]] = None,
+    ) -> List[Optional[np.ndarray]]:
+        """All data chunks' bits, ``None`` per lost host.
+
+        Without caller-supplied public pages, hosts group by block and
+        each group's payloads decode through one batched
+        :meth:`VtHi.recover_pages` call; with them, the per-host path
+        keeps its skip-the-read semantics.
+        """
+        if public_pages is not None:
+            return [
+                self._recover_bits(host, n_bits, public_pages[i])
+                for i, host in enumerate(hosts)
+            ]
+        members: List[Optional[np.ndarray]] = [None] * len(hosts)
+        by_block = {}
+        for index, (block, page) in enumerate(hosts):
+            if self.vthi.chip.is_page_programmed(block, page):
+                by_block.setdefault(block, []).append(index)
+        for block, indices in by_block.items():
+            recovered = self.vthi.recover_pages(
+                block,
+                [hosts[i][1] for i in indices],
+                self.key,
+                n_bits // 8,
+                on_error="return",
+            )
+            for index, data in zip(indices, recovered):
+                if data is not None:
+                    members[index] = np.unpackbits(
+                        np.frombuffer(data, dtype=np.uint8)
+                    )
+        return members
 
     def _recover_bits(
         self, host: Location, n_bits: int, public: Optional[np.ndarray]

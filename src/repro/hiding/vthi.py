@@ -275,6 +275,42 @@ class VtHi:
             block, page, coded, key, public_bits=public_bits
         )
 
+    def hide_pages(
+        self,
+        block: int,
+        pages: Sequence[int],
+        public_data: Sequence,
+        hidden_data: Sequence[bytes],
+        key: HidingKey,
+    ) -> List[EmbedStats]:
+        """Batch :meth:`hide`: several pages of one block in one go.
+
+        Per-page outcomes are bit-identical to hiding page by page, but
+        the public-page ECC encodes, the payload BCH encodes, and the
+        embed read-PP loop all run batched (the embed loop
+        step-synchronised across pages via :meth:`embed_pages`).
+        """
+        if len(public_data) != len(pages) or len(hidden_data) != len(pages):
+            raise ValueError(
+                f"got {len(public_data)} public and {len(hidden_data)} "
+                f"hidden payloads for {len(pages)} pages"
+            )
+        addresses = [
+            self.chip.geometry.page_address(block, page) for page in pages
+        ]
+        if self.public_codec is not None:
+            public_bits = self.public_codec.encode_pages(
+                [bytes(data) for data in public_data], addresses
+            )
+        else:
+            public_bits = [self._as_bits(data) for data in public_data]
+        for page, bits in zip(pages, public_bits):
+            self.chip.program_page(block, page, bits)
+        coded = self.codec.encode_pages(key, addresses, list(hidden_data))
+        return self.embed_pages(
+            block, pages, coded, key, public_bits=public_bits
+        )
+
     def recover(
         self,
         block: int,

@@ -29,6 +29,29 @@ def _random_words(code, rng, n_words, shortened=True):
     return words
 
 
+def _detected_overweight_word(code, clean, weight, max_tries=200):
+    """A weight-``weight`` corruption the scalar decoder provably rejects.
+
+    Beyond-capacity patterns (weight > t) can also miscorrect silently —
+    the word lands inside another codeword's Hamming ball and decodes
+    "successfully" to wrong data — so tests of failure *reporting* search
+    deterministically over seeds for a pattern that is detected instead
+    of skipping when the first draw miscorrects.
+    """
+    for seed in range(max_tries):
+        rng = np.random.default_rng(seed)
+        positions = rng.choice(clean.size, size=weight, replace=False)
+        broken = clean.copy()
+        broken[positions] ^= 1
+        try:
+            code.decode(broken)
+        except EccError:
+            return broken
+    raise AssertionError(
+        f"no detected weight-{weight} pattern within {max_tries} seeds"
+    )
+
+
 class TestEncodeMany:
     @given(data=st.data())
     @settings(max_examples=40, deadline=None)
@@ -125,36 +148,67 @@ class TestDecodeMany:
             assert np.array_equal(result.codeword, CODE.encode(word))
 
     def test_raise_mode_reports_first_failing_index(self):
-        rng = np.random.default_rng(7)
         clean = CODE.encode(np.ones(CODE.k, dtype=np.uint8))
-        broken = clean.copy()
-        positions = rng.choice(clean.size, size=CODE.t + 4, replace=False)
-        broken[positions] ^= 1
-        try:
-            CODE.decode(broken)
-            pytest.skip("corruption pattern miscorrected silently")
-        except EccError:
-            pass
+        broken = _detected_overweight_word(CODE, clean, CODE.t + 1)
         with pytest.raises(EccError) as excinfo:
             CODE.decode_many([clean, broken, broken])
         assert excinfo.value.batch_index == 1
 
     def test_return_mode_keeps_good_words(self):
-        rng = np.random.default_rng(11)
         clean = CODE.encode(np.zeros(CODE.k, dtype=np.uint8))
-        broken = clean.copy()
-        positions = rng.choice(clean.size, size=CODE.t + 4, replace=False)
-        broken[positions] ^= 1
-        try:
-            CODE.decode(broken)
-            pytest.skip("corruption pattern miscorrected silently")
-        except EccError:
-            pass
+        broken = _detected_overweight_word(CODE, clean, CODE.t + 1)
         batch = CODE.decode_many([clean, broken, clean], on_error="return")
         assert not isinstance(batch[0], EccError)
         assert isinstance(batch[1], EccError)
         assert batch[1].batch_index == 1
         assert not isinstance(batch[2], EccError)
+
+    @pytest.mark.parametrize("m,t", SMALL_PARAMS)
+    def test_weight_up_to_t_always_corrected(self, m, t):
+        """Every pattern of weight <= t is corrected exactly — data
+        restored, corrected count equal to the injected weight, and the
+        flipped positions reported — in batch and scalar alike."""
+        code = get_code(m, t)
+        rng = np.random.default_rng(m * 100 + t)
+        data = rng.integers(0, 2, code.k).astype(np.uint8)
+        clean = code.encode(data)
+        corrupted, injected = [], []
+        for weight in range(code.t + 1):
+            positions = np.sort(
+                rng.choice(clean.size, size=weight, replace=False)
+            )
+            bad = clean.copy()
+            bad[positions] ^= 1
+            corrupted.append(bad)
+            injected.append(positions)
+        for result, positions in zip(code.decode_many(corrupted), injected):
+            assert result.corrected_errors == positions.size
+            assert np.array_equal(result.data, data)
+            assert np.array_equal(result.codeword, clean)
+            assert np.array_equal(
+                np.asarray(result.error_positions), positions
+            )
+
+    @pytest.mark.parametrize("m,t", SMALL_PARAMS)
+    def test_weight_t_plus_one_failure_is_reported(self, m, t):
+        """A detected beyond-capacity word surfaces as an EccError slot
+        (return mode) with the scalar decoder's message, never silently.
+
+        Shortened words: the full-length t=1 code is a *perfect* Hamming
+        code, where every weight-2 pattern miscorrects silently; with
+        shortening, locator roots can fall outside the transmitted
+        window, so detectable patterns exist for every (m, t).
+        """
+        code = get_code(m, t)
+        clean = code.encode(np.ones(max(1, code.k // 2), dtype=np.uint8))
+        broken = _detected_overweight_word(code, clean, code.t + 1)
+        with pytest.raises(EccError) as scalar_error:
+            code.decode(broken)
+        batch = code.decode_many([broken, clean], on_error="return")
+        assert isinstance(batch[0], EccError)
+        assert str(batch[0]) == str(scalar_error.value)
+        assert batch[0].batch_index == 0
+        assert not isinstance(batch[1], EccError)
 
     def test_rejects_unknown_on_error(self):
         with pytest.raises(ValueError):
