@@ -14,16 +14,19 @@ passphrase finds nothing.
     repro-stash reveal dev.stash -p "s3cret" 0
     repro-stash stats dev.stash
     repro-stash experiment fig3
+    repro-stash obs fig6 --top 5 --trace fig6.trace.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pickle
 import sys
 from dataclasses import dataclass
 from typing import Optional
 
+from . import obs
 from .crypto import HidingKey
 from .ecc.page import PagePipeline
 from .ftl import Ftl
@@ -223,24 +226,35 @@ def _run_kwargs(run, workers, backend=None):
     }
 
 
-def _cmd_experiment(args) -> int:
+def _resolve_experiment(name: str):
     from . import experiments
 
-    module = getattr(experiments, args.name, None)
+    module = getattr(experiments, name, None)
     if module is None or not hasattr(module, "run"):
         names = [
-            name for name in experiments.__all__
-            if hasattr(getattr(experiments, name), "run")
+            candidate for candidate in experiments.__all__
+            if hasattr(getattr(experiments, candidate), "run")
         ]
         raise SystemExit(
-            f"unknown experiment {args.name!r}; available: "
+            f"unknown experiment {name!r}; available: "
             f"{', '.join(sorted(names))}"
         )
-    result = module.run(
-        **_run_kwargs(module.run, args.workers, args.backend)
-    )
+    return module
+
+
+def _cmd_experiment(args) -> int:
+    module = _resolve_experiment(args.name)
+    with obs.collect(absorb=False) as col:
+        result = module.run(
+            **_run_kwargs(module.run, args.workers, args.backend)
+        )
     print(result.summary.render())
     _render_curves(args.name, result)
+    # The summary carries wall time, so it goes to stderr: stdout stays
+    # byte-identical across worker counts and backends.
+    print(file=sys.stderr)
+    print(obs.one_line_summary(col.snapshot, enabled=obs.is_enabled()),
+          file=sys.stderr)
     return 0
 
 
@@ -280,17 +294,47 @@ def _cmd_report(args) -> int:
         "capacity", "applicability", "public_interference",
         "mlc_extension", "interval_capacity", "ablations",
     ]
-    for name in light:
-        run = getattr(experiments, name).run
-        result = run(**_run_kwargs(run, args.workers, args.backend))
-        print(result.summary.render())
-        for part in getattr(result, "parts", []):
-            print()
-            print(part.render())
-        _render_curves(name, result)
-        print("\n" + "=" * 72 + "\n")
+    with obs.collect(absorb=False) as col:
+        for name in light:
+            run = getattr(experiments, name).run
+            result = run(**_run_kwargs(run, args.workers, args.backend))
+            print(result.summary.render())
+            for part in getattr(result, "parts", []):
+                print()
+                print(part.render())
+            _render_curves(name, result)
+            print("\n" + "=" * 72 + "\n")
     print("SVM sweeps (fig10/fig12) are heavier; run them via "
           "`repro-stash experiment fig10` or the benchmarks.")
+    print(file=sys.stderr)
+    print(obs.one_line_summary(col.snapshot, enabled=obs.is_enabled()),
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    """Run one experiment fully instrumented and report what happened."""
+    # Force-enable in this process *and* the environment, so spawned pool
+    # workers (which re-read REPRO_OBS at import) record too.
+    os.environ[obs.OBS_ENV] = "1"
+    obs.set_enabled(True)
+    module = _resolve_experiment(args.name)
+    with obs.collect(absorb=False) as col:
+        result = module.run(
+            **_run_kwargs(module.run, args.workers, args.backend)
+        )
+    print(result.summary.render())
+    print()
+    print(obs.render_metrics(col.snapshot))
+    print()
+    print(obs.render_profile(col.snapshot.profile, top=args.top))
+    trace = args.trace or obs.default_trace_path()
+    if trace:
+        obs.export_jsonl(col.snapshot.spans, trace)
+        print()
+        print(f"[obs] trace: {len(col.snapshot.spans)} spans -> {trace}")
+    print()
+    print(obs.one_line_summary(col.snapshot))
     return 0
 
 
@@ -370,6 +414,32 @@ def build_parser() -> argparse.ArgumentParser:
              "on every backend",
     )
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "obs",
+        help="run an experiment with full observability: metric tables, "
+             "self-time profile, optional JSONL trace",
+    )
+    p.add_argument("name", help="experiment to run (e.g. fig6)")
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: REPRO_WORKERS, then all cores)",
+    )
+    p.add_argument(
+        "--backend", choices=("auto", "process", "thread", "serial"),
+        default=None,
+        help="execution backend (fleet totals are identical on all)",
+    )
+    p.add_argument(
+        "--top", type=int, default=10,
+        help="rows in the self-time profile (default 10)",
+    )
+    p.add_argument(
+        "--trace", default=None, metavar="OUT.jsonl",
+        help="export the span trace as JSONL "
+             "(default: REPRO_OBS_TRACE if set)",
+    )
+    p.set_defaults(func=_cmd_obs)
 
     p = sub.add_parser(
         "report", help="run the full light evaluation and print every table"

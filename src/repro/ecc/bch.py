@@ -35,7 +35,23 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from .gf import get_field
+
+#: Metric handles (module-level: no-op attribute lookups when disabled).
+#: ``dirty_words`` counts words that missed the re-encode fast path;
+#: ``bm_words`` / ``chien_words`` count dispatches into the batched
+#: Berlekamp-Massey and Chien kernels, so a profile shows exactly how
+#: much of a run's decode traffic ever touched the algebraic path.
+_OBS = {
+    "encode_words": obs.counter("bch.encode.words"),
+    "decode_words": obs.counter("bch.decode.words"),
+    "dirty_words": obs.counter("bch.decode.dirty_words"),
+    "bm_words": obs.counter("bch.decode.bm_words"),
+    "chien_words": obs.counter("bch.decode.chien_words"),
+    "errors_corrected": obs.counter("bch.decode.errors_corrected"),
+    "failures": obs.counter("bch.decode.failures"),
+}
 
 
 class EccError(Exception):
@@ -143,6 +159,7 @@ class BchCode:
             )
         if data.size and not np.isin(data, (0, 1)).all():
             raise ValueError("data must contain only 0/1")
+        _OBS["encode_words"].inc()
         parity = self._lfsr_remainder(data)
         return np.concatenate([data, parity])
 
@@ -162,20 +179,26 @@ class BchCode:
                 f"codeword of {received.size} bits exceeds code length {self.n}"
             )
         shortening = self.n - received.size
+        _OBS["decode_words"].inc()
         syndromes = self._syndromes(received, shortening)
         if not any(syndromes):
             return DecodeResult(
                 received[: -self.n_parity], 0, received,
                 np.zeros(0, dtype=np.int64),
             )
+        _OBS["dirty_words"].inc()
+        _OBS["bm_words"].inc()
         locator = self._berlekamp_massey(syndromes)
         n_errors = len(locator) - 1
         if n_errors > self.t:
+            _OBS["failures"].inc()
             raise EccError(
                 f"error locator degree {n_errors} exceeds t={self.t}"
             )
+        _OBS["chien_words"].inc()
         positions = self._chien_search(locator, shortening, received.size)
         if len(positions) != n_errors:
+            _OBS["failures"].inc()
             raise EccError(
                 "Chien search found "
                 f"{len(positions)} roots for a degree-{n_errors} locator"
@@ -183,7 +206,9 @@ class BchCode:
         received[positions] ^= 1
         # Re-check: a decoding beyond capacity can produce bogus fixes.
         if any(self._syndromes(received, shortening)):
+            _OBS["failures"].inc()
             raise EccError("correction did not zero the syndromes")
+        _OBS["errors_corrected"].inc(n_errors)
         return DecodeResult(
             received[: -self.n_parity], n_errors, received, positions
         )
@@ -209,18 +234,20 @@ class BchCode:
                     f"data word {i} must be a bit vector of <= {self.k} "
                     f"bits, got shape {data.shape}"
                 )
+        _OBS["encode_words"].inc(len(words))
         results: List[Optional[np.ndarray]] = [None] * len(words)
-        for size, indices in _group_by_size(words).items():
-            stacked = (
-                np.stack([words[i] for i in indices])
-                if size
-                else np.zeros((len(indices), 0), dtype=np.uint8)
-            )
-            if size and not ((stacked == 0) | (stacked == 1)).all():
-                raise ValueError("data must contain only 0/1")
-            codewords = self._encode_batch(stacked)
-            for row, index in enumerate(indices):
-                results[index] = codewords[row]
+        with obs.span("bch.encode_many", words=len(words)):
+            for size, indices in _group_by_size(words).items():
+                stacked = (
+                    np.stack([words[i] for i in indices])
+                    if size
+                    else np.zeros((len(indices), 0), dtype=np.uint8)
+                )
+                if size and not ((stacked == 0) | (stacked == 1)).all():
+                    raise ValueError("data must contain only 0/1")
+                codewords = self._encode_batch(stacked)
+                for row, index in enumerate(indices):
+                    results[index] = codewords[row]
         return results  # type: ignore[return-value]
 
     def decode_many(
@@ -259,7 +286,22 @@ class BchCode:
                     f"codeword {i} of {received.size} bits exceeds code "
                     f"length {self.n}"
                 )
+        _OBS["decode_words"].inc(len(words))
         results: List[Optional[DecodeResult]] = [None] * len(words)
+        with obs.span("bch.decode_many", words=len(words)):
+            self._decode_many_grouped(words, results, on_error)
+        return results  # type: ignore[return-value]
+
+    def _decode_many_grouped(
+        self,
+        words: List[np.ndarray],
+        results: List[Optional[DecodeResult]],
+        on_error: str,
+    ) -> None:
+        """The :meth:`decode_many` dispatch loop, filling `results` in
+        place (split out so the batch span wraps exactly the decode
+        work).  Raises the lowest-index :class:`EccError` when
+        ``on_error="raise"``."""
         first_error: Optional[Tuple[int, EccError]] = None
         for size, indices in _group_by_size(words).items():
             stacked = np.stack([words[i] for i in indices])
@@ -281,6 +323,7 @@ class BchCode:
                     np.zeros(0, dtype=np.int64),
                 )
             dirty_rows = np.flatnonzero(dirty)
+            _OBS["dirty_words"].inc(int(dirty_rows.size))
             # Bound the batch solver's (rows, word_len) temporaries the
             # same way _syndromes_batch does: chunk huge dirty batches.
             chunk_rows = max(1, 4_000_000 // max(size, 1))
@@ -316,9 +359,25 @@ class BchCode:
             error = EccError(str(exc))
             error.batch_index = index
             raise error
-        return results  # type: ignore[return-value]
 
     def _decode_dirty_batch(
+        self, received: np.ndarray, syndromes: np.ndarray, shortening: int
+    ) -> List:
+        outcomes = self._decode_dirty_batch_inner(
+            received, syndromes, shortening
+        )
+        if obs.is_enabled():
+            failures = corrected = 0
+            for outcome in outcomes:
+                if isinstance(outcome, EccError):
+                    failures += 1
+                else:
+                    corrected += outcome.corrected_errors
+            _OBS["failures"].inc(failures)
+            _OBS["errors_corrected"].inc(corrected)
+        return outcomes
+
+    def _decode_dirty_batch_inner(
         self, received: np.ndarray, syndromes: np.ndarray, shortening: int
     ) -> List:
         """Batched locator path for words with non-zero syndromes.
@@ -333,6 +392,7 @@ class BchCode:
         """
         n_rows, word_len = received.shape
         outcomes: List = [None] * n_rows
+        _OBS["bm_words"].inc(n_rows)
         sigma = self._berlekamp_massey_batch(syndromes)
         # Degree after trailing-zero trim; the constant term is always 1,
         # so argmax over the reversed nonzero mask is well defined.
@@ -348,6 +408,7 @@ class BchCode:
         solvable = np.flatnonzero(~overweight)
         if solvable.size == 0:
             return outcomes
+        _OBS["chien_words"].inc(int(solvable.size))
         root_rows, root_cols = self._chien_batch(
             sigma[solvable], shortening, word_len
         )

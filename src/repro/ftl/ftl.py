@@ -15,12 +15,19 @@ import inspect
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from .. import obs
 from ..ecc.page import PagePipeline
 from ..nand.chip import FlashChip
 from ..nand.errors import EraseError, WearOutError
 from .gc import greedy_victim
 from .mapping import PageMap, PhysicalPage
 from .wear_leveling import least_worn_free_block
+
+_OBS_HOST_WRITES = obs.counter("ftl.host_writes")
+_OBS_FLASH_WRITES = obs.counter("ftl.flash_writes")
+_OBS_GC_RESCUED = obs.counter("ftl.gc.pages_rescued")
+_OBS_GC_ERASES = obs.counter("ftl.gc.erases")
+_OBS_GC_RETIRED = obs.counter("ftl.gc.retired_blocks")
 
 #: Hook signature: (lpa, old_location, new_location, new_page_bits).
 #: ``new_page_bits`` are the exact bits the FTL just programmed at the new
@@ -207,6 +214,7 @@ class Ftl:
         location, bits = self._program(data)
         self.page_map.bind(lpa, location)
         self.stats.host_writes += 1
+        _OBS_HOST_WRITES.inc()
         if old_location is not None:
             for hook in self._invalidation_hooks:
                 hook(lpa, old_location)
@@ -258,6 +266,7 @@ class Ftl:
         bits = self.pipeline.encode(data, page_address=address)
         self.chip.program_page(block, page, bits)
         self.stats.flash_writes += 1
+        _OBS_FLASH_WRITES.inc()
         if self.page_map.blocks[block].write_pointer >= (
             self.chip.geometry.pages_per_block
         ):
@@ -299,7 +308,8 @@ class Ftl:
             return
         self._collecting = True
         try:
-            self._collect_inner(force)
+            with obs.span("ftl.gc.collect", force=force):
+                self._collect_inner(force)
         finally:
             self._collecting = False
 
@@ -334,6 +344,7 @@ class Ftl:
             new_location, new_bits = self._program(data)
             self.page_map.bind(lpa, new_location)
             self.stats.gc_relocations += 1
+            _OBS_GC_RESCUED.inc()
             for hook in self._relocation_hooks:
                 hook(lpa, location, new_location, new_bits)
         self._closed_blocks.remove(victim)
@@ -344,9 +355,11 @@ class Ftl:
             self.bad_blocks.add(victim)
             self.page_map.reset_block(victim)
             self.stats.retired_blocks += 1
+            _OBS_GC_RETIRED.inc()
             return
         self.page_map.reset_block(victim)
         self._free_blocks.append(victim)
         self.stats.gc_erases += 1
+        _OBS_GC_ERASES.inc()
         for hook in self._erase_hooks:
             hook(victim)

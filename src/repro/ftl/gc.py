@@ -4,7 +4,11 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from .. import obs
 from .mapping import PageMap
+
+_OBS_VICTIM_SCANS = obs.counter("ftl.gc.victim_scans")
+_OBS_VICTIM_VALID = obs.gauge("ftl.gc.victim_valid_pages")
 
 
 def greedy_victim(
@@ -24,4 +28,7 @@ def greedy_victim(
         if best_valid is None or info.valid_pages < best_valid:
             best = block
             best_valid = info.valid_pages
+    _OBS_VICTIM_SCANS.inc()
+    if best is not None:
+        _OBS_VICTIM_VALID.set(best_valid)
     return best

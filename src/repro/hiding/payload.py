@@ -16,9 +16,14 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..crypto.keys import HidingKey
 from ..ecc.bch import EccError, get_code
 from .config import HidingConfig
+
+_OBS_ENCODE_PAGES = obs.counter("payload.encode.pages")
+_OBS_DECODE_PAGES = obs.counter("payload.decode.pages")
+_OBS_DECODE_FAILURES = obs.counter("payload.decode.failures")
 
 
 class PayloadError(Exception):
@@ -127,6 +132,7 @@ class PayloadCodec:
                 f"got {len(page_addresses)} page addresses for "
                 f"{len(payloads)} payloads"
             )
+        _OBS_ENCODE_PAGES.inc(len(payloads))
         per_page_bits = []
         for address, data in zip(page_addresses, payloads):
             encrypted = key.cipher().encrypt(
@@ -221,12 +227,14 @@ class PayloadCodec:
             page_words = []
             for p in range(len(pages)):
                 page_words.append(results[p * n_words:(p + 1) * n_words])
+        _OBS_DECODE_PAGES.inc(len(pages))
         out: List[Optional[bytes]] = []
         for address, words in zip(page_addresses, page_words):
             failure = next(
                 (w for w in words if isinstance(w, EccError)), None
             )
             if failure is not None:
+                _OBS_DECODE_FAILURES.inc()
                 if on_error == "return":
                     out.append(None)
                     continue

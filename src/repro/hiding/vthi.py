@@ -27,11 +27,17 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..crypto.keys import HidingKey
 from ..nand.chip import FlashChip
 from .config import STANDARD_CONFIG, HidingConfig
 from .payload import PayloadCodec
 from .selection import SelectionError, select_cells
+
+_OBS_EMBED_PAGES = obs.counter("vthi.embed.pages")
+_OBS_EMBED_PP_STEPS = obs.counter("vthi.embed.pp_steps")
+_OBS_STEPS_HIST = obs.histogram("vthi.embed.steps_per_page")
+_OBS_RECOVER_PAGES = obs.counter("vthi.recover.pages")
 
 
 @dataclass(frozen=True)
@@ -184,28 +190,36 @@ class VtHi:
         steps = [0] * len(pages)
         below = list(zero_cells)
         active = list(range(len(pages)))
-        for _ in range(self.config.pp_steps):
-            if not active:
-                break
-            probe_pages = [pages[i] for i in active]
-            voltages = self.chip.probe_voltages_batch(block, probe_pages)
-            still_active = []
-            for row, i in enumerate(active):
-                below[i] = zero_cells[i][
-                    voltages[row, zero_cells[i]] < target
-                ]
-                if below[i].size == 0:
-                    continue
-                self.chip.partial_program(
-                    block,
-                    pages[i],
-                    below[i],
-                    fraction=self.config.pp_fraction,
-                    precision=self.config.pp_precision,
+        with obs.span("vthi.embed", block=block, pages=len(pages)):
+            for _ in range(self.config.pp_steps):
+                if not active:
+                    break
+                probe_pages = [pages[i] for i in active]
+                voltages = self.chip.probe_voltages_batch(
+                    block, probe_pages
                 )
-                steps[i] += 1
-                still_active.append(i)
-            active = still_active
+                still_active = []
+                for row, i in enumerate(active):
+                    below[i] = zero_cells[i][
+                        voltages[row, zero_cells[i]] < target
+                    ]
+                    if below[i].size == 0:
+                        continue
+                    self.chip.partial_program(
+                        block,
+                        pages[i],
+                        below[i],
+                        fraction=self.config.pp_fraction,
+                        precision=self.config.pp_precision,
+                    )
+                    steps[i] += 1
+                    still_active.append(i)
+                active = still_active
+        _OBS_EMBED_PAGES.inc(len(pages))
+        _OBS_EMBED_PP_STEPS.inc(sum(steps))
+        if obs.is_enabled():
+            for count in steps:
+                _OBS_STEPS_HIST.observe(count)
         return [
             EmbedStats(
                 page_address=addresses[i],
@@ -347,26 +361,29 @@ class VtHi:
         """
         if not pages:
             return []
-        addresses = [
-            self.chip.geometry.page_address(block, page) for page in pages
-        ]
-        coded_len = self.codec.coded_length(n_bytes)
-        raw = self.chip.read_pages(block, pages)
-        if self.public_codec is None:
-            views = list(raw)
-        else:
-            views = self.public_codec.correct_pages(raw)
-        cells = [
-            select_cells(key, addresses[i], views[i], coded_len)
-            for i in range(len(pages))
-        ]
-        shifted = self.chip.read_pages(
-            block, pages, threshold=self.config.threshold
-        )
-        coded = [shifted[i][cells[i]] for i in range(len(pages))]
-        return self.codec.decode_pages(
-            key, addresses, coded, n_bytes, on_error=on_error
-        )
+        _OBS_RECOVER_PAGES.inc(len(pages))
+        with obs.span("vthi.recover", block=block, pages=len(pages)):
+            addresses = [
+                self.chip.geometry.page_address(block, page)
+                for page in pages
+            ]
+            coded_len = self.codec.coded_length(n_bytes)
+            raw = self.chip.read_pages(block, pages)
+            if self.public_codec is None:
+                views = list(raw)
+            else:
+                views = self.public_codec.correct_pages(raw)
+            cells = [
+                select_cells(key, addresses[i], views[i], coded_len)
+                for i in range(len(pages))
+            ]
+            shifted = self.chip.read_pages(
+                block, pages, threshold=self.config.threshold
+            )
+            coded = [shifted[i][cells[i]] for i in range(len(pages))]
+            return self.codec.decode_pages(
+                key, addresses, coded, n_bytes, on_error=on_error
+            )
 
     # ------------------------------------------------------------------
     # lifecycle (§5.1, §9.1)

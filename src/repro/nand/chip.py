@@ -25,11 +25,12 @@ paper's "four flash chip samples from the same model" are four seeds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
+from .. import obs
 from ..rng import substream
 from .block import BlockState
 from .errors import AddressError, EraseError, ProgramError, WearOutError
@@ -58,14 +59,27 @@ class OpCounters:
     busy_time_s: float = 0.0
     energy_j: float = 0.0
 
+    @property
+    def total_ops(self) -> int:
+        """All discrete chip operations, regardless of kind."""
+        return (
+            self.reads + self.programs + self.erases + self.partial_programs
+        )
+
     def copy(self) -> "OpCounters":
+        return replace(self)
+
+    def __add__(self, other: "OpCounters") -> "OpCounters":
+        """Field-wise sum — merging per-worker counter snapshots."""
+        if not isinstance(other, OpCounters):
+            return NotImplemented
         return OpCounters(
-            self.reads,
-            self.programs,
-            self.erases,
-            self.partial_programs,
-            self.busy_time_s,
-            self.energy_j,
+            self.reads + other.reads,
+            self.programs + other.programs,
+            self.erases + other.erases,
+            self.partial_programs + other.partial_programs,
+            self.busy_time_s + other.busy_time_s,
+            self.energy_j + other.energy_j,
         )
 
     def diff(self, earlier: "OpCounters") -> "OpCounters":
@@ -78,6 +92,17 @@ class OpCounters:
             self.busy_time_s - earlier.busy_time_s,
             self.energy_j - earlier.energy_j,
         )
+
+
+#: Per-op metric counters mirroring :class:`OpCounters` into the
+#: observability registry, so cross-worker aggregation and the `repro
+#: obs` summary see chip activity by name.
+_OBS_OP_COUNTERS = {
+    "read": obs.counter("chip.reads"),
+    "program": obs.counter("chip.programs"),
+    "erase": obs.counter("chip.erases"),
+    "partial_program": obs.counter("chip.partial_programs"),
+}
 
 
 class FlashChip:
@@ -113,6 +138,9 @@ class FlashChip:
         #: Wall-clock seconds since power-on; drives retention.
         self.clock = 0.0
         self.counters = OpCounters()
+        # The current obs scope captures this chip's op accounting, so
+        # worker-created chips report their totals back to the parent.
+        obs.register_op_counters(self.counters)
         self._chip_offset = float(
             substream(seed, "chip-mfg").normal(
                 0.0, self.params.variation.chip_mean_std
@@ -658,6 +686,9 @@ class FlashChip:
         self.counters.energy_j += (
             n_programs * costs.e_program + (cycles - 1) * costs.e_erase
         )
+        _OBS_OP_COUNTERS["program"].inc(n_programs)
+        if cycles > 1:
+            _OBS_OP_COUNTERS["erase"].inc(cycles - 1)
 
     def _expose_neighbours(
         self, state: BlockState, page: int, flip_prob: float
@@ -686,6 +717,7 @@ class FlashChip:
             time, energy = costs.t_partial_program, costs.e_partial_program
         else:  # pragma: no cover - internal misuse
             raise ValueError(f"unknown op {op!r}")
+        _OBS_OP_COUNTERS[op].inc(count)
         # Accumulate per operation so batched calls reproduce the serial
         # loop's float totals exactly (addition is not associative).
         for _ in range(count):

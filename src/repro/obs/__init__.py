@@ -1,0 +1,84 @@
+"""``repro.obs``: structured tracing, metrics, cross-worker aggregation.
+
+The observability layer for the whole stack (DESIGN.md §9):
+
+* :func:`span` — near-zero-overhead nested timed spans with structured
+  attributes, recorded into a ring buffer, exportable as JSONL, and
+  aggregated into a per-name self-time profile;
+* :func:`counter` / :func:`gauge` / :func:`histogram` — the metrics
+  registry with a pluggable sink, compiled to no-ops when
+  ``REPRO_OBS=0``;
+* :func:`collect` + :func:`merge_snapshots` — scoped collection and the
+  deterministic cross-worker merge :mod:`repro.parallel` uses to ship
+  each worker's metrics and chip ``OpCounters`` back to the parent.
+
+Environment variables: ``REPRO_OBS`` (``0`` disables everything),
+``REPRO_OBS_TRACE`` (default JSONL trace export path for the CLI).
+Instrumentation never touches RNG or numeric state: experiment rows are
+bit-identical with observability enabled or disabled.
+"""
+
+from .aggregate import Collection, collect, scoped_call
+from .metrics import (
+    DEFAULT_SPAN_CAPACITY,
+    Counter,
+    Gauge,
+    HistStats,
+    Histogram,
+    OBS_ENV,
+    ObsSnapshot,
+    ProfileEntry,
+    Registry,
+    TRACE_ENV,
+    counter,
+    default_trace_path,
+    gauge,
+    get_registry,
+    global_registry,
+    histogram,
+    is_enabled,
+    merge_snapshots,
+    pop_registry,
+    push_registry,
+    refresh_from_env,
+    register_op_counters,
+    set_enabled,
+)
+from .report import one_line_summary, render_metrics, render_profile
+from .trace import SpanRecord, export_jsonl, load_jsonl, span
+
+__all__ = [
+    "Collection",
+    "Counter",
+    "DEFAULT_SPAN_CAPACITY",
+    "Gauge",
+    "HistStats",
+    "Histogram",
+    "OBS_ENV",
+    "ObsSnapshot",
+    "ProfileEntry",
+    "Registry",
+    "SpanRecord",
+    "TRACE_ENV",
+    "collect",
+    "counter",
+    "default_trace_path",
+    "export_jsonl",
+    "gauge",
+    "get_registry",
+    "global_registry",
+    "histogram",
+    "is_enabled",
+    "load_jsonl",
+    "merge_snapshots",
+    "one_line_summary",
+    "pop_registry",
+    "push_registry",
+    "refresh_from_env",
+    "register_op_counters",
+    "render_metrics",
+    "render_profile",
+    "scoped_call",
+    "set_enabled",
+    "span",
+]

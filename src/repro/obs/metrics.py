@@ -1,0 +1,457 @@
+"""Metrics registry: counters, gauges, histograms, op-counter capture.
+
+The paper's evaluation (§6-§8) is an accounting exercise — per-op
+time/energy, BER after every bake, recovery rates — so the reproduction
+needs first-class internal accounting too.  This module provides the
+process-wide metric substrate every layer records into:
+
+* **counters** — monotonically accumulated values
+  (``bch.decode.errors_corrected``, ``ftl.gc.pages_rescued``, ...);
+* **gauges** — last-written values (``ftl.gc.victim_valid_pages``);
+* **histograms** — count/total/min/max summaries of observed values
+  (``vthi.embed.steps_per_page``);
+* **op-counter sources** — every :class:`~repro.nand.chip.FlashChip`
+  registers its ``OpCounters`` at construction, so a snapshot can report
+  the exact per-op totals the chip accumulated (the §6.1 accounting).
+
+Call sites hold cheap name-bound handles (:func:`counter`,
+:func:`gauge`, :func:`histogram`); each update resolves the *current*
+registry — the innermost active scope on this thread, else the process
+global — so the same instrumented code transparently records into a
+worker's private registry inside a :func:`repro.obs.collect` scope and
+into the process registry otherwise.  That indirection is what makes
+cross-worker aggregation deterministic: each work unit's metrics are
+captured in isolation and merged in submission order by the parent.
+
+Everything compiles to a near-no-op when observability is disabled
+(``REPRO_OBS=0``): every update starts with one module-global flag check
+and returns immediately.  Instrumentation never touches RNG or numeric
+state, so enabled/disabled runs produce bit-identical experiment rows.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+#: Environment variable gating the whole subsystem.  ``0``/``false``/
+#: ``no``/``off`` disable it; anything else (including unset) enables it.
+OBS_ENV = "REPRO_OBS"
+
+#: Environment variable naming a default JSONL trace export path; the CLI
+#: consults it when ``--trace`` is not given.
+TRACE_ENV = "REPRO_OBS_TRACE"
+
+#: Span ring-buffer capacity per registry.  Old spans are evicted; the
+#: aggregated self-time profile is updated at span exit, so eviction
+#: never loses profile data — only raw trace rows.
+DEFAULT_SPAN_CAPACITY = 4096
+
+_DISABLED_VALUES = ("0", "false", "no", "off")
+
+
+def _enabled_from_env() -> bool:
+    return os.environ.get(OBS_ENV, "").strip().lower() not in _DISABLED_VALUES
+
+
+_ENABLED = _enabled_from_env()
+
+
+def is_enabled() -> bool:
+    """Whether observability is currently recording."""
+    return _ENABLED
+
+
+def set_enabled(value: bool) -> None:
+    """Programmatically enable/disable recording (tests, the obs CLI)."""
+    global _ENABLED
+    _ENABLED = bool(value)
+
+
+def refresh_from_env() -> bool:
+    """Re-read :data:`OBS_ENV` (after the environment changed)."""
+    set_enabled(_enabled_from_env())
+    return _ENABLED
+
+
+def default_trace_path() -> Optional[str]:
+    """The ``REPRO_OBS_TRACE`` export path, if configured."""
+    path = os.environ.get(TRACE_ENV, "").strip()
+    return path or None
+
+
+# ----------------------------------------------------------------------
+# aggregated value types
+
+
+@dataclass
+class HistStats:
+    """Summary statistics of one histogram's observations."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def merge(self, other: "HistStats") -> None:
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
+
+@dataclass
+class ProfileEntry:
+    """Aggregated timing of one span name (the self-time profile row)."""
+
+    count: int = 0
+    total_s: float = 0.0
+    self_s: float = 0.0
+    min_s: float = float("inf")
+    max_s: float = 0.0
+
+    def add(self, duration_s: float, self_s: float) -> None:
+        self.count += 1
+        self.total_s += duration_s
+        self.self_s += self_s
+        if duration_s < self.min_s:
+            self.min_s = duration_s
+        if duration_s > self.max_s:
+            self.max_s = duration_s
+
+    def merge(self, other: "ProfileEntry") -> None:
+        self.count += other.count
+        self.total_s += other.total_s
+        self.self_s += other.self_s
+        if other.min_s < self.min_s:
+            self.min_s = other.min_s
+        if other.max_s > self.max_s:
+            self.max_s = other.max_s
+
+
+@dataclass
+class ObsSnapshot:
+    """One registry's state, frozen for transport and merging.
+
+    Picklable by construction — this is what pool workers ship back to
+    the parent alongside their result rows.  ``op_counters`` is the sum
+    of every registered chip's :class:`~repro.nand.chip.OpCounters`
+    (``None`` when no chip was created in scope).  ``spans`` holds the
+    (ring-bounded) raw trace rows; ``profile`` the complete aggregated
+    self-time profile, unaffected by ring eviction.
+    """
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, HistStats] = field(default_factory=dict)
+    op_counters: Optional[Any] = None
+    profile: Dict[str, ProfileEntry] = field(default_factory=dict)
+    spans: List[Any] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    def deterministic_view(self) -> Tuple:
+        """The backend-invariant portion: everything except timings.
+
+        Two runs of the same deterministic work units produce equal
+        views on any backend at any worker count; span durations and
+        wall time legitimately differ.
+        """
+        return (self.counters, self.gauges, self.histograms, self.op_counters)
+
+
+def merge_snapshots(snapshots: Iterable[ObsSnapshot]) -> ObsSnapshot:
+    """Fold worker snapshots, **in the given order**, into one.
+
+    Counters and histogram fields add in order (float addition is
+    order-sensitive, so a fixed submission order makes fleet totals
+    bit-identical across backends); gauges are last-writer-wins;
+    op counters sum via ``OpCounters.__add__``; profiles merge; spans
+    concatenate.
+    """
+    merged = ObsSnapshot()
+    for snapshot in snapshots:
+        _fold(merged, snapshot)
+    return merged
+
+
+def _fold(into: ObsSnapshot, snapshot: ObsSnapshot) -> None:
+    for name, value in snapshot.counters.items():
+        into.counters[name] = into.counters.get(name, 0) + value
+    into.gauges.update(snapshot.gauges)
+    for name, hist in snapshot.histograms.items():
+        target = into.histograms.get(name)
+        if target is None:
+            into.histograms[name] = replace(hist)
+        else:
+            target.merge(hist)
+    if snapshot.op_counters is not None:
+        into.op_counters = (
+            snapshot.op_counters.copy()
+            if into.op_counters is None
+            else into.op_counters + snapshot.op_counters
+        )
+    for name, entry in snapshot.profile.items():
+        target = into.profile.get(name)
+        if target is None:
+            into.profile[name] = replace(entry)
+        else:
+            target.merge(entry)
+    into.spans.extend(snapshot.spans)
+    into.wall_s += snapshot.wall_s
+
+
+# ----------------------------------------------------------------------
+# the registry
+
+
+class Registry:
+    """One collection domain for metrics, op counters and spans.
+
+    The process holds a global instance; :func:`repro.obs.collect`
+    scopes push private ones so work units record in isolation.  A
+    registry is only ever written from the thread(s) inside its scope —
+    the scope stack is thread-local — so plain dict updates suffice.
+    """
+
+    def __init__(self, span_capacity: int = DEFAULT_SPAN_CAPACITY) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.hists: Dict[str, HistStats] = {}
+        self.profile: Dict[str, ProfileEntry] = {}
+        self.spans: deque = deque(maxlen=span_capacity)
+        #: ``OpCounters`` objects registered by chips created in scope.
+        #: Strong references: snapshots read their *current* values.
+        self.op_sources: List[Any] = []
+        #: Running sum of absorbed child snapshots' op counters.
+        self._ops_base: Optional[Any] = None
+        #: Pluggable sinks: callables ``(kind, name, value)`` invoked on
+        #: every counter/gauge/histogram update routed here.
+        self.sinks: List[Callable[[str, str, float], None]] = []
+
+    # -- updates (called through the handles below) --------------------
+
+    def counter_add(self, name: str, value: float) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+        for sink in self.sinks:
+            sink("counter", name, value)
+
+    def gauge_set(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+        for sink in self.sinks:
+            sink("gauge", name, value)
+
+    def hist_observe(self, name: str, value: float) -> None:
+        hist = self.hists.get(name)
+        if hist is None:
+            hist = self.hists[name] = HistStats()
+        hist.observe(value)
+        for sink in self.sinks:
+            sink("histogram", name, value)
+
+    def record_span(self, record: Any) -> None:
+        """Append a finished span and fold it into the profile."""
+        self.spans.append(record)
+        entry = self.profile.get(record.name)
+        if entry is None:
+            entry = self.profile[record.name] = ProfileEntry()
+        entry.add(record.duration_s, record.self_s)
+
+    def register_op_source(self, op_counters: Any) -> None:
+        self.op_sources.append(op_counters)
+
+    def add_sink(self, sink: Callable[[str, str, float], None]) -> None:
+        self.sinks.append(sink)
+
+    # -- snapshot / absorb ---------------------------------------------
+
+    def snapshot(self) -> ObsSnapshot:
+        """Freeze the registry's current state (sources read live)."""
+        ops = None if self._ops_base is None else self._ops_base.copy()
+        for source in self.op_sources:
+            current = source.copy()
+            ops = current if ops is None else ops + current
+        return ObsSnapshot(
+            counters=dict(self.counters),
+            gauges=dict(self.gauges),
+            histograms={k: replace(v) for k, v in self.hists.items()},
+            op_counters=ops,
+            profile={k: replace(v) for k, v in self.profile.items()},
+            spans=list(self.spans),
+        )
+
+    def absorb(self, snapshot: ObsSnapshot) -> None:
+        """Fold a child scope's / worker's snapshot into this registry.
+
+        The parent calls this once per merged fleet snapshot (or child
+        scope), in deterministic order, so totals roll up identically
+        on every execution backend.
+        """
+        for name, value in snapshot.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        self.gauges.update(snapshot.gauges)
+        for name, hist in snapshot.histograms.items():
+            target = self.hists.get(name)
+            if target is None:
+                self.hists[name] = replace(hist)
+            else:
+                target.merge(hist)
+        if snapshot.op_counters is not None:
+            self._ops_base = (
+                snapshot.op_counters.copy()
+                if self._ops_base is None
+                else self._ops_base + snapshot.op_counters
+            )
+        for name, entry in snapshot.profile.items():
+            target = self.profile.get(name)
+            if target is None:
+                self.profile[name] = replace(entry)
+            else:
+                target.merge(entry)
+        self.spans.extend(snapshot.spans)
+
+    def reset(self) -> None:
+        """Drop all recorded state (tests, long-lived CLI sessions)."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.hists.clear()
+        self.profile.clear()
+        self.spans.clear()
+        self.op_sources.clear()
+        self._ops_base = None
+
+
+# ----------------------------------------------------------------------
+# current-registry resolution
+
+_GLOBAL = Registry()
+_TLS = threading.local()
+
+
+def global_registry() -> Registry:
+    """The process-wide default registry."""
+    return _GLOBAL
+
+
+def get_registry() -> Registry:
+    """The innermost active scope on this thread, else the global."""
+    stack = getattr(_TLS, "stack", None)
+    if stack:
+        return stack[-1]
+    return _GLOBAL
+
+
+def push_registry(registry: Registry) -> None:
+    stack = getattr(_TLS, "stack", None)
+    if stack is None:
+        stack = _TLS.stack = []
+    stack.append(registry)
+
+
+def pop_registry() -> Registry:
+    return _TLS.stack.pop()
+
+
+# ----------------------------------------------------------------------
+# instrument handles
+
+_HANDLES: Dict[Tuple[str, str], Any] = {}
+_HANDLES_LOCK = threading.Lock()
+
+
+class Counter:
+    """A name-bound counter handle; ``inc`` routes to the current scope."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def inc(self, value: float = 1) -> None:
+        if not _ENABLED:
+            return
+        get_registry().counter_add(self.name, value)
+
+
+class Gauge:
+    """A name-bound gauge handle; ``set`` routes to the current scope."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def set(self, value: float) -> None:
+        if not _ENABLED:
+            return
+        get_registry().gauge_set(self.name, value)
+
+
+class Histogram:
+    """A name-bound histogram handle; ``observe`` routes to the scope."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def observe(self, value: float) -> None:
+        if not _ENABLED:
+            return
+        get_registry().hist_observe(self.name, value)
+
+
+def _handle(kind: str, name: str, factory) -> Any:
+    key = (kind, name)
+    handle = _HANDLES.get(key)
+    if handle is None:
+        with _HANDLES_LOCK:
+            handle = _HANDLES.get(key)
+            if handle is None:
+                handle = factory(name)
+                _HANDLES[key] = handle
+    return handle
+
+
+def counter(name: str) -> Counter:
+    """The process-wide counter handle for `name` (cache at module scope)."""
+    return _handle("counter", name, Counter)
+
+
+def gauge(name: str) -> Gauge:
+    """The process-wide gauge handle for `name`."""
+    return _handle("gauge", name, Gauge)
+
+
+def histogram(name: str) -> Histogram:
+    """The process-wide histogram handle for `name`."""
+    return _handle("histogram", name, Histogram)
+
+
+def register_op_counters(op_counters: Any) -> None:
+    """Register a chip's ``OpCounters`` with the current scope.
+
+    Called by :class:`~repro.nand.chip.FlashChip` at construction; the
+    scope's snapshot sums all registered counters (via
+    ``OpCounters.__add__``) so per-worker chip accounting reaches the
+    parent regardless of execution backend.
+    """
+    if not _ENABLED:
+        return
+    get_registry().register_op_source(op_counters)

@@ -1,0 +1,118 @@
+"""Plain-text rendering of snapshots: metric tables, self-time profile,
+and the one-line run summary the experiment CLI appends to every run."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .metrics import ObsSnapshot, ProfileEntry
+
+
+def _table(headers, rows) -> str:
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _num(value) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    return str(int(value))
+
+
+def render_metrics(snapshot: ObsSnapshot) -> str:
+    """Counters, gauges, histograms and chip op totals as text tables."""
+    sections: List[str] = []
+    if snapshot.counters:
+        rows = [
+            (name, _num(value))
+            for name, value in sorted(snapshot.counters.items())
+        ]
+        sections.append("counters\n\n" + _table(("name", "value"), rows))
+    if snapshot.gauges:
+        rows = [
+            (name, _num(value))
+            for name, value in sorted(snapshot.gauges.items())
+        ]
+        sections.append("gauges\n\n" + _table(("name", "value"), rows))
+    if snapshot.histograms:
+        rows = [
+            (name, h.count, _num(round(h.mean, 6)), _num(h.min), _num(h.max))
+            for name, h in sorted(snapshot.histograms.items())
+        ]
+        sections.append(
+            "histograms\n\n"
+            + _table(("name", "count", "mean", "min", "max"), rows)
+        )
+    ops = snapshot.op_counters
+    if ops is not None:
+        sections.append(
+            "chip op counters\n\n"
+            + _table(
+                ("reads", "programs", "erases", "partial_programs",
+                 "busy_s", "energy_j"),
+                [(
+                    ops.reads, ops.programs, ops.erases,
+                    ops.partial_programs,
+                    f"{ops.busy_time_s:.6g}", f"{ops.energy_j:.6g}",
+                )],
+            )
+        )
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n\n".join(sections)
+
+
+def render_profile(profile: Dict[str, ProfileEntry], top: int = 10) -> str:
+    """The aggregated self-time report, heaviest spans first."""
+    if not profile:
+        return "(no spans recorded)"
+    ranked = sorted(
+        profile.items(), key=lambda item: item[1].self_s, reverse=True
+    )[: max(top, 1)]
+    rows = []
+    for name, entry in ranked:
+        rows.append((
+            name,
+            entry.count,
+            f"{entry.self_s * 1e3:.2f}",
+            f"{entry.total_s * 1e3:.2f}",
+            f"{entry.total_s / entry.count * 1e3:.3f}",
+        ))
+    return (
+        f"self-time profile (top {len(rows)} by self time)\n\n"
+        + _table(("span", "count", "self ms", "total ms", "avg ms"), rows)
+    )
+
+
+def one_line_summary(snapshot: ObsSnapshot, enabled: bool = True) -> str:
+    """The run footer: ops, corrected bits, GC rescues, wall time."""
+    wall = f"wall {snapshot.wall_s:.2f} s"
+    if not enabled:
+        return f"[obs] observability disabled (REPRO_OBS=0) · {wall}"
+    ops = snapshot.op_counters
+    if ops is None:
+        op_part = "0 chip ops"
+        busy = ""
+    else:
+        total = ops.reads + ops.programs + ops.erases + ops.partial_programs
+        op_part = (
+            f"{total} chip ops ({ops.reads} reads, {ops.programs} programs, "
+            f"{ops.erases} erases, {ops.partial_programs} PP)"
+        )
+        busy = f" · busy {ops.busy_time_s * 1e3:.1f} ms"
+    corrected = int(snapshot.counters.get("bch.decode.errors_corrected", 0))
+    rescued = int(snapshot.counters.get("ftl.gc.pages_rescued", 0))
+    return (
+        f"[obs] {op_part} · {corrected} bits corrected · "
+        f"{rescued} GC pages rescued{busy} · {wall}"
+    )

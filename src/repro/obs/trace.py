@@ -1,0 +1,185 @@
+"""Structured span tracing: nested timed spans with attributes.
+
+``span("vthi.embed", pages=n)`` opens a timed span; spans nest on a
+per-thread stack, record self-time (duration minus time spent in child
+spans), and land in the current registry's ring buffer at exit.  The
+registry folds every finished span into an aggregated per-name profile
+(:class:`~repro.obs.metrics.ProfileEntry`), so ring eviction bounds
+memory without losing the self-time report.
+
+Span names are dotted ``layer.operation`` paths (``bch.decode_many``,
+``ftl.gc.collect``, ``stego.mount``); attributes are small JSON-able
+scalars (page counts, word counts, backend names).  A span is usable as
+a context manager or as a decorator::
+
+    with span("vthi.embed", pages=len(pages)):
+        ...
+
+    @span("ftl.gc.collect")
+    def _collect_inner(...): ...
+
+Exception safety: the span closes (and records, flagged with the
+exception type) even when the body raises.  When observability is
+disabled every ``span(...)`` call returns a shared no-op object.
+
+Traces export as JSONL (one span per line) and round-trip losslessly
+through :func:`export_jsonl` / :func:`load_jsonl`.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, IO, Iterable, List, Optional, Union
+
+from .metrics import get_registry, is_enabled
+
+_TLS = threading.local()
+
+
+def _stack() -> list:
+    stack = getattr(_TLS, "spans", None)
+    if stack is None:
+        stack = _TLS.spans = []
+    return stack
+
+
+@dataclass
+class SpanRecord:
+    """One finished span, as stored in the ring buffer and the JSONL."""
+
+    name: str
+    start_s: float  # perf_counter timestamp at entry (process-relative)
+    duration_s: float
+    self_s: float  # duration minus time spent inside child spans
+    depth: int  # nesting depth at entry (0 = top level)
+    parent: Optional[str] = None  # enclosing span's name, if any
+    attrs: Dict[str, Union[int, float, str, bool, None]] = field(
+        default_factory=dict
+    )
+    error: Optional[str] = None  # exception type name if the body raised
+
+
+class _NoopSpan:
+    """Shared do-nothing stand-in when observability is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def __call__(self, fn):
+        return fn
+
+
+_NOOP = _NoopSpan()
+
+
+class Span:
+    """An open (or reusable-as-decorator) span."""
+
+    __slots__ = ("name", "attrs", "_start", "_child_s")
+
+    def __init__(self, name: str, attrs: Dict) -> None:
+        self.name = name
+        self.attrs = attrs
+        self._start = 0.0
+        self._child_s = 0.0
+
+    def __enter__(self) -> "Span":
+        self._child_s = 0.0
+        _stack().append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._start
+        stack = _stack()
+        stack.pop()
+        parent = stack[-1] if stack else None
+        if parent is not None:
+            parent._child_s += duration
+        get_registry().record_span(
+            SpanRecord(
+                name=self.name,
+                start_s=self._start,
+                duration_s=duration,
+                self_s=duration - self._child_s,
+                depth=len(stack),
+                parent=parent.name if parent is not None else None,
+                attrs=self.attrs,
+                error=exc_type.__name__ if exc_type is not None else None,
+            )
+        )
+        return False
+
+    def __call__(self, fn):
+        """Decorator form: each call runs inside a fresh span."""
+        name, attrs = self.name, self.attrs
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not is_enabled():
+                return fn(*args, **kwargs)
+            with Span(name, dict(attrs)):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+def span(name: str, **attrs) -> Union[Span, _NoopSpan]:
+    """Open a named span (context manager) or build a decorator.
+
+    Attributes become the span record's ``attrs`` — keep them small,
+    JSON-serialisable scalars.  Returns a shared no-op when
+    observability is disabled, so hot call sites pay one flag check.
+    """
+    if not is_enabled():
+        return _NOOP
+    return Span(name, attrs)
+
+
+# ----------------------------------------------------------------------
+# JSONL export / import
+
+
+def export_jsonl(
+    spans: Iterable[SpanRecord], destination: Union[str, IO[str]]
+) -> int:
+    """Write spans as JSONL (one object per line); returns the count."""
+    if hasattr(destination, "write"):
+        return _write_jsonl(spans, destination)
+    with open(destination, "w", encoding="utf-8") as handle:
+        return _write_jsonl(spans, handle)
+
+
+def _write_jsonl(spans: Iterable[SpanRecord], handle: IO[str]) -> int:
+    count = 0
+    for record in spans:
+        handle.write(json.dumps(asdict(record), sort_keys=True))
+        handle.write("\n")
+        count += 1
+    return count
+
+
+def load_jsonl(source: Union[str, IO[str]]) -> List[SpanRecord]:
+    """Read a JSONL trace back into :class:`SpanRecord` objects."""
+    if hasattr(source, "read"):
+        return _read_jsonl(source)
+    with open(source, "r", encoding="utf-8") as handle:
+        return _read_jsonl(handle)
+
+
+def _read_jsonl(handle: IO[str]) -> List[SpanRecord]:
+    records = []
+    for line in handle:
+        line = line.strip()
+        if line:
+            records.append(SpanRecord(**json.loads(line)))
+    return records

@@ -51,6 +51,9 @@ from concurrent.futures import (
 )
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from . import obs
+from .obs import ObsSnapshot
+
 logger = logging.getLogger(__name__)
 
 #: Environment variable consulted when no explicit worker count is given.
@@ -111,6 +114,17 @@ def split_range(n: int, n_units: int) -> List[Tuple[int, int]]:
     return spans
 
 
+def _scoped_unit(fn: Callable, unit: tuple):
+    """Worker-side wrapper: run one unit inside a private obs scope.
+
+    Module-level so the process backend can pickle it.  Returns
+    ``(result, snapshot)``: the unit's metrics, spans and chip
+    ``OpCounters`` travel back to the parent with the result rows —
+    this is how per-worker accounting survives process isolation.
+    """
+    return obs.scoped_call(fn, unit)
+
+
 class ParallelRunner:
     """Run independent, deterministic work units through a backend.
 
@@ -118,6 +132,13 @@ class ParallelRunner:
     tuple of positional arguments for one call.  Results come back in unit
     order whatever the backend.  Exceptions in workers propagate to the
     caller.
+
+    When observability is enabled, every unit runs inside a private
+    :func:`repro.obs.collect` scope; the per-unit snapshots are merged
+    in submission order and absorbed into the caller's current scope, so
+    fleet-wide totals (metrics *and* chip op counters) are bit-identical
+    on every backend at any worker count.  :meth:`map_with_obs` exposes
+    the merged fleet snapshot directly.
     """
 
     def __init__(
@@ -153,8 +174,45 @@ class ParallelRunner:
         return self.backend
 
     def map(self, fn: Callable, units: Sequence[tuple]) -> list:
+        """Map units to results; fleet metrics roll up transparently.
+
+        The merged fleet snapshot is absorbed into the current obs
+        scope, so callers that only want results keep the one-liner
+        while ``with obs.collect()`` around a driver still observes
+        every worker's metrics.
+        """
+        results, fleet = self.map_with_obs(fn, units)
+        if fleet is not None:
+            obs.get_registry().absorb(fleet)
+        return results
+
+    def map_with_obs(
+        self, fn: Callable, units: Sequence[tuple]
+    ) -> Tuple[list, Optional[ObsSnapshot]]:
+        """Like :meth:`map`, also returning the merged fleet snapshot.
+
+        The snapshot merges each unit's private scope in submission
+        order (deterministic float accumulation), and is ``None`` when
+        observability is disabled — in which case units run unwrapped,
+        exactly as before the obs layer existed.
+        """
         units = list(units)
         backend = self.effective_backend(len(units))
+        if not obs.is_enabled():
+            return self._run(fn, units, backend), None
+        with obs.span(
+            "parallel.map", backend=backend, units=len(units),
+            workers=self.workers,
+        ):
+            pairs = self._run(_scoped_unit, [(fn, unit) for unit in units],
+                              backend)
+            obs.counter("parallel.units").inc(len(units))
+            snapshots = [snap for _, snap in pairs if snap is not None]
+            return [result for result, _ in pairs], obs.merge_snapshots(
+                snapshots
+            )
+
+    def _run(self, fn: Callable, units: List[tuple], backend: str) -> list:
         if backend == "serial":
             return [fn(*unit) for unit in units]
         max_workers = min(self.workers, len(units))

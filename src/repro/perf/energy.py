@@ -36,4 +36,11 @@ def snapshot_energy_difference(
 ) -> float:
     """Energy consumed between two counter snapshots — the §8 argument
     that a two-snapshot energy adversary sees no telltale difference."""
-    return after.energy_j - before.energy_j
+    return after.diff(before).energy_j
+
+
+def snapshot_time_difference(
+    before: OpCounters, after: OpCounters
+) -> float:
+    """Busy time accumulated between two counter snapshots."""
+    return after.diff(before).busy_time_s

@@ -25,10 +25,16 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set, Tuple
 
+from .. import obs
 from ..crypto.keys import HidingKey
 from ..ftl.ftl import Ftl
 from ..hiding.vthi import VtHi
 from .metadata import HEADER_BYTES, SlotHeader, pack_slot, unpack_slot
+
+_OBS_SLOT_EMBEDS = obs.counter("stego.slot_embeds")
+_OBS_RESCUES = obs.counter("stego.rescues")
+_OBS_MOUNT_CANDIDATES = obs.counter("stego.mount.candidates")
+_OBS_MOUNT_SLOTS = obs.counter("stego.mount.slots_found")
 
 Location = Tuple[int, int]
 
@@ -200,16 +206,19 @@ class HiddenVolume:
         by_block: Dict[int, list] = {}
         for block, page in sorted(self._eligible_hosts()):
             by_block.setdefault(block, []).append(page)
+        n_probed = sum(len(pages) for pages in by_block.values())
         candidates = []
-        for block, pages in by_block.items():
-            blobs = self.vthi.recover_pages(
-                block, pages, self.key, max_blob, on_error="return"
-            )
-            candidates.extend(
-                ((block, page), blob)
-                for page, blob in zip(pages, blobs)
-                if blob is not None
-            )
+        with obs.span("stego.mount", pages_probed=n_probed):
+            for block, pages in by_block.items():
+                blobs = self.vthi.recover_pages(
+                    block, pages, self.key, max_blob, on_error="return"
+                )
+                candidates.extend(
+                    ((block, page), blob)
+                    for page, blob in zip(pages, blobs)
+                    if blob is not None
+                )
+        _OBS_MOUNT_CANDIDATES.inc(n_probed)
         for host, blob in candidates:
             parsed = unpack_slot(self.key, blob)
             if parsed is None:
@@ -225,6 +234,7 @@ class HiddenVolume:
         for lba, seq in tombstones.items():
             if lba in found and found[lba][2] < seq:
                 del found[lba]
+        _OBS_MOUNT_SLOTS.inc(len(found))
         self._slots = found
         self._hosts = {entry[0] for entry in found.values()}
         self._seq = max(
@@ -303,6 +313,7 @@ class HiddenVolume:
         self.vthi.embed_bits(
             block, page, coded, self.key, public_bits=public_bits
         )
+        _OBS_SLOT_EMBEDS.inc()
         self._burned.add(host)
         self._embed_time[header.lba] = self.ftl.chip.clock
 
@@ -374,6 +385,7 @@ class HiddenVolume:
                 payload,
                 public_bits=target_bits,
             )
+            _OBS_RESCUES.inc()
             self._slots[lba] = (target, length, self._seq)
             self._hosts.discard(old)
             self._hosts.add(target)

@@ -1,0 +1,31 @@
+"""Observability test isolation.
+
+Tests flip the module-global enable flag and record into scoped
+registries; restore the flag afterwards so the rest of the suite sees
+whatever ``REPRO_OBS`` configured at startup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+
+
+@pytest.fixture(autouse=True)
+def restore_obs_flag():
+    was = obs.is_enabled()
+    yield
+    obs.set_enabled(was)
+
+
+@pytest.fixture
+def enabled():
+    obs.set_enabled(True)
+    return True
+
+
+@pytest.fixture
+def disabled():
+    obs.set_enabled(False)
+    return False

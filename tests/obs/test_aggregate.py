@@ -1,0 +1,147 @@
+"""Cross-worker aggregation: scoped units, deterministic fleet merges.
+
+The satellite contract under test: per-worker chip ``OpCounters`` (and
+every other metric) reach the parent on **every** backend, and the
+merged fleet totals are bit-identical across ``process``, ``thread``
+and ``serial`` at any worker count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+from repro.nand import TEST_MODEL, FlashChip
+from repro.parallel import ParallelRunner
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def _chip_unit(seed: int, n_reads: int) -> int:
+    """A toy work unit: builds a chip, does chip ops, records metrics."""
+    chip = FlashChip(TEST_MODEL.geometry, TEST_MODEL.params, seed=seed)
+    for page in range(n_reads):
+        chip.read_page(0, page % chip.geometry.pages_per_block)
+    chip.erase_block(1)
+    obs.counter("unit.runs").inc()
+    obs.counter("unit.reads_requested").inc(n_reads)
+    obs.histogram("unit.reads_hist").observe(n_reads)
+    with obs.span("unit.body", seed=seed):
+        pass
+    return seed * 1000 + n_reads
+
+
+UNITS = [(seed, 3 + seed % 4) for seed in range(6)]
+EXPECTED_RESULTS = [seed * 1000 + n for seed, n in UNITS]
+EXPECTED_READS = sum(n for _, n in UNITS)
+
+
+def _fleet(backend, workers=2):
+    with obs.collect(absorb=False):
+        results, fleet = ParallelRunner(workers, backend).map_with_obs(
+            _chip_unit, UNITS
+        )
+    return results, fleet
+
+
+class TestScopedCall:
+    def test_returns_result_and_snapshot(self, enabled):
+        result, snapshot = obs.scoped_call(_chip_unit, (5, 3))
+        assert result == 5003
+        assert snapshot.counters["unit.runs"] == 1
+        assert snapshot.op_counters.reads == 3
+        assert snapshot.op_counters.erases == 1
+        assert snapshot.profile["unit.body"].count == 1
+
+    def test_disabled_returns_no_snapshot(self, disabled):
+        result, snapshot = obs.scoped_call(_chip_unit, (5, 3))
+        assert result == 5003
+        assert snapshot is None
+
+    def test_unit_metrics_do_not_leak_into_caller_scope(self, enabled):
+        with obs.collect(absorb=False) as col:
+            obs.scoped_call(_chip_unit, (1, 2))
+        assert "unit.runs" not in col.snapshot.counters
+        assert col.snapshot.op_counters is None
+
+
+class TestWorkerMerge:
+    def test_merge_of_two_worker_snapshots_is_deterministic(self, enabled):
+        _, snap_a = obs.scoped_call(_chip_unit, (1, 3))
+        _, snap_b = obs.scoped_call(_chip_unit, (2, 5))
+        merged = obs.merge_snapshots([snap_a, snap_b])
+        again = obs.merge_snapshots([snap_a, snap_b])
+        assert merged.deterministic_view() == again.deterministic_view()
+        assert merged.counters["unit.runs"] == 2
+        assert merged.counters["unit.reads_requested"] == 8
+        assert merged.op_counters.reads == 8
+        assert merged.op_counters.erases == 2
+        assert merged.op_counters.busy_time_s == (
+            snap_a.op_counters.busy_time_s + snap_b.op_counters.busy_time_s
+        )
+        assert merged.profile["unit.body"].count == 2
+
+
+class TestBackendInvariance:
+    """Fleet totals identical on every backend (the hard constraint)."""
+
+    @pytest.fixture(scope="class")
+    def fleets(self):
+        obs.set_enabled(True)
+        try:
+            return {backend: _fleet(backend) for backend in BACKENDS}
+        finally:
+            obs.set_enabled(obs.metrics._enabled_from_env())
+
+    def test_results_identical(self, fleets):
+        for backend in BACKENDS:
+            assert fleets[backend][0] == EXPECTED_RESULTS, backend
+
+    def test_fleet_counters_identical(self, fleets):
+        reference = fleets["serial"][1]
+        assert reference.counters["unit.runs"] == len(UNITS)
+        assert reference.counters["unit.reads_requested"] == EXPECTED_READS
+        for backend in ("thread", "process"):
+            assert fleets[backend][1].counters == reference.counters, backend
+
+    def test_fleet_op_counters_identical_and_exact(self, fleets):
+        reference = fleets["serial"][1].op_counters
+        assert reference.reads == EXPECTED_READS
+        assert reference.erases == len(UNITS)
+        for backend in ("thread", "process"):
+            ops = fleets[backend][1].op_counters
+            # Dataclass equality covers the float fields bit-exactly:
+            # submission-order merging fixes the accumulation order.
+            assert ops == reference, backend
+
+    def test_fleet_deterministic_views_identical(self, fleets):
+        reference = fleets["serial"][1].deterministic_view()
+        for backend in ("thread", "process"):
+            view = fleets[backend][1].deterministic_view()
+            assert view[0] == reference[0], backend  # counters
+            assert view[1] == reference[1], backend  # gauges
+            assert view[2] == reference[2], backend  # histograms
+            assert view[3] == reference[3], backend  # op counters
+
+    def test_worker_spans_reach_the_parent(self, fleets):
+        for backend in BACKENDS:
+            profile = fleets[backend][1].profile
+            assert profile["unit.body"].count == len(UNITS), backend
+
+
+class TestMapAbsorption:
+    def test_map_absorbs_fleet_into_caller_scope(self, enabled):
+        with obs.collect(absorb=False) as col:
+            results = ParallelRunner(2, "thread").map(_chip_unit, UNITS)
+        assert results == EXPECTED_RESULTS
+        assert col.snapshot.counters["unit.runs"] == len(UNITS)
+        assert col.snapshot.op_counters.reads == EXPECTED_READS
+        assert col.snapshot.counters["parallel.units"] == len(UNITS)
+        assert col.snapshot.profile["parallel.map"].count == 1
+
+    def test_map_disabled_returns_plain_results(self, disabled):
+        results, fleet = ParallelRunner(2, "thread").map_with_obs(
+            _chip_unit, UNITS
+        )
+        assert results == EXPECTED_RESULTS
+        assert fleet is None

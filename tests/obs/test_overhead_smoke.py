@@ -1,0 +1,82 @@
+"""CI smoke: disabled-mode overhead bound, enabled/disabled row identity.
+
+Two guarantees the observability layer must keep:
+
+* with ``REPRO_OBS=0`` the instrumentation compiles to flag-check no-ops
+  whose total cost on a real work unit stays under 2% of its runtime;
+* recording never perturbs experiment output — rows are bit-identical
+  with observability enabled or disabled.
+
+The overhead bound is asserted structurally rather than by racing two
+wall clocks (which is hopelessly noisy on shared CI runners): count the
+obs events the work unit actually emits while enabled, microbenchmark
+the per-call disabled no-op cost, and require events x cost to be under
+2% of the measured disabled runtime.
+"""
+
+from __future__ import annotations
+
+import time
+
+import repro.obs as obs
+from repro.experiments import fig6
+
+FIG6_TINY = dict(
+    page_intervals=(0, 1), bit_counts=(32,), max_steps=5,
+    blocks_per_config=1, workers=1,
+)
+
+
+def _run_fig6(enabled: bool):
+    obs.set_enabled(enabled)
+    try:
+        with obs.collect(absorb=False) as col:
+            result = fig6.run(**FIG6_TINY)
+    finally:
+        pass
+    return result, col.snapshot
+
+
+def _noop_cost_s(calls: int = 200_000) -> float:
+    """Per-call cost of a disabled counter update (the common no-op)."""
+    obs.set_enabled(False)
+    handle = obs.counter("smoke.noop")
+    start = time.perf_counter()
+    for _ in range(calls):
+        handle.inc()
+    return (time.perf_counter() - start) / calls
+
+
+def test_rows_bit_identical_enabled_vs_disabled(restore_obs_flag):
+    enabled_result, _ = _run_fig6(enabled=True)
+    disabled_result, _ = _run_fig6(enabled=False)
+    assert enabled_result.rows() == disabled_result.rows()
+    assert enabled_result.curves == disabled_result.curves
+
+
+def test_disabled_overhead_under_two_percent(restore_obs_flag):
+    # What does the unit emit when recording?  Spans + metric updates +
+    # one counter inc per chip op (the chip mirrors each op by name).
+    _, snapshot = _run_fig6(enabled=True)
+    ops = snapshot.op_counters
+    assert ops is not None and ops.total_ops > 0, "fig6 must do chip ops"
+    span_events = sum(entry.count for entry in snapshot.profile.values())
+    metric_events = len(snapshot.counters) + len(snapshot.gauges) + sum(
+        h.count for h in snapshot.histograms.values()
+    )
+    # Generous upper bound: every chip op could carry a few extra handle
+    # calls beyond what the snapshot shows (batch counters, re-checks).
+    events = 4 * ops.total_ops + 10 * span_events + 10 * metric_events
+
+    obs.set_enabled(False)
+    start = time.perf_counter()
+    disabled_result = fig6.run(**FIG6_TINY)
+    disabled_s = time.perf_counter() - start
+    assert disabled_result.rows()  # ran for real
+
+    overhead_s = events * _noop_cost_s()
+    assert overhead_s < 0.02 * disabled_s, (
+        f"estimated disabled-mode overhead {overhead_s * 1e3:.2f} ms "
+        f"exceeds 2% of the {disabled_s * 1e3:.0f} ms work unit "
+        f"({events} events)"
+    )
