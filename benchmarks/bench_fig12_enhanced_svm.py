@@ -1,7 +1,7 @@
 """Fig. 12: SVM accuracy for the enhanced 10x-capacity configuration."""
 
 from repro.analysis import DatasetScale
-from repro.experiments import fig10, fig12
+from repro.experiments import fig12
 
 from conftest import run_once
 

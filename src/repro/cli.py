@@ -338,6 +338,13 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """Run the determinism & invariant static-analysis pass."""
+    from .lint.cli import main as lint_main
+
+    return lint_main(list(args.lint_args))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-stash",
@@ -442,6 +449,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_obs)
 
     p = sub.add_parser(
+        "lint",
+        help="static determinism & invariant analysis "
+             "(DET001/DET002/DET003/OBS001/NUM001; see DESIGN.md §10)",
+    )
+    p.add_argument(
+        "lint_args", nargs=argparse.REMAINDER, metavar="...",
+        help="arguments forwarded to the lint engine "
+             "(try `repro-stash lint -- --list-rules`)",
+    )
+    p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
         "report", help="run the full light evaluation and print every table"
     )
     p.add_argument(
@@ -459,6 +478,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[list] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # ``lint`` forwards its whole tail verbatim (argparse.REMAINDER does
+    # not accept a leading option like ``lint --list-rules``).
+    if argv and argv[0] == "lint":
+        from .lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -64,7 +64,7 @@ class EccError(Exception):
     batch_index: Optional[int] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DecodeResult:
     """Decoded data plus correction statistics.
 
@@ -506,7 +506,9 @@ class BchCode:
         n < 2**24, so the float sums are exact integers.
         """
         if self._parity_matrix_cache is None:
-            degrees = np.arange(self.k - 1, -1, -1) + self.n_parity
+            degrees = (
+                np.arange(self.k - 1, -1, -1, dtype=np.intp) + self.n_parity
+            )
             self._parity_matrix_cache = (
                 self._position_remainders()[degrees].astype(np.float32)
             )
@@ -703,7 +705,7 @@ class BchCode:
         field = self.field
         n_rows, n_syndromes = syndromes.shape
         width = n_syndromes + 1
-        row_ids = np.arange(n_rows)[:, None]
+        row_ids = np.arange(n_rows, dtype=np.intp)[:, None]
         columns = np.arange(width, dtype=np.int64)[None, :]
         sigma = np.zeros((n_rows, width), dtype=np.int64)
         sigma[:, 0] = 1
@@ -847,7 +849,10 @@ def get_code(m: int, t: int) -> BchCode:
             code = _CODES.get(key)
             if code is None:
                 code = BchCode(m, t)
-                _CODES[key] = code
+                # Lock-guarded process-wide memo; the value is a pure
+                # function of the key, so double-build is benign and the
+                # thread backend can never observe divergent codecs.
+                _CODES[key] = code  # repro: noqa[DET002]
     return code
 
 

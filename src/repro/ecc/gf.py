@@ -55,7 +55,9 @@ def get_field(m: int) -> "GF2m":
             field = _FIELDS.get(m)
             if field is None:
                 field = GF2m(m)
-                _FIELDS[m] = field
+                # Lock-guarded process-wide memo; exp/log tables are a
+                # pure function of m, so sharing across workers is sound.
+                _FIELDS[m] = field  # repro: noqa[DET002]
     return field
 
 

@@ -1,0 +1,68 @@
+"""Finding and severity types for the ``repro.lint`` engine.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+:attr:`~Finding.fingerprint` deliberately excludes the line number, so a
+baselined finding survives unrelated edits above it (the baseline matches
+on *what* is wrong and *where logically* — rule, file, enclosing symbol,
+message — not on the physical line).
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How a finding affects the exit code.
+
+    ``ERROR`` findings always gate (exit 1); ``WARNING`` findings gate
+    only under ``--error-on-findings`` (the CI mode).
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  #: repo-relative posix path
+    line: int  #: 1-based
+    col: int  #: 0-based
+    message: str
+    severity: Severity = Severity.ERROR
+    symbol: str = "<module>"  #: enclosing function qualname
+    suppressed: bool = field(default=False, compare=False)
+    baselined: bool = field(default=False, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """A line-number-independent identity for baseline matching."""
+        key = f"{self.rule}:{self.path}:{self.symbol}:{self.message}"
+        return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        """The one-line human report format."""
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": str(self.severity),
+            "symbol": self.symbol,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }

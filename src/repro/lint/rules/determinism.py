@@ -1,0 +1,340 @@
+"""DET001/DET002/DET003 — the determinism rules.
+
+The repo's headline invariant (README, DESIGN §8): experiment rows are
+bit-identical across the ``process``/``thread``/``serial`` execution
+backends at any worker count.  That only holds while every work unit is
+a pure function of its arguments — randomness derived through
+:mod:`repro.rng` substreams, no wall-clock input, no shared mutable
+state, no hash-randomized iteration order.  These rules flag the
+constructs that break each leg statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+from ..engine import Rule, register
+from ..findings import Finding, Severity
+from ..project import FunctionInfo, ModuleInfo, Project
+
+#: Packages whose *entire* code is row-producing (checked even outside
+#: the parallel-reachable set).
+SCOPE_PACKAGES: Tuple[str, ...] = (
+    "repro.experiments",
+    "repro.hiding",
+    "repro.nand",
+)
+
+#: Modules exempt from DET001: the crypto layer *is* the sanctioned home
+#: of true entropy (key generation uses ``os.urandom`` by design).
+EXEMPT_PACKAGES: Tuple[str, ...] = ("repro.crypto",)
+
+#: ``numpy.random`` attributes that are fine: explicitly-seeded
+#: generator construction, not draws from the hidden global stream.
+_NP_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "RandomState",
+        "BitGenerator",
+        "PCG64",
+        "Philox",
+        "MT19937",
+    }
+)
+
+#: Exact dotted origins that are nondeterministic inputs.
+_BANNED_EXACT = {
+    "time.time": "wall-clock time",
+    "time.time_ns": "wall-clock time",
+    "datetime.datetime.now": "wall-clock time",
+    "datetime.datetime.utcnow": "wall-clock time",
+    "datetime.datetime.today": "wall-clock time",
+    "datetime.date.today": "wall-clock time",
+    "os.urandom": "OS entropy",
+    "uuid.uuid1": "host/time-derived UUID",
+    "uuid.uuid4": "OS entropy",
+}
+
+#: Dotted prefixes that are nondeterministic wholesale.
+_BANNED_PREFIXES = {
+    "random.": "the global stdlib RNG",
+    "secrets.": "OS entropy",
+}
+
+#: Container methods that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "update",
+        "setdefault",
+        "extend",
+        "extendleft",
+        "insert",
+        "remove",
+        "discard",
+        "clear",
+        "popitem",
+    }
+)
+
+
+def _in_scope_package(modname: str) -> bool:
+    return modname.startswith(SCOPE_PACKAGES)
+
+
+def _exempt(modname: str) -> bool:
+    return modname.startswith(EXEMPT_PACKAGES)
+
+
+def _classify_nondeterministic(dotted: str) -> Optional[str]:
+    """Why a dotted call origin is nondeterministic, or None if it isn't."""
+    if dotted in _BANNED_EXACT:
+        return _BANNED_EXACT[dotted]
+    for prefix, why in _BANNED_PREFIXES.items():
+        if dotted.startswith(prefix):
+            return why
+    if dotted.startswith("numpy.random."):
+        attr = dotted[len("numpy.random."):].partition(".")[0]
+        if attr not in _NP_RANDOM_ALLOWED:
+            return "the global numpy RNG stream"
+    return None
+
+
+@register
+class NondeterministicSourceRule(Rule):
+    """DET001: nondeterministic input reachable from row-producing code."""
+
+    code = "DET001"
+    name = "nondeterministic-source"
+    severity = Severity.ERROR
+    description = (
+        "random.*, global np.random.*, wall-clock time or OS entropy in "
+        "experiments/, hiding/, nand/ or any function dispatched through "
+        "repro.parallel; derive randomness via repro.rng substreams"
+    )
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        if _exempt(module.modname):
+            return
+        whole_module = _in_scope_package(module.modname)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = module.dotted_source(node.func)
+            if dotted is None:
+                continue
+            why = _classify_nondeterministic(dotted)
+            if why is None:
+                continue
+            symbol = module.enclosing_function(node.lineno)
+            if not whole_module and not project.is_parallel_reachable(
+                module.modname, symbol
+            ):
+                continue
+            yield self.finding(
+                module,
+                node.lineno,
+                node.col_offset,
+                f"call to {dotted}() draws from {why}; row-producing code "
+                f"must derive randomness from repro.rng substreams "
+                f"(seed + structured label)",
+            )
+
+
+def _module_state_writes(
+    module: ModuleInfo, fn: FunctionInfo
+) -> Iterator[Tuple[int, int, str]]:
+    """(line, col, description) of shared-state writes inside `fn`."""
+    assert isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    shadowed = fn.local_names - fn.global_names
+
+    def is_module_mutable(name_node: ast.AST) -> Optional[str]:
+        if (
+            isinstance(name_node, ast.Name)
+            and name_node.id in module.module_mutables
+            and name_node.id not in shadowed
+        ):
+            return name_node.id
+        return None
+
+    for node in ast.walk(fn.node):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                # rebinding a name declared ``global``
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in fn.global_names
+                ):
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"assignment to global {target.id!r}",
+                    )
+                # writing an attribute of an imported module
+                if isinstance(target, ast.Attribute):
+                    base = module.dotted_source(target.value)
+                    if base is not None:
+                        yield (
+                            node.lineno,
+                            node.col_offset,
+                            f"write to module attribute {base}.{target.attr}",
+                        )
+                # item-assignment into a module-level container
+                if isinstance(target, ast.Subscript):
+                    name = is_module_mutable(target.value)
+                    if name is not None:
+                        yield (
+                            node.lineno,
+                            node.col_offset,
+                            f"item write into module-level container "
+                            f"{name!r}",
+                        )
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    name = is_module_mutable(target.value)
+                    if name is not None:
+                        yield (
+                            node.lineno,
+                            node.col_offset,
+                            f"item delete from module-level container "
+                            f"{name!r}",
+                        )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATOR_METHODS
+            ):
+                name = is_module_mutable(func.value)
+                if name is not None:
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"{func.attr}() on module-level container {name!r}",
+                    )
+
+
+@register
+class ParallelSharedStateRule(Rule):
+    """DET002: module-state mutation inside a parallel work unit."""
+
+    code = "DET002"
+    name = "parallel-shared-state"
+    severity = Severity.ERROR
+    description = (
+        "global/module-level state mutated by a function reachable from a "
+        "ParallelRunner work unit — a cross-backend race; results would "
+        "depend on worker scheduling (thread) or silently diverge from the "
+        "parent (process)"
+    )
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        reachable = project.parallel_reachable()
+        for qualname, fn in sorted(module.functions.items()):
+            if (module.modname, qualname) not in reachable:
+                continue
+            for line, col, what in _module_state_writes(module, fn):
+                yield self.finding(
+                    module,
+                    line,
+                    col,
+                    f"{what} inside {qualname}(), which is reachable from "
+                    f"a repro.parallel work unit; shared writes race under "
+                    f"the thread backend and are lost under the process "
+                    f"backend",
+                )
+
+
+#: Call contexts whose argument order is observable (``sorted`` & friends
+#: are deliberately absent: they normalise the order).
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+def _is_str_set_expr(module: ModuleInfo, scope_sets: Set[str], node: ast.AST) -> bool:
+    from ..project import _is_str_set_literal
+
+    if _is_str_set_literal(node):
+        return True
+    if isinstance(node, ast.Name) and node.id in scope_sets:
+        return True
+    return False
+
+
+@register
+class StrSetIterationRule(Rule):
+    """DET003: iteration over a set of strings (hash-randomized order)."""
+
+    code = "DET003"
+    name = "str-set-iteration"
+    severity = Severity.WARNING
+    description = (
+        "iterating a set of str/bytes: element order depends on "
+        "PYTHONHASHSEED, so rows built from it differ run to run; sort it "
+        "(sorted(...)) or use a tuple/dict for deterministic order"
+    )
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        from ..project import _is_str_set_literal
+
+        # names bound to str-set literals, per enclosing function scope
+        # (module-level bindings are in module.str_set_names)
+        fn_sets: dict[str, Set[str]] = {}
+        for qualname, fn in module.functions.items():
+            assert isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            bound: Set[str] = set()
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Assign) and _is_str_set_literal(
+                    node.value
+                ):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            bound.add(target.id)
+            fn_sets[qualname] = bound
+
+        def scope_sets(lineno: int) -> Set[str]:
+            symbol = module.enclosing_function(lineno)
+            local = fn_sets.get(symbol, set())
+            return local | module.str_set_names
+
+        for node in ast.walk(module.tree):
+            iter_expr: Optional[ast.AST] = None
+            what = "iteration over"
+            if isinstance(node, ast.For):
+                iter_expr = node.iter
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iter_expr = node.generators[0].iter
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in _ORDER_SENSITIVE_CALLS
+                    and node.args
+                ):
+                    iter_expr = node.args[0]
+                    what = f"{node.func.id}() over"
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"
+                    and node.args
+                ):
+                    iter_expr = node.args[0]
+                    what = "join() over"
+            if iter_expr is None:
+                continue
+            if _is_str_set_expr(module, scope_sets(node.lineno), iter_expr):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"{what} a set of str/bytes: order follows "
+                    f"PYTHONHASHSEED, not insertion; wrap in sorted() or "
+                    f"use a tuple",
+                )

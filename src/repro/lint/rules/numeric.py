@@ -1,0 +1,89 @@
+"""NUM001 — dtype discipline in the ``repro.ecc`` kernels.
+
+The vectorised BCH hot path (DESIGN §8) works in int16 GF elements end
+to end; its correctness proofs (batch == scalar, bit-for-bit) assume no
+silent widening.  An array constructor without an explicit ``dtype=``
+defaults to the platform C long (``np.arange``/``np.array`` of ints:
+int32 on Windows, int64 on Linux), which both breaks cross-platform
+bit-identity and silently widens int16 pipelines at the first mixed
+operation.  ``dtype=int`` has the same platform dependence spelled
+differently.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Rule, register
+from ..findings import Finding, Severity
+from ..project import ModuleInfo, Project
+
+#: numpy constructors that must carry a dtype, with the 0-based index of
+#: the positional slot that can supply it.
+_CONSTRUCTORS = {
+    "numpy.array": 1,
+    "numpy.zeros": 1,
+    "numpy.ones": 1,
+    "numpy.empty": 1,
+    "numpy.full": 2,
+    "numpy.arange": 3,
+    "numpy.frombuffer": 1,
+}
+
+#: Modules the rule applies to (the int16/GF kernel package).
+_SCOPE_PREFIX = "repro.ecc"
+
+
+def _dtype_argument(node: ast.Call, positional_slot: int) -> ast.AST | None:
+    for keyword in node.keywords:
+        if keyword.arg == "dtype":
+            return keyword.value
+    if len(node.args) > positional_slot:
+        return node.args[positional_slot]
+    return None
+
+
+@register
+class MissingDtypeRule(Rule):
+    """NUM001: numpy constructor in ecc/ without an explicit exact dtype."""
+
+    code = "NUM001"
+    name = "ecc-dtype-discipline"
+    severity = Severity.ERROR
+    description = (
+        "np.array/zeros/ones/empty/full/arange/frombuffer in repro.ecc "
+        "without an explicit dtype (or with platform-dependent dtype=int): "
+        "defaults follow the platform C long and silently widen the int16 "
+        "GF kernels"
+    )
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        if not module.modname.startswith(_SCOPE_PREFIX):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = module.dotted_source(node.func)
+            if dotted not in _CONSTRUCTORS:
+                continue
+            dtype = _dtype_argument(node, _CONSTRUCTORS[dotted])
+            short = dotted.replace("numpy.", "np.")
+            if dtype is None:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"{short}() without an explicit dtype: the default "
+                    f"follows the platform C long and widens the int16 GF "
+                    f"kernels; state the dtype",
+                )
+            elif isinstance(dtype, ast.Name) and dtype.id == "int":
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"{short}(dtype=int) is the platform C long (int32 on "
+                    f"Windows, int64 on Linux); use an explicit numpy "
+                    f"dtype such as np.int16 or np.int64",
+                )

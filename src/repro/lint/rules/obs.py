@@ -1,0 +1,69 @@
+"""OBS001 — observability must stay a no-op under ``REPRO_OBS=0``.
+
+The guarded helpers (``obs.counter().inc``, ``obs.gauge().set``,
+``obs.histogram().observe``, ``obs.span``, ``obs.register_op_counters``)
+all start with one module-global flag check and return immediately when
+observability is disabled — that is the whole basis of the "< 2%
+disabled-mode overhead" bar in ``BENCH_obs.json``.  Calling the raw
+:class:`repro.obs.metrics.Registry` update methods directly skips that
+check *and* records into whatever registry happens to be current, so an
+instrumented hot path would keep paying (and mutating state) with
+observability off.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Rule, register
+from ..findings import Finding, Severity
+from ..project import ModuleInfo, Project
+
+#: Raw registry update methods; each has a guarded front door.
+_RAW_UPDATES = {
+    "counter_add": "obs.counter(name).inc(value)",
+    "gauge_set": "obs.gauge(name).set(value)",
+    "hist_observe": "obs.histogram(name).observe(value)",
+    "record_span": "with obs.span(name): ...",
+    "register_op_source": "obs.register_op_counters(counters)",
+}
+
+#: The obs package itself implements the helpers; tests may poke
+#: registries directly on purpose.
+_EXEMPT_PREFIXES = ("repro.obs", "tests.")
+
+
+@register
+class UnguardedObsCallRule(Rule):
+    """OBS001: raw Registry update call outside the guarded helpers."""
+
+    code = "OBS001"
+    name = "unguarded-obs-update"
+    severity = Severity.ERROR
+    description = (
+        "direct Registry.counter_add/gauge_set/hist_observe/record_span/"
+        "register_op_source call outside repro.obs — bypasses the "
+        "REPRO_OBS=0 flag check and breaks the disabled-mode no-op "
+        "invariant; route through the guarded obs helpers"
+    )
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        if module.modname.startswith(_EXEMPT_PREFIXES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in _RAW_UPDATES:
+                continue
+            yield self.finding(
+                module,
+                node.lineno,
+                node.col_offset,
+                f"raw registry update .{func.attr}() skips the REPRO_OBS=0 "
+                f"flag check; use the guarded helper "
+                f"{_RAW_UPDATES[func.attr]} instead",
+            )

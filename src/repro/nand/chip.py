@@ -42,7 +42,7 @@ from .retention import disturb_flip_mask, leakage
 DataLike = Union[bytes, bytearray, np.ndarray]
 
 
-@dataclass
+@dataclass(slots=True)
 class OpCounters:
     """Cumulative operation counts plus the time/energy they cost.
 

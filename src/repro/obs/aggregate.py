@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Callable, Iterator, Optional, Tuple
+from typing import Any, Callable, Iterator, Optional, Tuple
 
 from .metrics import (
     ObsSnapshot,
@@ -81,7 +81,9 @@ def collect(absorb: bool = True) -> Iterator[Collection]:
             get_registry().absorb(snapshot)
 
 
-def scoped_call(fn: Callable, args: tuple) -> Tuple[object, Optional[ObsSnapshot]]:
+def scoped_call(
+    fn: Callable[..., Any], args: Tuple[Any, ...]
+) -> Tuple[Any, Optional[ObsSnapshot]]:
     """Run ``fn(*args)`` inside a private scope; return (result, snapshot).
 
     The worker-side half of cross-worker aggregation: picklable-friendly

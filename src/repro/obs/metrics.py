@@ -35,7 +35,7 @@ import os
 import threading
 from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
 #: Environment variable gating the whole subsystem.  ``0``/``false``/
 #: ``no``/``off`` disable it; anything else (including unset) enables it.
@@ -87,7 +87,7 @@ def default_trace_path() -> Optional[str]:
 # aggregated value types
 
 
-@dataclass
+@dataclass(slots=True)
 class HistStats:
     """Summary statistics of one histogram's observations."""
 
@@ -117,7 +117,7 @@ class HistStats:
             self.max = other.max
 
 
-@dataclass
+@dataclass(slots=True)
 class ProfileEntry:
     """Aggregated timing of one span name (the self-time profile row)."""
 
@@ -146,7 +146,7 @@ class ProfileEntry:
             self.max_s = other.max_s
 
 
-@dataclass
+@dataclass(slots=True)
 class ObsSnapshot:
     """One registry's state, frozen for transport and merging.
 
@@ -166,7 +166,7 @@ class ObsSnapshot:
     spans: List[Any] = field(default_factory=list)
     wall_s: float = 0.0
 
-    def deterministic_view(self) -> Tuple:
+    def deterministic_view(self) -> Tuple[Any, Any, Any, Any]:
         """The backend-invariant portion: everything except timings.
 
         Two runs of the same deterministic work units produce equal
@@ -235,7 +235,7 @@ class Registry:
         self.gauges: Dict[str, float] = {}
         self.hists: Dict[str, HistStats] = {}
         self.profile: Dict[str, ProfileEntry] = {}
-        self.spans: deque = deque(maxlen=span_capacity)
+        self.spans: Deque[Any] = deque(maxlen=span_capacity)
         #: ``OpCounters`` objects registered by chips created in scope.
         #: Strong references: snapshots read their *current* values.
         self.op_sources: List[Any] = []
@@ -351,21 +351,22 @@ def global_registry() -> Registry:
 
 def get_registry() -> Registry:
     """The innermost active scope on this thread, else the global."""
-    stack = getattr(_TLS, "stack", None)
+    stack: Optional[List[Registry]] = getattr(_TLS, "stack", None)
     if stack:
         return stack[-1]
     return _GLOBAL
 
 
 def push_registry(registry: Registry) -> None:
-    stack = getattr(_TLS, "stack", None)
+    stack: Optional[List[Registry]] = getattr(_TLS, "stack", None)
     if stack is None:
         stack = _TLS.stack = []
     stack.append(registry)
 
 
 def pop_registry() -> Registry:
-    return _TLS.stack.pop()
+    registry: Registry = _TLS.stack.pop()
+    return registry
 
 
 # ----------------------------------------------------------------------
@@ -417,7 +418,7 @@ class Histogram:
         get_registry().hist_observe(self.name, value)
 
 
-def _handle(kind: str, name: str, factory) -> Any:
+def _handle(kind: str, name: str, factory: Callable[[str], Any]) -> Any:
     key = (kind, name)
     handle = _HANDLES.get(key)
     if handle is None:
@@ -425,7 +426,10 @@ def _handle(kind: str, name: str, factory) -> Any:
             handle = _HANDLES.get(key)
             if handle is None:
                 handle = factory(name)
-                _HANDLES[key] = handle
+                # Lock-guarded memo of name -> handle; handles are
+                # stateless (updates route to the current registry), so
+                # cache hits in workers cannot leak state across units.
+                _HANDLES[key] = handle  # repro: noqa[DET002]
     return handle
 
 

@@ -3,12 +3,14 @@ and the one-line run summary the experiment CLI appends to every run."""
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Sequence, Union
 
 from .metrics import ObsSnapshot, ProfileEntry
 
 
-def _table(headers, rows) -> str:
+def _table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
     text_rows = [[str(cell) for cell in row] for row in rows]
     widths = [len(h) for h in headers]
     for row in text_rows:
@@ -23,7 +25,7 @@ def _table(headers, rows) -> str:
     return "\n".join(lines)
 
 
-def _num(value) -> str:
+def _num(value: Union[int, float]) -> str:
     if isinstance(value, float) and not value.is_integer():
         return f"{value:.6g}"
     return str(int(value))

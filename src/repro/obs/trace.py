@@ -33,21 +33,22 @@ import json
 import threading
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Dict, IO, Iterable, List, Optional, Union
+from types import TracebackType
+from typing import Any, Callable, Dict, IO, Iterable, List, Optional, Type, Union
 
 from .metrics import get_registry, is_enabled
 
 _TLS = threading.local()
 
 
-def _stack() -> list:
-    stack = getattr(_TLS, "spans", None)
+def _stack() -> List["Span"]:
+    stack: Optional[List["Span"]] = getattr(_TLS, "spans", None)
     if stack is None:
         stack = _TLS.spans = []
     return stack
 
 
-@dataclass
+@dataclass(slots=True)
 class SpanRecord:
     """One finished span, as stored in the ring buffer and the JSONL."""
 
@@ -71,10 +72,15 @@ class _NoopSpan:
     def __enter__(self) -> "_NoopSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         return False
 
-    def __call__(self, fn):
+    def __call__(self, fn: Callable[..., Any]) -> Callable[..., Any]:
         return fn
 
 
@@ -86,7 +92,7 @@ class Span:
 
     __slots__ = ("name", "attrs", "_start", "_child_s")
 
-    def __init__(self, name: str, attrs: Dict) -> None:
+    def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
         self.name = name
         self.attrs = attrs
         self._start = 0.0
@@ -98,7 +104,12 @@ class Span:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         duration = time.perf_counter() - self._start
         stack = _stack()
         stack.pop()
@@ -119,12 +130,12 @@ class Span:
         )
         return False
 
-    def __call__(self, fn):
+    def __call__(self, fn: Callable[..., Any]) -> Callable[..., Any]:
         """Decorator form: each call runs inside a fresh span."""
         name, attrs = self.name, self.attrs
 
         @functools.wraps(fn)
-        def wrapper(*args, **kwargs):
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
             if not is_enabled():
                 return fn(*args, **kwargs)
             with Span(name, dict(attrs)):
@@ -133,7 +144,7 @@ class Span:
         return wrapper
 
 
-def span(name: str, **attrs) -> Union[Span, _NoopSpan]:
+def span(name: str, **attrs: Any) -> Union[Span, _NoopSpan]:
     """Open a named span (context manager) or build a decorator.
 
     Attributes become the span record's ``attrs`` — keep them small,
@@ -153,10 +164,10 @@ def export_jsonl(
     spans: Iterable[SpanRecord], destination: Union[str, IO[str]]
 ) -> int:
     """Write spans as JSONL (one object per line); returns the count."""
-    if hasattr(destination, "write"):
-        return _write_jsonl(spans, destination)
-    with open(destination, "w", encoding="utf-8") as handle:
-        return _write_jsonl(spans, handle)
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            return _write_jsonl(spans, handle)
+    return _write_jsonl(spans, destination)
 
 
 def _write_jsonl(spans: Iterable[SpanRecord], handle: IO[str]) -> int:
@@ -170,14 +181,14 @@ def _write_jsonl(spans: Iterable[SpanRecord], handle: IO[str]) -> int:
 
 def load_jsonl(source: Union[str, IO[str]]) -> List[SpanRecord]:
     """Read a JSONL trace back into :class:`SpanRecord` objects."""
-    if hasattr(source, "read"):
-        return _read_jsonl(source)
-    with open(source, "r", encoding="utf-8") as handle:
-        return _read_jsonl(handle)
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return _read_jsonl(handle)
+    return _read_jsonl(source)
 
 
 def _read_jsonl(handle: IO[str]) -> List[SpanRecord]:
-    records = []
+    records: List[SpanRecord] = []
     for line in handle:
         line = line.strip()
         if line:

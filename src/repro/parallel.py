@@ -49,7 +49,7 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     as_completed,
 )
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from . import obs
 from .obs import ObsSnapshot
@@ -114,7 +114,9 @@ def split_range(n: int, n_units: int) -> List[Tuple[int, int]]:
     return spans
 
 
-def _scoped_unit(fn: Callable, unit: tuple):
+def _scoped_unit(
+    fn: Callable[..., Any], unit: Tuple[Any, ...]
+) -> Tuple[Any, Optional[ObsSnapshot]]:
     """Worker-side wrapper: run one unit inside a private obs scope.
 
     Module-level so the process backend can pickle it.  Returns
@@ -173,7 +175,9 @@ class ParallelRunner:
             return "process"
         return self.backend
 
-    def map(self, fn: Callable, units: Sequence[tuple]) -> list:
+    def map(
+        self, fn: Callable[..., Any], units: Sequence[Tuple[Any, ...]]
+    ) -> List[Any]:
         """Map units to results; fleet metrics roll up transparently.
 
         The merged fleet snapshot is absorbed into the current obs
@@ -187,8 +191,8 @@ class ParallelRunner:
         return results
 
     def map_with_obs(
-        self, fn: Callable, units: Sequence[tuple]
-    ) -> Tuple[list, Optional[ObsSnapshot]]:
+        self, fn: Callable[..., Any], units: Sequence[Tuple[Any, ...]]
+    ) -> Tuple[List[Any], Optional[ObsSnapshot]]:
         """Like :meth:`map`, also returning the merged fleet snapshot.
 
         The snapshot merges each unit's private scope in submission
@@ -212,7 +216,12 @@ class ParallelRunner:
                 snapshots
             )
 
-    def _run(self, fn: Callable, units: List[tuple], backend: str) -> list:
+    def _run(
+        self,
+        fn: Callable[..., Any],
+        units: Sequence[Tuple[Any, ...]],
+        backend: str,
+    ) -> List[Any]:
         if backend == "serial":
             return [fn(*unit) for unit in units]
         max_workers = min(self.workers, len(units))
@@ -221,7 +230,7 @@ class ParallelRunner:
             pool = ThreadPoolExecutor(max_workers=max_workers)
         else:
             pool = ProcessPoolExecutor(max_workers=max_workers)
-        results: list = [None] * len(units)
+        results: List[Any] = [None] * len(units)
         with pool:
             futures = {
                 pool.submit(fn, *unit): index
@@ -233,10 +242,10 @@ class ParallelRunner:
 
 
 def run_units(
-    fn: Callable,
-    units: Sequence[tuple],
+    fn: Callable[..., Any],
+    units: Sequence[Tuple[Any, ...]],
     workers: Optional[int] = None,
     backend: Optional[str] = None,
-) -> list:
+) -> List[Any]:
     """One-shot convenience wrapper around :class:`ParallelRunner`."""
     return ParallelRunner(workers, backend).map(fn, units)

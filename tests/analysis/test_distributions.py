@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.analysis import (
-    Histogram,
     average_histograms,
     ks_distance,
     tail_mass,

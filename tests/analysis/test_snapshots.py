@@ -1,10 +1,8 @@
 """Multi-snapshot adversary (§9.2)."""
 
 import numpy as np
-import pytest
 
 from repro.analysis import DeviceSnapshot, SnapshotAdversary
-from repro.crypto import HidingKey
 from repro.hiding import STANDARD_CONFIG, VtHi
 
 CFG = STANDARD_CONFIG.replace(ecc_t=0, bits_per_page=256)

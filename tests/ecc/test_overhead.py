@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.ecc import EccPlan, binomial_tail, plan_for_budget, required_t
+from repro.ecc import binomial_tail, plan_for_budget, required_t
 from repro.hiding.capacity import shannon_parity_fraction
 
 

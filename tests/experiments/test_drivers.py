@@ -1,7 +1,6 @@
 """Every experiment driver runs at reduced scale and reproduces the
 paper's qualitative claims (the benchmarks run them at report scale)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import DatasetScale

@@ -1,7 +1,5 @@
 """Extension experiment drivers (MLC interval, report helpers)."""
 
-import pytest
-
 from repro.experiments import interval_capacity
 from repro.experiments.common import Table
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.ecc.page import PagePipeline
 from repro.ftl import Ftl, FtlError
-from repro.nand import TEST_MODEL, FlashChip
 
 
 @pytest.fixture

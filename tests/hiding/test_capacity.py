@@ -1,7 +1,5 @@
 """Capacity planning."""
 
-import pytest
-
 from repro.hiding import (
     STANDARD_CONFIG,
     expected_charged_fraction,

@@ -5,13 +5,10 @@ that partial operations fail *cleanly* — recoverable where ECC margins
 allow, loud errors where they do not, never silent corruption.
 """
 
-import numpy as np
 import pytest
 
-from repro.crypto import HidingKey
 from repro.hiding import PayloadError, STANDARD_CONFIG, VtHi
 from repro.hiding.selection import select_cells
-from repro.rng import substream
 
 CFG = STANDARD_CONFIG.replace(bits_per_page=512, ecc_m=10, ecc_t=18)
 

@@ -1,0 +1,37 @@
+"""Helpers for lint-engine tests: build throwaway projects on disk.
+
+Fixture projects mirror the real layout (``<root>/src/repro/...``) so
+rule scoping by module name (``repro.ecc.*``, ``repro.experiments.*``)
+and parallel reachability behave exactly as on the repo itself.
+"""
+
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+from repro.lint import run_lint
+from repro.lint.findings import Finding
+
+
+@pytest.fixture
+def project(tmp_path):
+    """Factory: write ``{relpath: source}`` files, return their root."""
+
+    def make(files: Dict[str, str]) -> Path:
+        for relpath, source in files.items():
+            target = tmp_path / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(source, encoding="utf-8")
+        return tmp_path
+
+    return make
+
+
+def lint(root: Path, **kwargs) -> List[Finding]:
+    """Active findings from linting ``<root>/src``."""
+    return run_lint([root / "src"], root=root, **kwargs).findings
+
+
+def codes(findings: List[Finding]) -> List[str]:
+    return [f.rule for f in findings]

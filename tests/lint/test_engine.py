@@ -1,0 +1,120 @@
+"""Suppression, baseline round-trip, fingerprints, rule selection."""
+
+import textwrap
+
+from repro.lint import run_lint
+from repro.lint.engine import Baseline, line_suppressions
+
+from .conftest import codes, lint
+
+BAD_ECC = textwrap.dedent(
+    """
+    import numpy as np
+
+    def scratch(n):
+        return np.zeros(n)
+    """
+).lstrip()
+
+
+class TestNoqa:
+    def test_line_suppression_parsing(self):
+        assert line_suppressions("x = 1  # repro: noqa[DET002]") == {"DET002"}
+        assert line_suppressions("x = 1  # repro: noqa[DET002, NUM001]") == {
+            "DET002",
+            "NUM001",
+        }
+        assert line_suppressions("x = 1  # noqa") == set()
+        assert line_suppressions("x = 1") == set()
+
+    def test_noqa_suppresses_only_named_rule(self, project):
+        root = project({
+            "src/repro/ecc/kernel.py": textwrap.dedent(
+                """
+                import numpy as np
+
+                def scratch(n):
+                    return np.zeros(n)  # repro: noqa[NUM001] scratch buffer, cast downstream
+
+                def ids(n):
+                    return np.arange(n)  # repro: noqa[DET003] wrong code, stays active
+                """
+            ).lstrip(),
+        })
+        result = run_lint([root / "src"], root=root)
+        assert codes(result.findings) == ["NUM001"]
+        assert result.findings[0].line == 7
+        assert [f.line for f in result.suppressed] == [4]
+        assert result.suppressed[0].suppressed is True
+
+
+class TestBaseline:
+    def test_round_trip_grandfathers_findings(self, project, tmp_path):
+        root = project({"src/repro/ecc/kernel.py": BAD_ECC})
+        found = lint(root)
+        assert codes(found) == ["NUM001"]
+
+        baseline_path = tmp_path / "baseline.json"
+        baseline = Baseline(path=baseline_path)
+        baseline.save(found)
+
+        reloaded = Baseline.load(baseline_path)
+        assert reloaded.fingerprints == {found[0].fingerprint}
+        result = run_lint([root / "src"], root=root, baseline=reloaded)
+        assert result.findings == []
+        assert codes(result.baselined) == ["NUM001"]
+
+    def test_fingerprint_survives_line_moves(self, project, tmp_path):
+        root = project({"src/repro/ecc/kernel.py": BAD_ECC})
+        before = lint(root)
+
+        # Prepend unrelated code: the finding moves down three lines.
+        shifted = '"""Docstring added later."""\nHELP = "x"\n\n' + BAD_ECC
+        (root / "src/repro/ecc/kernel.py").write_text(shifted, encoding="utf-8")
+        after = lint(root)
+
+        assert after[0].line == before[0].line + 3
+        assert after[0].fingerprint == before[0].fingerprint
+
+    def test_new_findings_not_grandfathered(self, project, tmp_path):
+        root = project({"src/repro/ecc/kernel.py": BAD_ECC})
+        baseline = Baseline(path=tmp_path / "baseline.json")
+        baseline.save(lint(root))
+
+        grown = BAD_ECC + "\ndef more(n):\n    return np.ones(n)\n"
+        (root / "src/repro/ecc/kernel.py").write_text(grown, encoding="utf-8")
+        result = run_lint([root / "src"], root=root, baseline=baseline)
+        assert codes(result.findings) == ["NUM001"]
+        assert result.findings[0].symbol == "more"
+        assert codes(result.baselined) == ["NUM001"]
+
+    def test_empty_baseline_changes_nothing(self, project, tmp_path):
+        root = project({"src/repro/ecc/kernel.py": BAD_ECC})
+        missing = Baseline.load(tmp_path / "absent.json")
+        result = run_lint([root / "src"], root=root, baseline=missing)
+        assert codes(result.findings) == ["NUM001"]
+        assert result.baselined == []
+
+
+class TestSelection:
+    def test_select_restricts_rules(self, project):
+        root = project({
+            "src/repro/ecc/kernel.py": BAD_ECC,
+            "src/repro/experiments/bad.py": (
+                "import random\n\ndef pick(rows):\n"
+                "    return random.choice(rows)\n"
+            ),
+        })
+        # Findings sort by path: ecc/kernel.py precedes experiments/bad.py.
+        assert codes(lint(root)) == ["NUM001", "DET001"]
+        assert codes(lint(root, select=["NUM001"])) == ["NUM001"]
+        assert codes(lint(root, ignore=["NUM001"])) == ["DET001"]
+
+    def test_unknown_rule_rejected(self, project):
+        root = project({"src/repro/ecc/kernel.py": BAD_ECC})
+        try:
+            lint(root, select=["NOPE999"])
+        except ValueError as exc:
+            assert "NOPE999" in str(exc)
+        else:
+            raise AssertionError("expected ValueError for unknown rule")

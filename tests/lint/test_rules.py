@@ -1,0 +1,377 @@
+"""Per-rule fixtures: each rule has provable positives and negatives."""
+
+import textwrap
+
+from .conftest import codes, lint
+
+
+def src(text: str) -> str:
+    return textwrap.dedent(text).lstrip()
+
+
+# ----------------------------------------------------------------------
+# DET001 — nondeterministic sources
+
+
+class TestDet001:
+    def test_stdlib_random_in_experiments(self, project):
+        root = project({
+            "src/repro/experiments/bad.py": src(
+                """
+                import random
+
+                def pick(rows):
+                    return random.choice(rows)
+                """
+            ),
+        })
+        findings = lint(root)
+        assert codes(findings) == ["DET001"]
+        assert "random.choice" in findings[0].message
+        assert findings[0].symbol == "pick"
+
+    def test_global_np_random_in_nand(self, project):
+        root = project({
+            "src/repro/nand/bad.py": src(
+                """
+                import numpy as np
+
+                def noise(n):
+                    return np.random.rand(n)
+                """
+            ),
+        })
+        assert codes(lint(root)) == ["DET001"]
+
+    def test_wall_clock_reachable_from_work_unit(self, project):
+        # time.time() lives OUTSIDE the scope packages but is reachable
+        # from a dispatched unit through the name-based call graph.
+        root = project({
+            "src/repro/util.py": src(
+                """
+                import time
+
+                def stamp(x):
+                    return x, time.time()
+                """
+            ),
+            "src/repro/experiments/driver.py": src(
+                """
+                from repro.parallel import run_units
+                from repro.util import stamp
+
+                def _unit(x):
+                    return stamp(x)
+
+                def run():
+                    return run_units(_unit, [(1,), (2,)])
+                """
+            ),
+        })
+        findings = lint(root)
+        assert codes(findings) == ["DET001"]
+        assert findings[0].path == "src/repro/util.py"
+
+    def test_seeded_generator_is_fine(self, project):
+        root = project({
+            "src/repro/experiments/good.py": src(
+                """
+                import numpy as np
+
+                def noise(seed, n):
+                    return np.random.default_rng(seed).random(n)
+                """
+            ),
+        })
+        assert lint(root) == []
+
+    def test_crypto_package_is_exempt(self, project):
+        root = project({
+            "src/repro/crypto/entropy.py": src(
+                """
+                import os
+
+                def key_bytes():
+                    return os.urandom(32)
+                """
+            ),
+        })
+        assert lint(root) == []
+
+    def test_unreachable_wall_clock_not_flagged(self, project):
+        root = project({
+            "src/repro/util.py": src(
+                """
+                import time
+
+                def stamp():
+                    return time.time()
+                """
+            ),
+        })
+        assert lint(root) == []
+
+
+# ----------------------------------------------------------------------
+# DET002 — shared state mutated from parallel work units
+
+
+class TestDet002:
+    def test_module_dict_write_in_unit(self, project):
+        root = project({
+            "src/repro/experiments/driver.py": src(
+                """
+                from repro.parallel import run_units
+
+                _CACHE = {}
+
+                def _unit(x):
+                    _CACHE[x] = x * 2
+                    return x
+
+                def run():
+                    return run_units(_unit, [(1,), (2,)])
+                """
+            ),
+        })
+        findings = lint(root)
+        assert codes(findings) == ["DET002"]
+        assert "_CACHE" in findings[0].message
+
+    def test_global_rebind_in_unit(self, project):
+        root = project({
+            "src/repro/experiments/driver.py": src(
+                """
+                from repro.parallel import ParallelRunner
+
+                TOTAL = 0
+
+                def _unit(x):
+                    global TOTAL
+                    TOTAL += x
+                    return x
+
+                def run(workers=None):
+                    return ParallelRunner(workers).map(_unit, [(1,), (2,)])
+                """
+            ),
+        })
+        findings = lint(root)
+        assert codes(findings) == ["DET002"]
+        assert "TOTAL" in findings[0].message
+
+    def test_mutator_method_on_module_list(self, project):
+        root = project({
+            "src/repro/experiments/driver.py": src(
+                """
+                from repro.parallel import run_units
+
+                ROWS = []
+
+                def _unit(x):
+                    ROWS.append(x)
+                    return x
+
+                def run():
+                    return run_units(_unit, [(1,)])
+                """
+            ),
+        })
+        assert codes(lint(root)) == ["DET002"]
+
+    def test_local_shadow_is_fine(self, project):
+        root = project({
+            "src/repro/experiments/driver.py": src(
+                """
+                from repro.parallel import run_units
+
+                def _unit(x):
+                    rows = {}
+                    rows[x] = x
+                    return rows
+
+                def run():
+                    return run_units(_unit, [(1,)])
+                """
+            ),
+        })
+        assert lint(root) == []
+
+    def test_unreachable_mutation_is_fine(self, project):
+        root = project({
+            "src/repro/cache.py": src(
+                """
+                _MEMO = {}
+
+                def remember(k, v):
+                    _MEMO[k] = v
+                """
+            ),
+        })
+        assert lint(root) == []
+
+
+# ----------------------------------------------------------------------
+# DET003 — iteration over sets of strings
+
+
+class TestDet003:
+    def test_for_over_str_set_literal(self, project):
+        root = project({
+            "src/repro/report.py": src(
+                """
+                def rows():
+                    out = []
+                    for name in {"fig6", "fig7", "fig8"}:
+                        out.append(name)
+                    return out
+                """
+            ),
+        })
+        findings = lint(root)
+        assert codes(findings) == ["DET003"]
+        assert findings[0].severity.value == "warning"
+
+    def test_list_over_named_str_set(self, project):
+        root = project({
+            "src/repro/report.py": src(
+                """
+                NAMES = {"a", "b", "c"}
+
+                def rows():
+                    return list(NAMES)
+                """
+            ),
+        })
+        assert codes(lint(root)) == ["DET003"]
+
+    def test_sorted_normalises_order(self, project):
+        root = project({
+            "src/repro/report.py": src(
+                """
+                def rows():
+                    return sorted({"a", "b", "c"})
+                """
+            ),
+        })
+        assert lint(root) == []
+
+    def test_int_sets_are_fine(self, project):
+        root = project({
+            "src/repro/report.py": src(
+                """
+                def rows():
+                    return [x for x in {1, 2, 3}]
+                """
+            ),
+        })
+        assert lint(root) == []
+
+
+# ----------------------------------------------------------------------
+# OBS001 — unguarded registry updates
+
+
+class TestObs001:
+    def test_raw_counter_add(self, project):
+        root = project({
+            "src/repro/ftl/bad.py": src(
+                """
+                from repro import obs
+
+                def rescue(pages):
+                    obs.get_registry().counter_add("ftl.rescued", len(pages))
+                    return pages
+                """
+            ),
+        })
+        findings = lint(root)
+        assert codes(findings) == ["OBS001"]
+        assert "obs.counter" in findings[0].message
+
+    def test_obs_package_itself_is_exempt(self, project):
+        root = project({
+            "src/repro/obs/extra.py": src(
+                """
+                def flush(registry, name, value):
+                    registry.counter_add(name, value)
+                """
+            ),
+        })
+        assert lint(root) == []
+
+    def test_guarded_helper_is_fine(self, project):
+        root = project({
+            "src/repro/ftl/good.py": src(
+                """
+                from repro import obs
+
+                def rescue(pages):
+                    obs.counter("ftl.rescued").inc(len(pages))
+                    return pages
+                """
+            ),
+        })
+        assert lint(root) == []
+
+
+# ----------------------------------------------------------------------
+# NUM001 — ecc dtype discipline
+
+
+class TestNum001:
+    def test_bare_zeros_in_ecc(self, project):
+        root = project({
+            "src/repro/ecc/kernel.py": src(
+                """
+                import numpy as np
+
+                def scratch(n):
+                    return np.zeros(n)
+                """
+            ),
+        })
+        findings = lint(root)
+        assert codes(findings) == ["NUM001"]
+        assert "dtype" in findings[0].message
+
+    def test_dtype_int_is_platform_dependent(self, project):
+        root = project({
+            "src/repro/ecc/kernel.py": src(
+                """
+                import numpy as np
+
+                def ids(n):
+                    return np.arange(n, dtype=int)
+                """
+            ),
+        })
+        findings = lint(root)
+        assert codes(findings) == ["NUM001"]
+        assert "platform C long" in findings[0].message
+
+    def test_explicit_dtype_is_fine(self, project):
+        root = project({
+            "src/repro/ecc/kernel.py": src(
+                """
+                import numpy as np
+
+                def scratch(n):
+                    return np.zeros(n, dtype=np.int16)
+                """
+            ),
+        })
+        assert lint(root) == []
+
+    def test_outside_ecc_not_flagged(self, project):
+        root = project({
+            "src/repro/perf/model2.py": src(
+                """
+                import numpy as np
+
+                def scratch(n):
+                    return np.zeros(n)
+                """
+            ),
+        })
+        assert lint(root) == []

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.ml import SVC, StandardScaler
+from repro.ml import SVC
 
 
 def blobs(separation, n=50, d=4, seed=0):

@@ -183,7 +183,7 @@ class TestWearManagement:
         assert chip.block_pec(0) == 4  # 3 cycles + final erase
 
     def test_strict_endurance_marks_bad(self, chip_factory):
-        from repro.nand import TEST_MODEL, ChipParams, FlashChip, WearModel
+        from repro.nand import TEST_MODEL, FlashChip
         import dataclasses
         params = dataclasses.replace(
             TEST_MODEL.params,

@@ -6,7 +6,6 @@ probe output stays in its quantisation range, and erase resets everything.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.nand import TEST_MODEL, FlashChip

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nand import OnfiBus, TEST_MODEL, FlashChip
+from repro.nand import OnfiBus
 from repro.nand.errors import CommandError
 from repro.nand.onfi import Command
 

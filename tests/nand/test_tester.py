@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nand import NandTester, TEST_MODEL, FlashChip
+from repro.nand import NandTester, TEST_MODEL
 from repro.nand.tester import histogram_block
 
 

@@ -3,11 +3,7 @@
 import pytest
 
 from repro.nand import VENDOR_A
-from repro.perf.lifetime import (
-    HidingWorkload,
-    LifetimeEstimate,
-    estimate_lifetime,
-)
+from repro.perf.lifetime import HidingWorkload, estimate_lifetime
 
 GEO = VENDOR_A.geometry
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.analysis import DeviceSnapshot, SnapshotAdversary
-from repro.crypto import HidingKey
 from repro.ecc.page import PagePipeline
 from repro.ftl import Ftl
 from repro.hiding import STANDARD_CONFIG, VtHi
