@@ -1,10 +1,12 @@
-"""Save a parallel-scaling timing baseline to BENCH_parallel.json.
+"""Save the repo's timing baselines: BENCH_parallel.json + BENCH_chip.json.
 
 Runs the ported drivers (fig6 and reliability by default) at each worker
-count and dumps wall-clock timings plus machine context, so later PRs can
-diff performance against this baseline::
+count and dumps wall-clock timings plus machine context, then runs the
+chip-kernel benchmark (``bench_chip.collect``), so later PRs can diff
+performance against one consistent machine snapshot::
 
     PYTHONPATH=src python benchmarks/save_baseline.py [output.json]
+    PYTHONPATH=src python benchmarks/save_baseline.py --no-chip  # parallel only
 """
 
 from __future__ import annotations
@@ -15,6 +17,8 @@ import platform
 import sys
 import time
 from pathlib import Path
+
+import bench_chip
 
 from repro.experiments import fig6, reliability
 from repro.parallel import ParallelRunner, resolve_backend
@@ -80,12 +84,20 @@ def collect() -> dict:
 
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
+    with_chip = "--no-chip" not in argv
+    argv = [a for a in argv if a != "--no-chip"]
     output = Path(argv[0]) if argv else DEFAULT_OUTPUT
     baseline = collect()
     output.write_text(json.dumps(baseline, indent=2) + "\n")
     print(f"wrote {output}")
     for name, entry in baseline["experiments"].items():
         print(f"  {name}: {entry['seconds']} s, speedup {entry['speedup']}")
+    if with_chip:
+        chip_report = bench_chip.collect(bench_chip.FULL)
+        bench_chip.DEFAULT_OUTPUT.write_text(
+            json.dumps(chip_report, indent=2) + "\n"
+        )
+        print(f"wrote {bench_chip.DEFAULT_OUTPUT}")
     return 0
 
 

@@ -42,6 +42,7 @@ _NP_RANDOM_ALLOWED = frozenset(
         "PCG64",
         "Philox",
         "MT19937",
+        "SFC64",
     }
 )
 

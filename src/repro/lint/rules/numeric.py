@@ -1,13 +1,14 @@
-"""NUM001 — dtype discipline in the ``repro.ecc`` kernels.
+"""NUM001 — dtype discipline in the ``repro.ecc`` and ``repro.nand`` kernels.
 
 The vectorised BCH hot path (DESIGN §8) works in int16 GF elements end
-to end; its correctness proofs (batch == scalar, bit-for-bit) assume no
-silent widening.  An array constructor without an explicit ``dtype=``
-defaults to the platform C long (``np.arange``/``np.array`` of ints:
-int32 on Windows, int64 on Linux), which both breaks cross-platform
-bit-identity and silently widens int16 pipelines at the first mixed
-operation.  ``dtype=int`` has the same platform dependence spelled
-differently.
+to end, and the chip simulator's block-level kernels (DESIGN §11) keep
+voltages float32 and latent fields float64 end to end; their correctness
+proofs (batch == scalar, bit-for-bit) assume no silent widening.  An
+array constructor without an explicit ``dtype=`` defaults to the
+platform C long (``np.arange``/``np.array`` of ints: int32 on Windows,
+int64 on Linux), which both breaks cross-platform bit-identity and
+silently widens fixed-width pipelines at the first mixed operation.
+``dtype=int`` has the same platform dependence spelled differently.
 """
 
 from __future__ import annotations
@@ -31,8 +32,9 @@ _CONSTRUCTORS = {
     "numpy.frombuffer": 1,
 }
 
-#: Modules the rule applies to (the int16/GF kernel package).
-_SCOPE_PREFIX = "repro.ecc"
+#: Packages the rule applies to: the int16/GF kernel package and the
+#: float32-voltage / float64-latent chip kernels.
+_SCOPE_PREFIXES = ("repro.ecc", "repro.nand")
 
 
 def _dtype_argument(node: ast.Call, positional_slot: int) -> ast.AST | None:
@@ -49,17 +51,17 @@ class MissingDtypeRule(Rule):
     """NUM001: numpy constructor in ecc/ without an explicit exact dtype."""
 
     code = "NUM001"
-    name = "ecc-dtype-discipline"
+    name = "kernel-dtype-discipline"
     severity = Severity.ERROR
     description = (
-        "np.array/zeros/ones/empty/full/arange/frombuffer in repro.ecc "
-        "without an explicit dtype (or with platform-dependent dtype=int): "
-        "defaults follow the platform C long and silently widen the int16 "
-        "GF kernels"
+        "np.array/zeros/ones/empty/full/arange/frombuffer in repro.ecc or "
+        "repro.nand without an explicit dtype (or with platform-dependent "
+        "dtype=int): defaults follow the platform C long and silently "
+        "widen the fixed-width kernels"
     )
 
     def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
-        if not module.modname.startswith(_SCOPE_PREFIX):
+        if not module.modname.startswith(_SCOPE_PREFIXES):
             return
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
@@ -75,8 +77,8 @@ class MissingDtypeRule(Rule):
                     node.lineno,
                     node.col_offset,
                     f"{short}() without an explicit dtype: the default "
-                    f"follows the platform C long and widens the int16 GF "
-                    f"kernels; state the dtype",
+                    f"follows the platform C long and widens the "
+                    f"fixed-width kernels; state the dtype",
                 )
             elif isinstance(dtype, ast.Name) and dtype.id == "int":
                 yield self.finding(

@@ -20,11 +20,14 @@ from .geometry import ChipGeometry
 from .mlc import MlcView, bits_to_levels, levels_to_bits
 from .noise import (
     PageLevels,
+    PageLevelsBatch,
     erased_tail_exceedance,
     page_levels,
     programmed_underflow,
     sample_erased,
+    sample_erased_batch,
     sample_programmed,
+    sample_programmed_batch,
 )
 from .onfi import Command, OnfiBus
 from .params import (
@@ -68,6 +71,7 @@ __all__ = [
     "OpCounters",
     "OpMeasurement",
     "PageLevels",
+    "PageLevelsBatch",
     "PartialProgramModel",
     "ProgramError",
     "RetentionModel",
@@ -88,7 +92,9 @@ __all__ = [
     "page_levels",
     "programmed_underflow",
     "sample_erased",
+    "sample_erased_batch",
     "sample_programmed",
+    "sample_programmed_batch",
     "scaled_geometry",
     "scaled_model",
 ]

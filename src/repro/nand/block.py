@@ -84,6 +84,21 @@ class BlockState:
         #: signal fades relative to wear accumulated *after* encoding.
         self.page_stress_pec: dict = {}
 
+        # Lazy per-page latent caches, all scoped to the current erase
+        # epoch (and, for pp_responses, to the current PEC/trap state —
+        # both of which only change through an erase).  Materialised on
+        # first use by the chip's kernels and cleared wholesale by
+        # :meth:`reset_for_erase`, so a cached value can never outlive
+        # the (page, epoch) physics it encodes.
+        #: page -> :class:`repro.nand.retention.LeakField`.
+        self.leak_fields: dict = {}
+        #: page -> latent disturb uniforms (float64, one per cell).
+        self.disturb_fields: dict = {}
+        #: page -> (clock, leakage-adjusted float32 voltage row).
+        self.effective_rows: dict = {}
+        #: page -> per-cell partial-program response factors (float64).
+        self.pp_responses: dict = {}
+
     def trap_for_page(self, page: int) -> np.ndarray:
         """Trapped-charge array for a page, allocating on first use."""
         trap = self.page_trap.get(page)
@@ -92,17 +107,35 @@ class BlockState:
             self.page_trap[page] = trap
         return trap
 
-    def reset_for_erase(self, erased_residue: np.ndarray) -> None:
-        """Apply the state changes of an erase operation."""
+    def invalidate_page_voltages(self, page: int) -> None:
+        """Drop the cached effective-voltage row after a direct write.
+
+        Must be called by any code that mutates ``voltages[page]`` outside
+        an erase (programs, partial-program pulses, hiding-layer writes);
+        the latent leak/disturb caches stay valid because they depend only
+        on the (page, epoch) label, not on the stored voltages.
+        """
+        self.effective_rows.pop(page, None)
+
+    def reset_for_erase(self) -> None:
+        """Apply the state changes of an erase operation.
+
+        The voltage array is *not* touched here: the erase operation
+        itself repopulates every row with fresh erased-state draws (see
+        ``FlashChip.erase_block``) right after the epoch bump.
+        """
         self.pec += 1
         self.erase_epoch += 1
-        self.voltages[...] = erased_residue
         self.page_programmed[:] = False
         self.page_program_time[:] = 0.0
         self.page_pec[:] = 0
         self.page_epoch[:] = 0
         self.page_exposure[:] = 0.0
         self.page_pp_pulses[:] = 0
+        self.leak_fields.clear()
+        self.disturb_fields.clear()
+        self.effective_rows.clear()
+        self.pp_responses.clear()
 
     def mean_offset_for_page(self, page: int) -> float:
         return float(self.mean_offset + self.page_offsets[page])

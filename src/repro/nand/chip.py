@@ -31,13 +31,25 @@ from typing import Dict, Optional, Sequence, Union
 import numpy as np
 
 from .. import obs
-from ..rng import substream
+from ..rng import derive_seeds, substream
 from .block import BlockState
 from .errors import AddressError, EraseError, ProgramError, WearOutError
 from .geometry import ChipGeometry
-from .noise import PageLevels, page_levels, sample_erased, sample_programmed
+from .noise import (
+    PageLevels,
+    PageLevelsBatch,
+    page_levels,
+    sample_erased_batch,
+    sample_programmed_batch,
+)
 from .params import ChipParams
-from .retention import disturb_flip_mask, leakage
+from .retention import (
+    LeakField,
+    disturb_field,
+    disturb_flips_from_field,
+    leak_field,
+    leakage_from_field,
+)
 
 DataLike = Union[bytes, bytearray, np.ndarray]
 
@@ -163,6 +175,9 @@ class FlashChip:
             state = BlockState(
                 index, self.geometry, self.params, self.seed, self._chip_offset
             )
+            # NAND ships erased: a freshly manufactured block carries the
+            # epoch-0 erased-state voltages (deterministic in seed/block).
+            self._fill_erased(state)
             if index in self.factory_bad_blocks:
                 state.bad = True
             self._blocks[index] = state
@@ -212,12 +227,25 @@ class FlashChip:
                 f"block {block} exceeded endurance "
                 f"({self.params.wear.endurance_pec} PEC)"
             )
-        rng = substream(self.seed, "erase", block, state.erase_epoch + 1)
-        residue = rng.normal(
-            1.0, 1.0, size=state.voltages.shape
-        ).astype(np.float32)
-        state.reset_for_erase(residue)
+        state.reset_for_erase()
+        self._fill_erased(state)
         self._account("erase")
+
+    def _fill_erased(self, state: BlockState) -> None:
+        """Repopulate a block with erased-state draws for its epoch.
+
+        Runs at manufacture (epoch 0) and after every erase, at the
+        block's *current* wear level — PEC changes only through erase, so
+        these levels are exactly the ones any program in the open epoch
+        would use.  One independent substream per page, derived in a
+        single batched pass.
+        """
+        pages = range(self.geometry.pages_per_block)
+        rngs = self._kernel_rngs(
+            ("erase", state.index, state.erase_epoch), pages
+        )
+        levels = self._page_levels_batch(state, pages)
+        sample_erased_batch(rngs, levels, state.voltages)
 
     def program_page(self, block: int, page: int, data: DataLike) -> None:
         """Program public data into an erased page.
@@ -237,26 +265,7 @@ class FlashChip:
                 f"page {page} of block {block} already programmed; "
                 "NAND requires erase before reprogram"
             )
-        levels = self._page_levels(state, page)
-        rng = substream(
-            self.seed, "program", block, page, state.erase_epoch
-        )
-        n = self.geometry.cells_per_page
-        voltages = np.empty(n, dtype=np.float32)
-        ones = bits == 1
-        n_ones = int(ones.sum())
-        if n_ones:
-            voltages[ones] = sample_erased(rng, n_ones, levels)
-        if n_ones < n:
-            voltages[~ones] = sample_programmed(rng, n - n_ones, levels)
-        state.voltages[page] = voltages
-        state.page_programmed[page] = True
-        state.page_program_time[page] = self.clock
-        state.page_pec[page] = state.pec
-        state.page_epoch[page] = state.erase_epoch
-        self._expose_neighbours(
-            state, page, self.params.disturb.program_flip_prob
-        )
+        self._program_rows(state, block, [page], bits[np.newaxis, :])
         self._account("program")
 
     def read_page(
@@ -324,31 +333,43 @@ class FlashChip:
             raise ProgramError(
                 f"got {len(data)} payloads for {len(pages)} pages"
             )
-        n = self.geometry.cells_per_page
         all_bits = np.stack([self._as_bits(d) for d in data])
-        voltages = np.empty((len(pages), n), dtype=np.float32)
-        for i, page in enumerate(pages):
-            # Per-page RNG substreams keep the batch bit-identical to the
-            # serial loop; the sampling itself is vectorised over cells.
-            levels = self._page_levels(state, int(page))
-            rng = substream(
-                self.seed, "program", block, int(page), state.erase_epoch
-            )
-            ones = all_bits[i] == 1
-            n_ones = int(ones.sum())
-            if n_ones:
-                voltages[i, ones] = sample_erased(rng, n_ones, levels)
-            if n_ones < n:
-                voltages[i, ~ones] = sample_programmed(rng, n - n_ones, levels)
-        state.voltages[pages] = voltages
-        state.page_programmed[pages] = True
-        state.page_program_time[pages] = self.clock
-        state.page_pec[pages] = state.pec
-        state.page_epoch[pages] = state.erase_epoch
-        flip_prob = self.params.disturb.program_flip_prob
-        for page in pages:
-            self._expose_neighbours(state, int(page), flip_prob)
+        self._program_rows(state, block, pages, all_bits)
         self._account("program", len(pages))
+
+    def _program_rows(
+        self,
+        state: BlockState,
+        block: int,
+        pages: Sequence[int],
+        all_bits: np.ndarray,
+    ) -> None:
+        """Shared program kernel for the scalar and batched entry points.
+
+        Only the '0' cells of each page draw randomness: bit value 1
+        leaves the cell at the erased-state voltage the opening erase
+        already established (the levels match — PEC changes only through
+        erase).  Per-page RNG substreams keep any batch shape, including
+        the one-row batches :meth:`program_page` issues, bit-identical.
+        """
+        page_list = [int(p) for p in pages]
+        rngs = self._kernel_rngs(
+            ("program", block), page_list, (state.erase_epoch,)
+        )
+        levels = self._page_levels_batch(state, page_list)
+        rows = [state.voltages[p] for p in page_list]
+        zero_cells = [np.flatnonzero(all_bits[i] == 0) for i in range(len(rows))]
+        sample_programmed_batch(rngs, levels, zero_cells, rows)
+        index = np.asarray(page_list, dtype=np.int64)
+        state.page_programmed[index] = True
+        state.page_program_time[index] = self.clock
+        state.page_pec[index] = state.pec
+        state.page_epoch[index] = state.erase_epoch
+        for page in page_list:
+            state.invalidate_page_voltages(page)
+        self._expose_neighbours_batch(
+            state, page_list, self.params.disturb.program_flip_prob
+        )
 
     def probe_voltages_batch(
         self, block: int, pages: Sequence[int]
@@ -388,7 +409,9 @@ class FlashChip:
         for i, page in enumerate(pages):
             flip = self._disturb_mask(state, int(page))
             if flip.any():
-                bits[i, flip] ^= 1
+                # xor through the row view: in-place on 1-D, instead of
+                # the much slower (int, bool-mask) 2-D fancy assignment.
+                bits[i][flip] ^= 1
         state.page_exposure[pages] += self.params.disturb.read_flip_prob
         self._account("read", len(pages))
         return bits
@@ -397,9 +420,16 @@ class FlashChip:
         pages = np.asarray(pages, dtype=np.int64)
         if pages.ndim != 1 or pages.size == 0:
             raise AddressError("pages must be a non-empty 1-D sequence")
-        for page in pages:
-            self.geometry.check_page(block, int(page))
-        if np.unique(pages).size != pages.size:
+        out_of_range = (pages < 0) | (pages >= self.geometry.pages_per_block)
+        if out_of_range.any():
+            # Delegate to check_page for the first offender in list order,
+            # so the error message matches the serial loop's exactly.
+            first = int(pages[int(np.argmax(out_of_range))])
+            self.geometry.check_page(block, first)
+        else:
+            self.geometry.check_block(block)
+        ordered = np.sort(pages)
+        if (ordered[1:] == ordered[:-1]).any():
             raise AddressError("batched pages must be distinct")
         return pages
 
@@ -407,25 +437,9 @@ class FlashChip:
         self, state: BlockState, pages: np.ndarray
     ) -> np.ndarray:
         """Stacked :meth:`_effective_voltages` rows for distinct pages."""
-        voltages = state.voltages[pages]  # fancy indexing copies
-        for i, page in enumerate(pages):
-            page = int(page)
-            if not state.page_programmed[page]:
-                continue
-            elapsed = self.clock - state.page_program_time[page]
-            if elapsed <= 0:
-                continue
-            voltages[i] -= leakage(
-                self.params.retention,
-                chip_seed=self.seed,
-                block=state.index,
-                page=page,
-                epoch=int(state.page_epoch[page]),
-                elapsed_s=elapsed,
-                pec_at_program=int(state.page_pec[page]),
-                n_cells=self.geometry.cells_per_page,
-            )
-        return voltages
+        return np.stack(
+            [self._effective_voltages(state, int(page)) for page in pages]
+        )
 
     # ------------------------------------------------------------------
     # vendor (NDA) operations
@@ -492,6 +506,7 @@ class FlashChip:
         # Charge per pulse is bounded: clip to [0, mean + 2 std].
         np.clip(pulses, 0.0, mean + 2.0 * std, out=pulses)
         state.voltages[page, cells] += (response * pulses).astype(np.float32)
+        state.invalidate_page_voltages(page)
         state.page_pp_pulses[page] += 1
         self._expose_neighbours(
             state, page, self.params.disturb.pp_flip_prob * fraction
@@ -510,12 +525,20 @@ class FlashChip:
         """
         pattern_rng = substream(self.seed, "cycle-pattern", block)
         n_cells = self.geometry.cells_per_page
+        n_pages = self.geometry.pages_per_block
+        all_pages = range(n_pages)
         for _ in range(cycles):
             self.erase_block(block)
             if program:
-                for page in range(self.geometry.pages_per_block):
-                    bits = (pattern_rng.random(n_cells) < 0.5).astype(np.uint8)
-                    self.program_page(block, page, bits)
+                # One block-shaped draw per cycle.  numpy fills a
+                # (pages, cells) array row-major, so this is the same
+                # uniform sequence as pages_per_block consecutive
+                # per-page draws from the single pattern stream — the
+                # historical per-page loop's patterns, bit for bit.
+                draws = pattern_rng.random((n_pages, n_cells))
+                self.program_pages(
+                    block, all_pages, (draws < 0.5).astype(np.uint8)
+                )
         if program and cycles:
             self.erase_block(block)
 
@@ -551,7 +574,7 @@ class FlashChip:
             raise ProgramError(
                 f"bit array must have shape ({n_cells},), got {bits.shape}"
             )
-        if not np.isin(bits, (0, 1)).all():
+        if not ((bits == 0) | (bits == 1)).all():
             raise ProgramError("bit array must contain only 0 and 1")
         return bits.astype(np.uint8)
 
@@ -565,25 +588,88 @@ class FlashChip:
             tail_scale_mult=state.tail_scale_mult_for_page(page),
         )
 
+    def _page_levels_batch(
+        self, state: BlockState, pages: Sequence[int]
+    ) -> PageLevelsBatch:
+        """Struct-of-arrays levels for a batch of pages (memoized rows)."""
+        return PageLevelsBatch.from_levels(
+            [self._page_levels(state, int(page)) for page in pages]
+        )
+
+    def _kernel_rngs(
+        self,
+        prefix: Sequence,
+        pages: Sequence[int],
+        suffix: Sequence = (),
+    ) -> list:
+        """Independent per-page generators for a block-level kernel.
+
+        Seeds come from one batched SHA-256 pass (:func:`derive_seeds`,
+        same label scheme as :func:`repro.rng.substream`); the streams use
+        SFC64, whose float32 normal fill is the fastest this workload has
+        measured.  The generator family is part of the documented stream
+        layout (DESIGN §11): changing it changes drawn voltages.
+        """
+        seeds = derive_seeds(self.seed, prefix, pages, suffix)
+        return [
+            np.random.Generator(np.random.SFC64(int(seed))) for seed in seeds
+        ]
+
     def _effective_voltages(self, state: BlockState, page: int) -> np.ndarray:
-        """Stored voltages minus retention leakage at the current clock."""
+        """Stored voltages minus retention leakage at the current clock.
+
+        Rows that need a leakage adjustment are cached per (page, clock):
+        repeated reads of an unchanged page at the same time cost a dict
+        lookup, not a leakage evaluation.  Callers must treat the returned
+        array as read-only (it may alias the store or the cache).
+        """
         voltages = state.voltages[page]
         if not state.page_programmed[page]:
             return voltages
         elapsed = self.clock - state.page_program_time[page]
         if elapsed <= 0:
             return voltages
-        leak = leakage(
+        cached = state.effective_rows.get(page)
+        if cached is not None and cached[0] == self.clock:
+            return cached[1]
+        leak = leakage_from_field(
             self.params.retention,
-            chip_seed=self.seed,
-            block=state.index,
-            page=page,
-            epoch=int(state.page_epoch[page]),
+            self._leak_field(state, page),
             elapsed_s=elapsed,
-            pec_at_program=int(state.page_pec[page]),
-            n_cells=self.geometry.cells_per_page,
         )
-        return voltages - leak
+        row = voltages - leak
+        state.effective_rows[page] = (self.clock, row)
+        return row
+
+    def _leak_field(self, state: BlockState, page: int) -> LeakField:
+        """The page's cached leak latents (fixed for its program epoch)."""
+        field = state.leak_fields.get(page)
+        if field is None:
+            field = leak_field(
+                self.params.retention,
+                chip_seed=self.seed,
+                block=state.index,
+                page=page,
+                epoch=int(state.page_epoch[page]),
+                pec_at_program=int(state.page_pec[page]),
+                n_cells=self.geometry.cells_per_page,
+            )
+            state.leak_fields[page] = field
+        return field
+
+    def _disturb_field(self, state: BlockState, page: int) -> np.ndarray:
+        """The page's cached disturb latents (fixed for its program epoch)."""
+        field = state.disturb_fields.get(page)
+        if field is None:
+            field = disturb_field(
+                chip_seed=self.seed,
+                block=state.index,
+                page=page,
+                epoch=int(state.page_epoch[page]),
+                n_cells=self.geometry.cells_per_page,
+            )
+            state.disturb_fields[page] = field
+        return field
 
     def _disturb_mask(self, state: BlockState, page: int) -> np.ndarray:
         if not state.page_programmed[page]:
@@ -596,13 +682,10 @@ class FlashChip:
             * state.ber_mult
         )
         probability = base + float(state.page_exposure[page])
-        return disturb_flip_mask(
-            chip_seed=self.seed,
-            block=state.index,
-            page=page,
-            epoch=int(state.page_epoch[page]),
-            flip_probability=probability,
-            n_cells=self.geometry.cells_per_page,
+        if probability <= 0:
+            return np.zeros(self.geometry.cells_per_page, dtype=bool)
+        return disturb_flips_from_field(
+            self._disturb_field(state, page), probability
         )
 
     def _pp_response(self, block: int, page: int) -> np.ndarray:
@@ -615,9 +698,16 @@ class FlashChip:
           as general wear accumulates (worn cells all carry trapped charge,
           masking the deliberate signal — why PT-HI degrades with PEC);
         * a per-erase-epoch wear jitter that grows with PEC.
+
+        Cached per page until the next erase: every input (PEC, epoch,
+        trap state) only changes through an erase, and apply_stress —
+        which mutates the trap — always erases before returning.
         """
-        pp = self.params.partial_program
         state = self._block(block)
+        cached = state.pp_responses.get(page)
+        if cached is not None:
+            return cached
+        pp = self.params.partial_program
         rng = substream(self.seed, "pp-response", block, page)
         n = self.geometry.cells_per_page
         response = rng.lognormal(0.0, pp.response_sigma, n)
@@ -639,6 +729,7 @@ class FlashChip:
             )
             gain = pp.trap_gain / (1.0 + pec_since / pp.trap_decay_pec)
             response = response * (1.0 + gain * trap)
+        state.pp_responses[page] = response
         return response
 
     # ------------------------------------------------------------------
@@ -700,6 +791,35 @@ class FlashChip:
             for neighbour in (page - offset, page + offset):
                 if 0 <= neighbour < self.geometry.pages_per_block:
                     state.page_exposure[neighbour] += flip_prob
+
+    def _expose_neighbours_batch(
+        self, state: BlockState, pages: Sequence[int], flip_prob: float
+    ) -> None:
+        """Accumulate program/PP disturb onto neighbours of many pages.
+
+        Builds the neighbour index list in exactly the order the serial
+        per-page loop visits it and applies one unbuffered scatter-add
+        (``np.add.at``).  Each hit adds the same constant, so the
+        accumulated float sequence per page — and hence the exposure
+        value — is bit-identical to the serial loop's.
+        """
+        if flip_prob <= 0:
+            return
+        distance = self.params.disturb.neighbour_distance
+        n_pages = self.geometry.pages_per_block
+        targets = [
+            neighbour
+            for page in pages
+            for offset in range(1, distance + 1)
+            for neighbour in (page - offset, page + offset)
+            if 0 <= neighbour < n_pages
+        ]
+        if targets:
+            np.add.at(
+                state.page_exposure,
+                np.asarray(targets, dtype=np.int64),
+                flip_prob,
+            )
 
     def _account(self, op: str, count: int = 1) -> None:
         costs = self.params.costs

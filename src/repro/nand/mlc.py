@@ -105,6 +105,7 @@ class MlcView:
                 count,
             ).astype(np.float32)
         state.voltages[page] = voltages
+        state.invalidate_page_voltages(page)
         state.page_programmed[page] = True
         state.page_program_time[page] = chip.clock
         state.page_pec[page] = state.pec

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Sequence
 
 import numpy as np
 
@@ -94,6 +95,118 @@ def _page_levels_cached(
         programmed_mean=voltage.programmed_mean + mean_offset + programmed_shift,
         programmed_std=voltage.programmed_std * widen,
     )
+
+
+@dataclass(frozen=True)
+class PageLevelsBatch:
+    """Struct-of-arrays :class:`PageLevels` for a batch of pages.
+
+    Each field is a float64 vector with one entry per page, in batch
+    order.  The block-level kernels below index these vectors instead of
+    unpacking one frozen :class:`PageLevels` per page in the hot loop.
+    """
+
+    erased_core_mean: np.ndarray
+    erased_core_std: np.ndarray
+    erased_tail_frac: np.ndarray
+    erased_tail_start: np.ndarray
+    erased_tail_scale: np.ndarray
+    erased_tail_span: np.ndarray
+    programmed_mean: np.ndarray
+    programmed_std: np.ndarray
+
+    @classmethod
+    def from_levels(cls, levels: Sequence[PageLevels]) -> "PageLevelsBatch":
+        return cls(
+            *(
+                np.array([getattr(lv, field) for lv in levels], dtype=np.float64)
+                for field in (
+                    "erased_core_mean", "erased_core_std", "erased_tail_frac",
+                    "erased_tail_start", "erased_tail_scale", "erased_tail_span",
+                    "programmed_mean", "programmed_std",
+                )
+            )
+        )
+
+    def __len__(self) -> int:
+        return self.erased_core_mean.size
+
+    def row(self, i: int) -> PageLevels:
+        return PageLevels(
+            erased_core_mean=float(self.erased_core_mean[i]),
+            erased_core_std=float(self.erased_core_std[i]),
+            erased_tail_frac=float(self.erased_tail_frac[i]),
+            erased_tail_start=float(self.erased_tail_start[i]),
+            erased_tail_scale=float(self.erased_tail_scale[i]),
+            erased_tail_span=float(self.erased_tail_span[i]),
+            programmed_mean=float(self.programmed_mean[i]),
+            programmed_std=float(self.programmed_std[i]),
+        )
+
+
+def sample_erased_batch(
+    rngs: Sequence[np.random.Generator],
+    levels: PageLevelsBatch,
+    rows: Sequence[np.ndarray],
+) -> None:
+    """Fill float32 voltage rows with the erased-state mixture, in place.
+
+    Row ``i`` is drawn entirely from ``rngs[i]`` with a fixed recipe
+    (the batched-RNG stream layout, DESIGN §11):
+
+    1. ``standard_normal(cells, float32)`` — the near-zero bulk, drawn
+       straight into the row and scaled in place;
+    2. ``random(cells, float32)`` — one uniform per cell driving the
+       charged-tail mixture: ``u < tail_frac`` selects tail membership,
+       and ``u / tail_frac`` (uniform conditional on selection) drives
+       the truncated-exponential magnitude through its inverse CDF.
+
+    The mixture matches :func:`sample_erased` exactly in distribution;
+    reusing the selection uniform for the magnitude saves a second
+    full-page draw without correlating surviving bulk cells.
+    """
+    for i, rng in enumerate(rngs):
+        row = rows[i]
+        rng.standard_normal(dtype=np.float32, out=row)
+        row *= np.float32(levels.erased_core_std[i])
+        row += np.float32(levels.erased_core_mean[i])
+        frac = float(levels.erased_tail_frac[i])
+        u = rng.random(row.size, dtype=np.float32)
+        if frac <= 0.0:
+            continue
+        tail = np.flatnonzero(u < np.float32(frac))
+        if not tail.size:
+            continue
+        scale = float(levels.erased_tail_scale[i])
+        span = float(levels.erased_tail_span[i])
+        norm = np.float32(1.0 - np.exp(-span / scale))
+        conditional = u[tail] * np.float32(1.0 / frac)
+        row[tail] = np.float32(levels.erased_tail_start[i]) + np.float32(
+            -scale
+        ) * np.log1p(-conditional * norm)
+
+
+def sample_programmed_batch(
+    rngs: Sequence[np.random.Generator],
+    levels: PageLevelsBatch,
+    cell_indices: Sequence[np.ndarray],
+    rows: Sequence[np.ndarray],
+) -> None:
+    """Charge the selected cells of each row to the programmed level.
+
+    Row ``i`` draws ``standard_normal(len(cell_indices[i]), float32)``
+    from ``rngs[i]`` — nothing else — and scatters the affine-transformed
+    result into ``rows[i][cell_indices[i]]``.  Unselected cells are left
+    untouched: they keep the erased-state voltages established by the
+    erase that opened the epoch, which is how physical NAND programming
+    works (only '0' cells receive charge).
+    """
+    for i, rng in enumerate(rngs):
+        idx = cell_indices[i]
+        z = rng.standard_normal(idx.size, dtype=np.float32)
+        z *= np.float32(levels.programmed_std[i])
+        z += np.float32(levels.programmed_mean[i])
+        rows[i][idx] = z
 
 
 def sample_truncated_exponential(

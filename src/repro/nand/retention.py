@@ -20,6 +20,8 @@ repeated reads observe consistent, monotonically-degrading physics.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..rng import uniform_field
@@ -44,6 +46,68 @@ def time_factor(model: RetentionModel, elapsed_s: float) -> float:
     )
 
 
+@dataclass(frozen=True)
+class LeakField:
+    """Cached leak latents for one (page, program epoch).
+
+    Collapses the two full-page latent uniform fields ("leak-select" and
+    "leak-magnitude") into the only data any elapsed time needs: which
+    cells are leaky and the negated log of their magnitude uniforms.
+    Building it costs the same as one :func:`leakage` call; every later
+    evaluation is a scatter-add over just the leaky cells.
+
+    ``scale * neg_log_magnitude`` is bit-identical to the historical
+    ``-scale * log(magnitude)`` (IEEE-754 multiplication commutes with
+    negation of either operand), so caching changes no output.
+    """
+
+    n_cells: int
+    leaky_idx: np.ndarray
+    neg_log_magnitude: np.ndarray
+
+
+def leak_field(
+    model: RetentionModel,
+    *,
+    chip_seed: int,
+    block: int,
+    page: int,
+    epoch: int,
+    pec_at_program: int,
+    n_cells: int,
+) -> LeakField:
+    """Materialise the latent leak structure for a (page, epoch)."""
+    frac = leaky_fraction(model, pec_at_program)
+    select = uniform_field(chip_seed, "leak-select", block, page, epoch, size=n_cells)
+    magnitude = uniform_field(
+        chip_seed, "leak-magnitude", block, page, epoch, size=n_cells
+    )
+    leaky_idx = np.flatnonzero(select < frac)
+    neg_log_magnitude = -np.log(np.clip(magnitude[leaky_idx], 1e-300, None))
+    return LeakField(
+        n_cells=n_cells,
+        leaky_idx=leaky_idx,
+        neg_log_magnitude=neg_log_magnitude,
+    )
+
+
+def leakage_from_field(
+    model: RetentionModel, field: LeakField, *, elapsed_s: float
+) -> np.ndarray:
+    """Per-cell voltage loss at `elapsed_s`, from cached latents."""
+    factor = time_factor(model, elapsed_s)
+    if factor == 0.0:
+        return np.zeros(field.n_cells, dtype=np.float32)
+    scale = model.leak_scale_4mo * factor
+    leak = np.full(
+        field.n_cells, model.baseline_drift_4mo * factor, dtype=np.float64
+    )
+    if field.leaky_idx.size:
+        # Exponential magnitudes via inverse CDF on the latent uniforms.
+        leak[field.leaky_idx] += scale * field.neg_log_magnitude
+    return leak.astype(np.float32)
+
+
 def leakage(
     model: RetentionModel,
     *,
@@ -59,22 +123,43 @@ def leakage(
 
     Deterministic in all arguments and monotonically non-decreasing in
     `elapsed_s`, so reads are repeatable and cells never "heal".
+    Equivalent to :func:`leak_field` + :func:`leakage_from_field`, which
+    callers with repeated reads should prefer.
     """
-    factor = time_factor(model, elapsed_s)
-    if factor == 0.0:
+    if time_factor(model, elapsed_s) == 0.0:
         return np.zeros(n_cells, dtype=np.float32)
-    frac = leaky_fraction(model, pec_at_program)
-    select = uniform_field(chip_seed, "leak-select", block, page, epoch, size=n_cells)
-    magnitude = uniform_field(
-        chip_seed, "leak-magnitude", block, page, epoch, size=n_cells
+    field = leak_field(
+        model,
+        chip_seed=chip_seed,
+        block=block,
+        page=page,
+        epoch=epoch,
+        pec_at_program=pec_at_program,
+        n_cells=n_cells,
     )
-    scale = model.leak_scale_4mo * factor
-    leak = np.full(n_cells, model.baseline_drift_4mo * factor, dtype=np.float64)
-    leaky = select < frac
-    if leaky.any():
-        # Exponential magnitudes via inverse CDF on the latent uniforms.
-        leak[leaky] += -scale * np.log(np.clip(magnitude[leaky], 1e-300, None))
-    return leak.astype(np.float32)
+    return leakage_from_field(model, field, elapsed_s=elapsed_s)
+
+
+def disturb_field(
+    *, chip_seed: int, block: int, page: int, epoch: int, n_cells: int
+) -> np.ndarray:
+    """The latent disturb-susceptibility uniforms for one (page, epoch).
+
+    Cache-friendly counterpart of :func:`disturb_flip_mask`: materialise
+    the field once per program epoch, then threshold it per read with
+    :func:`disturb_flips_from_field` (a single vector compare) instead of
+    re-deriving the generator and re-drawing the field on every read.
+    """
+    return uniform_field(chip_seed, "disturb", block, page, epoch, size=n_cells)
+
+
+def disturb_flips_from_field(
+    field: np.ndarray, flip_probability: float
+) -> np.ndarray:
+    """Boolean flip mask from a cached latent field (see disturb_flip_mask)."""
+    if flip_probability <= 0:
+        return np.zeros(field.size, dtype=bool)
+    return field < min(flip_probability, 1.0)
 
 
 def disturb_flip_mask(
@@ -94,5 +179,7 @@ def disturb_flip_mask(
     """
     if flip_probability <= 0:
         return np.zeros(n_cells, dtype=bool)
-    field = uniform_field(chip_seed, "disturb", block, page, epoch, size=n_cells)
-    return field < min(flip_probability, 1.0)
+    field = disturb_field(
+        chip_seed=chip_seed, block=block, page=page, epoch=epoch, n_cells=n_cells
+    )
+    return disturb_flips_from_field(field, flip_probability)

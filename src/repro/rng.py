@@ -15,11 +15,23 @@ is stable across numpy versions.
 from __future__ import annotations
 
 import hashlib
-from typing import Union
+from typing import Iterable, Sequence, Union
 
 import numpy as np
 
 SeedPart = Union[int, str, bytes]
+
+
+def _encode_part(part: SeedPart) -> bytes:
+    if isinstance(part, bytes):
+        encoded = part
+    elif isinstance(part, str):
+        encoded = part.encode("utf-8")
+    elif isinstance(part, (int, np.integer)):
+        encoded = int(part).to_bytes(16, "little", signed=True)
+    else:
+        raise TypeError(f"unsupported seed part type: {type(part)!r}")
+    return len(encoded).to_bytes(4, "little") + encoded
 
 
 def derive_seed(root: int, *parts: SeedPart) -> int:
@@ -31,17 +43,36 @@ def derive_seed(root: int, *parts: SeedPart) -> int:
     hasher = hashlib.sha256()
     hasher.update(int(root).to_bytes(16, "little", signed=True))
     for part in parts:
-        if isinstance(part, bytes):
-            encoded = part
-        elif isinstance(part, str):
-            encoded = part.encode("utf-8")
-        elif isinstance(part, (int, np.integer)):
-            encoded = int(part).to_bytes(16, "little", signed=True)
-        else:
-            raise TypeError(f"unsupported seed part type: {type(part)!r}")
-        hasher.update(len(encoded).to_bytes(4, "little"))
-        hasher.update(encoded)
+        hasher.update(_encode_part(part))
     return int.from_bytes(hasher.digest()[:8], "little")
+
+
+def derive_seeds(
+    root: int,
+    prefix: Sequence[SeedPart],
+    varying: Iterable[SeedPart],
+    suffix: Sequence[SeedPart] = (),
+) -> np.ndarray:
+    """Derive many substream seeds that differ in one label position.
+
+    Returns a uint64 array where entry ``i`` equals
+    ``derive_seed(root, *prefix, varying[i], *suffix)``.  The shared
+    ``(root, *prefix)`` portion is hashed once and forked per element
+    (``hasher.copy()``), so deriving a block's worth of per-page seeds is
+    one pass instead of a SHA-256 from scratch per page.
+    """
+    base = hashlib.sha256()
+    base.update(int(root).to_bytes(16, "little", signed=True))
+    for part in prefix:
+        base.update(_encode_part(part))
+    tail = b"".join(_encode_part(part) for part in suffix)
+    seeds: list = []
+    for part in varying:
+        hasher = base.copy()
+        hasher.update(_encode_part(part))
+        hasher.update(tail)
+        seeds.append(int.from_bytes(hasher.digest()[:8], "little"))
+    return np.asarray(seeds, dtype=np.uint64)
 
 
 def substream(root: int, *parts: SeedPart) -> np.random.Generator:
@@ -57,3 +88,26 @@ def uniform_field(root: int, *parts: SeedPart, size: int) -> np.ndarray:
     of the same page observe consistent physics.
     """
     return substream(root, *parts).random(size, dtype=np.float64)
+
+
+def uniform_fields(
+    root: int,
+    prefix: Sequence[SeedPart],
+    varying: Sequence[SeedPart],
+    suffix: Sequence[SeedPart] = (),
+    *,
+    size: int,
+) -> np.ndarray:
+    """Stacked latent fields, one row per ``varying`` element.
+
+    Row ``i`` is bit-identical to
+    ``uniform_field(root, *prefix, varying[i], *suffix, size=size)`` —
+    batch consumers (the chip's block-level kernels) and single-page
+    consumers therefore observe the same latent physics.  Only the seed
+    derivation is batched; each row keeps its own independent generator.
+    """
+    seeds = derive_seeds(root, prefix, varying, suffix)
+    out = np.empty((len(seeds), size), dtype=np.float64)
+    for i, seed in enumerate(seeds):
+        np.random.default_rng(int(seed)).random(size, dtype=np.float64, out=out[i])
+    return out

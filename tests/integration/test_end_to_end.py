@@ -12,7 +12,7 @@ import pytest
 from repro.crypto import HidingKey
 from repro.ecc.page import PagePipeline
 from repro.ftl import Ftl
-from repro.hiding import STANDARD_CONFIG, VtHi
+from repro.hiding import STANDARD_CONFIG, VtHi, expected_charged_fraction
 from repro.ml import histogram_features
 from repro.nand import TEST_MODEL, FlashChip
 from repro.stego import HiddenVolume, RefreshPolicy, refresh_volume
@@ -121,5 +121,16 @@ def test_panic_erase_is_instant_and_total(device):
     delta = chip.counters.diff(before)
     assert delta.erases == 1
     assert delta.busy_time_s == pytest.approx(chip.params.costs.t_erase)
+    # The page is back to the erased-state mixture: fresh draws carrying
+    # no trace of the payload.  Cells above the hiding threshold are the
+    # natural charged tail (that tail is VT-HI's camouflage — its
+    # presence is what makes an erased page indistinguishable from one
+    # that never held hidden data), so check the *rate* matches nature
+    # rather than expecting a silent page.
     voltages = chip.probe_voltages(0, 0).astype(float)
-    assert (voltages < 10).all()  # nothing left above any threshold
+    assert (voltages < chip.params.voltage.slc_threshold).all()
+    natural = expected_charged_fraction(
+        chip.params, float(VOLUME_CFG.threshold)
+    )
+    charged = float((voltages > VOLUME_CFG.threshold).mean())
+    assert charged < 3 * natural + 1e-3

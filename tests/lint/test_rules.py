@@ -316,7 +316,7 @@ class TestObs001:
 
 
 # ----------------------------------------------------------------------
-# NUM001 — ecc dtype discipline
+# NUM001 — ecc/nand kernel dtype discipline
 
 
 class TestNum001:
@@ -363,7 +363,22 @@ class TestNum001:
         })
         assert lint(root) == []
 
-    def test_outside_ecc_not_flagged(self, project):
+    def test_bare_empty_in_nand_kernels(self, project):
+        root = project({
+            "src/repro/nand/kernels.py": src(
+                """
+                import numpy as np
+
+                def scratch(n):
+                    return np.empty(n)
+                """
+            ),
+        })
+        findings = lint(root)
+        assert codes(findings) == ["NUM001"]
+        assert "dtype" in findings[0].message
+
+    def test_outside_kernel_packages_not_flagged(self, project):
         root = project({
             "src/repro/perf/model2.py": src(
                 """

@@ -88,6 +88,40 @@ class TestProgramPages:
             chip.program_pages(0, [0, 1], [page_bits(chip, 0)])
 
 
+class TestCheckPagesMessages:
+    """The vectorised bounds check must keep the serial loop's exact
+    error text (callers match on it)."""
+
+    def test_out_of_range_page_message_matches_serial(self, chip):
+        bits = page_bits(chip, 0)
+        with pytest.raises(AddressError) as batch_err:
+            chip.program_pages(0, [0, PAGES_PER_BLOCK], [bits, bits])
+        with pytest.raises(AddressError) as serial_err:
+            chip.program_page(0, PAGES_PER_BLOCK, bits)
+        assert str(batch_err.value) == str(serial_err.value)
+
+    def test_negative_page_message_matches_serial(self, chip):
+        bits = page_bits(chip, 0)
+        with pytest.raises(AddressError) as batch_err:
+            chip.read_pages(0, [2, -1])
+        with pytest.raises(AddressError) as serial_err:
+            chip.read_page(0, -1)
+        assert str(batch_err.value) == str(serial_err.value)
+
+    def test_first_offender_in_list_order_wins(self, chip):
+        # Two bad pages: the message names the first one in list order,
+        # exactly as the serial loop would have failed.
+        with pytest.raises(AddressError) as err:
+            chip.probe_voltages_batch(0, [1, -3, PAGES_PER_BLOCK])
+        assert "-3" in str(err.value)
+
+    def test_read_batch_rejects_duplicates_and_empty(self, chip):
+        with pytest.raises(AddressError):
+            chip.read_pages(0, [2, 2])
+        with pytest.raises(AddressError):
+            chip.probe_voltages_batch(0, [])
+
+
 class TestProbeReadBatch:
     def test_probe_matches_stacked_probes(self):
         batch_chip, loop_chip = chip_pair()

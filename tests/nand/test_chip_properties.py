@@ -95,7 +95,10 @@ def test_erase_resets_all_state(seed):
     assert chip.block_pec(0) == pec_before + 1
     assert not chip.is_page_programmed(0, 0)
     assert (chip.read_page(0, 0) == 1).all()
-    assert chip.probe_voltages(0, 0).astype(float).mean() < 5
+    # Post-erase voltages follow the erased-state mixture: mean near the
+    # core level plus a little charged-tail mass, well under the SLC
+    # threshold.
+    assert chip.probe_voltages(0, 0).astype(float).mean() < 15
 
 
 @given(
