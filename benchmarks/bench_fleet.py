@@ -1,0 +1,205 @@
+"""Fleet coalescing throughput: naive vs batched scheduler → BENCH_fleet.json.
+
+Drives the same seeded synthetic workload (DESIGN §12) through the
+drive-fleet service twice — once with :class:`NaiveScheduler` (every
+queued request dispatched as its own single-request round) and once with
+:class:`CoalescingScheduler` (each shard's round gathered into the batch
+chip kernels and the batch ECC pipeline) — and reports:
+
+- drain wall-clock and aggregate hidden-payload MB/s per scheduler;
+- per-kind (write / read / mount) p50 / p99 completion latency;
+- the coalescing speedup at each fleet size.
+
+Every run first asserts the two schedulers are *semantically identical*:
+the sorted per-tenant ``Response.deterministic_view()`` streams must be
+bit-equal, so the speedup is pure scheduling, never a behaviour change.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py [output.json]
+    PYTHONPATH=src python benchmarks/bench_fleet.py --tiny      # CI smoke
+
+The full run checks the ISSUE 7 acceptance floor: coalesced aggregate
+MB/s >= 3x naive at every fleet size of 1000+ tenants.  ``--tiny``
+shrinks the fleet so the whole script runs in seconds and asserts a
+conservative 1.3x floor (small rounds coalesce less; the floor only
+guards against the batch path regressing below the naive one on CI).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.fleet import (
+    KINDS,
+    CoalescingScheduler,
+    FleetConfig,
+    FleetService,
+    NaiveScheduler,
+    WorkloadConfig,
+    generate_requests,
+)
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+
+#: Read-heavy mix: reads exercise the batch ECC decode pipeline, the
+#: component with the largest per-request overhead under naive dispatch.
+BENCH_MIX = (0.15, 0.65, 0.2)
+
+FULL = dict(
+    tenant_counts=(100, 1000, 5000),
+    n_shards=4,
+    ops_per_tenant=6,
+    seed=0,
+    arrival_seed=0,
+    mix=BENCH_MIX,
+)
+TINY = dict(
+    tenant_counts=(24,),
+    n_shards=2,
+    ops_per_tenant=4,
+    seed=0,
+    arrival_seed=0,
+    mix=BENCH_MIX,
+)
+
+#: ISSUE 7 acceptance: coalesced >= 3x naive aggregate MB/s at >= 1000
+#: tenants.  Applied to every full-run fleet size at or above the knee.
+FULL_FLOOR_TENANTS = 1000
+FULL_FLOOR = 3.0
+
+#: CI smoke floor at tiny fleet sizes, where rounds are small and the
+#: batch kernels amortise less.
+TINY_FLOOR = 1.3
+
+
+def _percentile_ms(values, q):
+    """Nearest-rank percentile of `values` (seconds), in milliseconds."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, -(-q * len(ordered) // 100))
+    return round(ordered[rank - 1] * 1e3, 3)
+
+
+def _run_fleet(scheduler, tenants, params):
+    workload = WorkloadConfig(
+        tenants=tenants,
+        ops_per_tenant=params["ops_per_tenant"],
+        seed=params["seed"],
+        arrival_seed=params["arrival_seed"],
+        mix=params["mix"],
+    )
+    service = FleetService(FleetConfig(
+        tenants=tenants,
+        n_shards=params["n_shards"],
+        seed=params["seed"],
+    ))
+    requests = list(generate_requests(workload))
+    for request in requests:
+        assert service.submit(request), "bench workload must fully admit"
+    start = time.perf_counter()
+    responses = service.drain(scheduler)
+    seconds = time.perf_counter() - start
+    payload_bytes = sum(
+        len(r.payload) for r in responses
+        if r.status == "ok" and r.kind in ("read", "write")
+    )
+    latency = {
+        kind: {
+            "count": len(stamps),
+            "p50_ms": _percentile_ms(stamps, 50),
+            "p99_ms": _percentile_ms(stamps, 99),
+        }
+        for kind in KINDS
+        for stamps in [[r.latency_s for r in responses if r.kind == kind]]
+    }
+    views = sorted(r.deterministic_view() for r in responses)
+    return {
+        "requests": len(requests),
+        "seconds": round(seconds, 4),
+        "mb_per_s": round(payload_bytes / seconds / 1e6, 5),
+        "latency": latency,
+    }, views
+
+
+def collect(params) -> dict:
+    sizes = {}
+    for tenants in params["tenant_counts"]:
+        naive, naive_views = _run_fleet(NaiveScheduler(), tenants, params)
+        coalesced, coalesced_views = _run_fleet(
+            CoalescingScheduler(), tenants, params
+        )
+        assert naive_views == coalesced_views, (
+            f"tenants={tenants}: per-tenant responses diverged between "
+            "schedulers — coalescing changed semantics"
+        )
+        speedup = round(coalesced["mb_per_s"] / naive["mb_per_s"], 2)
+        sizes[str(tenants)] = {
+            "naive": naive,
+            "coalesced": coalesced,
+            "speedup": speedup,
+            "bit_identical": True,
+        }
+    return {
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "workload": {k: v for k, v in params.items() if k != "tenant_counts"},
+        "tenant_counts": list(params["tenant_counts"]),
+        "fleets": sizes,
+    }
+
+
+def check_floors(report: dict, tiny: bool) -> None:
+    for tenants, entry in report["fleets"].items():
+        if tiny:
+            floor = TINY_FLOOR
+        elif int(tenants) >= FULL_FLOOR_TENANTS:
+            floor = FULL_FLOOR
+        else:
+            continue
+        assert entry["speedup"] >= floor, (
+            f"tenants={tenants}: coalesced is only {entry['speedup']}x "
+            f"naive aggregate MB/s (floor {floor}x)"
+        )
+        print(f"  floor ok at {tenants} tenants: "
+              f"{entry['speedup']}x >= {floor}x")
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    tiny = "--tiny" in argv
+    argv = [a for a in argv if a != "--tiny"]
+    output = Path(argv[0]) if argv else DEFAULT_OUTPUT
+
+    report = collect(TINY if tiny else FULL)
+    for tenants, entry in report["fleets"].items():
+        for name in ("naive", "coalesced"):
+            run = entry[name]
+            print(
+                f"  {tenants} tenants / {name}: {run['seconds']} s, "
+                f"{run['mb_per_s']} MB/s hidden payload"
+            )
+        print(f"  {tenants} tenants: {entry['speedup']}x, bit-identical")
+    check_floors(report, tiny)
+    if tiny:
+        print("tiny fleet smoke OK (schedulers bit-identical, floor holds)")
+        return 0
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

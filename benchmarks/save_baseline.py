@@ -1,12 +1,13 @@
-"""Save the repo's timing baselines: BENCH_parallel.json + BENCH_chip.json.
+"""Save the repo's timing baselines: BENCH_parallel/chip/fleet.json.
 
 Runs the ported drivers (fig6 and reliability by default) at each worker
 count and dumps wall-clock timings plus machine context, then runs the
-chip-kernel benchmark (``bench_chip.collect``), so later PRs can diff
-performance against one consistent machine snapshot::
+chip-kernel benchmark (``bench_chip.collect``) and the fleet coalescing
+benchmark (``bench_fleet.collect``), so later PRs can diff performance
+against one consistent machine snapshot::
 
     PYTHONPATH=src python benchmarks/save_baseline.py [output.json]
-    PYTHONPATH=src python benchmarks/save_baseline.py --no-chip  # parallel only
+    PYTHONPATH=src python benchmarks/save_baseline.py --no-chip --no-fleet
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ import time
 from pathlib import Path
 
 import bench_chip
+import bench_fleet
 
 from repro.experiments import fig6, reliability
 from repro.parallel import ParallelRunner, resolve_backend
@@ -85,7 +87,8 @@ def collect() -> dict:
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     with_chip = "--no-chip" not in argv
-    argv = [a for a in argv if a != "--no-chip"]
+    with_fleet = "--no-fleet" not in argv
+    argv = [a for a in argv if a not in ("--no-chip", "--no-fleet")]
     output = Path(argv[0]) if argv else DEFAULT_OUTPUT
     baseline = collect()
     output.write_text(json.dumps(baseline, indent=2) + "\n")
@@ -98,6 +101,13 @@ def main(argv=None) -> int:
             json.dumps(chip_report, indent=2) + "\n"
         )
         print(f"wrote {bench_chip.DEFAULT_OUTPUT}")
+    if with_fleet:
+        fleet_report = bench_fleet.collect(bench_fleet.FULL)
+        bench_fleet.check_floors(fleet_report, tiny=False)
+        bench_fleet.DEFAULT_OUTPUT.write_text(
+            json.dumps(fleet_report, indent=2) + "\n"
+        )
+        print(f"wrote {bench_fleet.DEFAULT_OUTPUT}")
     return 0
 
 

@@ -338,6 +338,92 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _percentile(values, q: float) -> float:
+    """Nearest-rank percentile of a non-empty list (q in [0, 100])."""
+    ordered = sorted(values)
+    rank = max(1, -(-int(q * len(ordered)) // 100))  # ceil(q*n/100)
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def _fleet_latency_table(responses) -> str:
+    from .fleet import KINDS
+
+    lines = [f"  {'kind':<8} {'count':>6} {'ok':>6} "
+             f"{'p50 ms':>9} {'p99 ms':>9}"]
+    for kind in KINDS:
+        group = [r for r in responses if r.kind == kind]
+        if not group:
+            continue
+        lat = [r.latency_s for r in group]
+        ok = sum(1 for r in group if r.status == "ok")
+        lines.append(
+            f"  {kind:<8} {len(group):>6} {ok:>6} "
+            f"{_percentile(lat, 50) * 1e3:>9.2f} "
+            f"{_percentile(lat, 99) * 1e3:>9.2f}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_fleet(args) -> int:
+    """Run a seeded synthetic workload through the drive-fleet service."""
+    import time
+
+    from .fleet import (
+        FleetConfig,
+        FleetService,
+        WorkloadConfig,
+        generate_requests,
+        make_scheduler,
+    )
+
+    names = (
+        ["naive", "coalesced"] if args.scheduler == "both"
+        else [args.scheduler]
+    )
+    workload = WorkloadConfig(
+        tenants=args.tenants, ops_per_tenant=args.ops,
+        seed=args.seed, arrival_seed=args.arrival_seed,
+    )
+    requests = generate_requests(workload)
+    runs = {}
+    for name in names:
+        service = FleetService(FleetConfig(
+            tenants=args.tenants, n_shards=args.shards, seed=args.seed,
+        ))
+        rejected = sum(0 if service.submit(r) else 1 for r in requests)
+        start = time.perf_counter()
+        responses = service.drain(make_scheduler(name))
+        wall = time.perf_counter() - start
+        runs[name] = (service, responses, wall)
+        payload_bytes = sum(
+            len(r.payload) for r in responses if r.status == "ok"
+        )
+        print(f"{name}: {len(responses)} requests "
+              f"({rejected} rejected) over {args.shards} shards "
+              f"in {wall:.3f} s — "
+              f"{payload_bytes / wall / 1e6:.4f} MB/s hidden payload")
+        print(_fleet_latency_table(responses))
+        print(file=sys.stderr)
+        print(obs.one_line_summary(service.fleet_snapshot(),
+                                   enabled=obs.is_enabled()),
+              file=sys.stderr)
+    if len(runs) == 2:
+        naive_view = sorted(
+            r.deterministic_view() for r in runs["naive"][1]
+        )
+        coalesced_view = sorted(
+            r.deterministic_view() for r in runs["coalesced"][1]
+        )
+        identical = naive_view == coalesced_view
+        speedup = runs["naive"][2] / runs["coalesced"][2]
+        print(f"coalesced vs naive: {speedup:.2f}x wall-clock; "
+              f"per-tenant results "
+              f"{'bit-identical' if identical else 'DIVERGED'}")
+        if not identical:
+            return 1
+    return 0
+
+
 def _cmd_lint(args) -> int:
     """Run the determinism & invariant static-analysis pass."""
     from .lint.cli import main as lint_main
@@ -459,6 +545,25 @@ def build_parser() -> argparse.ArgumentParser:
              "(try `repro-stash lint -- --list-rules`)",
     )
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "fleet",
+        help="drive a sharded fleet of simulated stash drives through a "
+             "seeded synthetic workload (DESIGN.md §12)",
+    )
+    p.add_argument("--tenants", type=int, default=24)
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--ops", type=int, default=6,
+                   help="operations per tenant (default 6)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--arrival-seed", type=int, default=0,
+                   help="arrival-interleaving seed (per-tenant results "
+                        "are identical for any value)")
+    p.add_argument("--scheduler", choices=("naive", "coalesced", "both"),
+                   default="both",
+                   help="request scheduler; `both` also checks "
+                        "bit-identity and reports the speedup")
+    p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser(
         "report", help="run the full light evaluation and print every table"

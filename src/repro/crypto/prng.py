@@ -33,6 +33,9 @@ class KeyedPrng:
         self._context = bytes(context)
         self._counter = 0
         self._buffer = bytearray()
+        #: SHA-256 state with the key already absorbed; each block copies
+        #: this instead of rehashing the key (same digests, less work).
+        self._base = hashlib.sha256(self._key)
 
     def derive(self, label: bytes) -> "KeyedPrng":
         """An independent stream for a sub-context (e.g. a page number)."""
@@ -44,8 +47,7 @@ class KeyedPrng:
         return self.derive(b"page:%d" % page_address)
 
     def _refill(self) -> None:
-        hasher = hashlib.sha256()
-        hasher.update(self._key)
+        hasher = self._base.copy()
         hasher.update(self._counter.to_bytes(8, "little"))
         hasher.update(self._context)
         self._buffer.extend(hasher.digest())
@@ -55,10 +57,22 @@ class KeyedPrng:
         """The next `n` keystream bytes."""
         if n < 0:
             raise ValueError(f"cannot draw {n} bytes")
-        while len(self._buffer) < n:
-            self._refill()
-        out = bytes(self._buffer[:n])
-        del self._buffer[:n]
+        buffer = self._buffer
+        if len(buffer) < n:
+            # Bulk refill: one tight loop instead of per-block calls.
+            base = self._base
+            context = self._context
+            counter = self._counter
+            blocks = -(-(n - len(buffer)) // _DIGEST_BYTES)
+            for _ in range(blocks):
+                hasher = base.copy()
+                hasher.update(counter.to_bytes(8, "little"))
+                hasher.update(context)
+                buffer.extend(hasher.digest())
+                counter += 1
+            self._counter = counter
+        out = bytes(buffer[:n])
+        del buffer[:n]
         return out
 
     def uint(self, bits: int = 64) -> int:

@@ -1,0 +1,55 @@
+"""``repro.fleet``: sharded drive-fleet service with batch coalescing.
+
+A service layer over the single-chip VT-HI stack (DESIGN §12): many
+tenants, each owning a hidden mini-volume on one erase block of one
+simulated drive; an admission-controlled request queue drained in
+one-request-per-tenant rounds; and a coalescing scheduler that turns a
+round's single-page operations into cross-block batch-kernel calls —
+bit-identical per tenant to naive per-request dispatch.
+"""
+
+from .requests import (
+    AdmissionError,
+    KINDS,
+    QueueStats,
+    Request,
+    RequestQueue,
+    Response,
+)
+from .scheduler import CoalescingScheduler, NaiveScheduler, make_scheduler
+from .service import (
+    FLEET_HIDING,
+    FleetConfig,
+    FleetService,
+    Shard,
+    TenantState,
+    fleet_model,
+)
+from .workload import (
+    DEFAULT_MIX,
+    WorkloadConfig,
+    generate_requests,
+    tenant_stream,
+)
+
+__all__ = [
+    "AdmissionError",
+    "CoalescingScheduler",
+    "DEFAULT_MIX",
+    "FLEET_HIDING",
+    "FleetConfig",
+    "FleetService",
+    "KINDS",
+    "NaiveScheduler",
+    "QueueStats",
+    "Request",
+    "RequestQueue",
+    "Response",
+    "Shard",
+    "TenantState",
+    "WorkloadConfig",
+    "fleet_model",
+    "generate_requests",
+    "make_scheduler",
+    "tenant_stream",
+]

@@ -1,0 +1,156 @@
+"""Fleet request/response types and the admission-controlled queue.
+
+Tenants submit single-object operations (``write``/``read``/``mount``)
+against their private hidden mini-volume; the service drains the queue in
+*rounds*.  Two invariants make coalescing sound and keep results
+bit-identical under any arrival interleaving (DESIGN §12):
+
+* **per-tenant FIFO** — a tenant's requests execute in submission order,
+  so each tenant observes one fixed operation sequence;
+* **one request per tenant per round** — a round never holds two
+  operations on the same block, so every chip-level batch the scheduler
+  builds from a round touches distinct ``(block, page)`` locations only.
+
+Admission control bounds memory and latency: a per-tenant queue depth
+(rejecting the producer that overruns its own budget, not its
+neighbours) and an optional per-round request cap served round-robin
+across tenants so a large fleet cannot starve high tenant ids.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+#: The operation kinds a tenant may submit.
+KINDS = ("write", "read", "mount")
+
+
+class AdmissionError(Exception):
+    """Raised when a submission violates an admission-control bound."""
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One tenant operation against its hidden mini-volume."""
+
+    tenant: int
+    kind: str  #: one of :data:`KINDS`
+    lba: int = 0  #: target hidden LBA (write/read)
+    payload: bytes = b""  #: payload bytes (write only)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown request kind {self.kind!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class Response:
+    """The deterministic outcome of one request.
+
+    Every field except ``latency_s`` is a pure function of the tenant's
+    request sequence (given the fleet seed and shard count) — the
+    bit-identity tests compare :meth:`deterministic_view` between
+    schedulers and arrival orders.  ``latency_s`` is wall-clock
+    (submission-to-completion inside a drain) and legitimately varies.
+    """
+
+    tenant: int
+    kind: str
+    lba: int
+    status: str  #: ``ok`` / ``not_found`` / ``full`` / ``too_large`` / ``error``
+    payload: bytes = b""  #: recovered bytes (read)
+    directory: Tuple[Tuple[int, int], ...] = ()  #: (lba, length) pairs (mount)
+    pp_steps: int = 0  #: partial-program steps the embed used (write)
+    latency_s: float = 0.0
+
+    def deterministic_view(self) -> Tuple:
+        """Everything but the wall-clock latency."""
+        return (
+            self.tenant, self.kind, self.lba, self.status,
+            self.payload, self.directory, self.pp_steps,
+        )
+
+
+@dataclass(slots=True)
+class QueueStats:
+    """Counters the queue keeps about admission decisions."""
+
+    submitted: int = 0
+    rejected: int = 0
+    rounds: int = 0
+
+
+class RequestQueue:
+    """Per-tenant FIFO queues drained one-request-per-tenant rounds.
+
+    ``submit`` applies admission control (bounded per-tenant depth);
+    ``next_round`` pops at most one request from each tenant's queue,
+    round-robin across tenant ids so a ``max_round_requests`` cap
+    rotates fairly instead of always serving the lowest ids.
+    """
+
+    def __init__(
+        self,
+        max_per_tenant: int = 64,
+        max_round_requests: Optional[int] = None,
+    ) -> None:
+        if max_per_tenant < 1:
+            raise ValueError(
+                f"max_per_tenant must be >= 1, got {max_per_tenant}"
+            )
+        if max_round_requests is not None and max_round_requests < 1:
+            raise ValueError(
+                f"max_round_requests must be >= 1, got {max_round_requests}"
+            )
+        self.max_per_tenant = max_per_tenant
+        self.max_round_requests = max_round_requests
+        self.stats = QueueStats()
+        self._queues: Dict[int, Deque[Request]] = {}
+        #: Round-robin position: the next round starts at the first
+        #: tenant id strictly greater than this.
+        self._cursor = -1
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def depth(self, tenant: int) -> int:
+        queue = self._queues.get(tenant)
+        return len(queue) if queue else 0
+
+    def submit(self, request: Request) -> None:
+        """Enqueue a request, enforcing the per-tenant depth bound."""
+        queue = self._queues.get(request.tenant)
+        if queue is None:
+            queue = self._queues[request.tenant] = deque()
+        if len(queue) >= self.max_per_tenant:
+            self.stats.rejected += 1
+            raise AdmissionError(
+                f"tenant {request.tenant} queue full "
+                f"({self.max_per_tenant} pending)"
+            )
+        queue.append(request)
+        self.stats.submitted += 1
+
+    def next_round(self) -> List[Request]:
+        """Pop the next round: at most one request per tenant.
+
+        Tenants are served in ascending id order starting after the last
+        tenant served in the previous round (round-robin), capped at
+        ``max_round_requests``.  Deterministic in the submission
+        sequence.
+        """
+        active = sorted(t for t, q in self._queues.items() if q)
+        if not active:
+            return []
+        cap = self.max_round_requests
+        if cap is None or cap > len(active):
+            cap = len(active)
+        start = bisect_right(active, self._cursor)
+        picked = [active[(start + i) % len(active)] for i in range(cap)]
+        round_requests = [self._queues[t].popleft() for t in picked]
+        self._cursor = picked[-1]
+        self.stats.rounds += 1
+        return round_requests

@@ -1,0 +1,583 @@
+"""The sharded drive-fleet service (DESIGN §12).
+
+Production framing of the paper's single-chip prototype: ``n_shards``
+simulated drives (one :class:`~repro.nand.chip.FlashChip` + one
+:class:`~repro.hiding.VtHi` each) serve many tenants, each tenant owning
+one erase block on its shard as a private hidden mini-volume (slot
+framing from :mod:`repro.stego.metadata`: self-describing headers + keyed
+MAC, mounted by scanning — no plaintext directory on the device).
+
+Layout: tenant ``t`` lives on shard ``t % n_shards`` and owns block
+``t // n_shards`` there.  One tenant per block is the coalescing
+soundness anchor: all mutable chip state an operation touches (voltages,
+disturb exposure, latent caches, PP pulse counters) is per-block, so
+operations of distinct tenants commute *exactly* — any grouping of a
+round's single-page operations into cross-tenant batch-kernel calls is
+bit-identical, per tenant, to executing the requests one at a time.
+The request queue admits at most one request per tenant per round, so a
+round's batches always address distinct ``(block, page)`` locations.
+
+:meth:`FleetService.execute_round` is the shared execution engine: it
+plans every request, then runs the chip work in phases (program →
+encode → embed → threshold-read → decode).  The two schedulers differ
+*only* in how many requests they hand it per call — one (naive
+per-request dispatch) or a whole round (coalesced) — which is exactly
+the batch-kernel fill factor the benchmark measures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import obs
+from ..crypto.keys import HidingKey
+from ..hiding import STANDARD_CONFIG, VtHi, select_cells
+from ..hiding.config import HidingConfig
+from ..nand import FlashChip
+from ..nand.vendor import VENDOR_A, ChipModel, scaled_model
+from ..rng import derive_seed, substream
+from ..stego.metadata import HEADER_BYTES, SlotHeader, pack_slot, unpack_slot
+from .requests import AdmissionError, Request, RequestQueue, Response
+
+_OBS_SHARD_ROUNDS = obs.counter("fleet.shard_rounds")
+_OBS_REQUESTS = obs.counter("fleet.requests")
+_OBS_REBUILDS = obs.counter("fleet.rebuilds")
+_OBS_LOST_SLOTS = obs.counter("fleet.lost_slots")
+_OBS_ROUND_SIZE = obs.histogram("fleet.round_size")
+
+#: Fleet hiding configuration: 640 hidden bits per page under one
+#: (1023, t=30) BCH word.  Fresh embeds carry a handful of natural-charge
+#: errors ('1' cells whose erased voltage already sits above the hiding
+#: threshold — extra PP steps cannot fix those); across thousands of
+#: tenant blocks the per-page tail reaches ~20 raw errors, so the parity
+#: budget is sized well above it rather than at the mean.
+#: Margin matters here: fleet tenants rebuild (erase + re-embed) their
+#: block often, and wear plus natural charge put a handful of raw bit
+#: errors on every page, so the per-slot ECC must stay comfortably above
+#: the observed tail or a long seeded run goes uncorrectable.
+FLEET_HIDING = STANDARD_CONFIG.replace(bits_per_page=640, ecc_m=10, ecc_t=30)
+
+
+def fleet_model(n_blocks: int, pages_per_block: int = 4) -> ChipModel:
+    """A reduced chip model for fleet shards.
+
+    Vendor-A physics on 188-byte pages (1504 cells — comfortably above
+    the hidden-bit budget) and `pages_per_block` pages; the block count
+    scales with the tenants a shard hosts.
+    """
+    return scaled_model(
+        VENDOR_A,
+        n_blocks=n_blocks,
+        pages_per_block=pages_per_block,
+        page_divisor=96,
+        suffix="fleet",
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class FleetConfig:
+    """Operating parameters of a :class:`FleetService`."""
+
+    tenants: int = 8
+    n_shards: int = 2
+    seed: int = 0
+    hiding: HidingConfig = FLEET_HIDING
+    #: Chip model per shard; ``None`` derives :func:`fleet_model` with
+    #: exactly the block count the tenant layout needs.
+    model: Optional[ChipModel] = None
+    max_queue_per_tenant: int = 64
+    #: Cap on requests admitted per round (``None`` = all tenants).
+    max_round_requests: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.tenants < 1:
+            raise ValueError(f"tenants must be >= 1, got {self.tenants}")
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.n_shards > self.tenants:
+            raise ValueError(
+                f"n_shards ({self.n_shards}) exceeds tenants ({self.tenants})"
+            )
+
+
+@dataclass(slots=True)
+class TenantState:
+    """Service-side state of one tenant's hidden mini-volume.
+
+    Everything here is rederivable from the chip plus the tenant key —
+    the slot directory mirrors what :meth:`FleetService._mount_directory`
+    recovers by scanning — and is maintained identically by both
+    schedulers (it is part of the planning layer they share).
+    """
+
+    tenant: int
+    shard: int
+    block: int
+    key: HidingKey
+    #: Local erase epoch (bumped by every rebuild).
+    epoch: int = 0
+    #: Monotonic slot sequence number (mount picks the highest per LBA).
+    seq: int = 0
+    #: lba -> (host page, payload length, seq) for the live copy.
+    slots: Dict[int, Tuple[int, int, int]] = field(default_factory=dict)
+    #: Host pages not yet embedded this epoch, in ascending order.
+    free_pages: List[int] = field(default_factory=list)
+    #: Host page -> cover (public) bits programmed this epoch.
+    cover_bits: Dict[int, np.ndarray] = field(default_factory=dict)
+    #: Host page -> cached selection map for this epoch (a pure function
+    #: of key, page address and cover bits — caching touches no chip
+    #: state and is shared by both schedulers).
+    cells: Dict[int, np.ndarray] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class Shard:
+    """One simulated drive: a chip and its VT-HI engine."""
+
+    index: int
+    chip: FlashChip
+    vthi: VtHi
+
+
+class FleetService:
+    """Provision, route and execute tenant requests over a drive fleet."""
+
+    def __init__(self, config: FleetConfig) -> None:
+        self.config = config
+        blocks_needed = -(-config.tenants // config.n_shards)  # ceil
+        model = config.model
+        if model is None:
+            model = fleet_model(blocks_needed)
+        if model.geometry.n_blocks < blocks_needed:
+            raise ValueError(
+                f"model has {model.geometry.n_blocks} blocks; the tenant "
+                f"layout needs {blocks_needed} per shard"
+            )
+        if config.hiding.bits_per_page * 2 > model.geometry.cells_per_page:
+            raise ValueError(
+                f"hidden budget {config.hiding.bits_per_page} bits needs "
+                f"pages of >= {config.hiding.bits_per_page * 2} cells, "
+                f"got {model.geometry.cells_per_page}"
+            )
+        self.model = model
+        self.shards: List[Shard] = []
+        for index in range(config.n_shards):
+            chip = FlashChip(
+                model.geometry,
+                model.params,
+                seed=derive_seed(config.seed, "shard", index),
+            )
+            self.shards.append(
+                Shard(index, chip, VtHi(chip, config.hiding))
+            )
+        codec = self.shards[0].vthi.codec
+        #: Every slot is embedded at the full per-page payload capacity
+        #: (shorter payloads zero-pad), so one coded length serves all
+        #: pages and batch decode needs no per-page length bookkeeping.
+        self.slot_bytes = codec.max_data_bytes
+        if self.slot_bytes <= HEADER_BYTES:
+            raise ValueError(
+                f"hiding config leaves {self.slot_bytes} bytes per slot; "
+                f"the slot header alone needs {HEADER_BYTES}"
+            )
+        self.slot_payload_bytes = self.slot_bytes - HEADER_BYTES
+        self._coded_len = codec.coded_length(self.slot_bytes)
+        pages_per_block = model.geometry.pages_per_block
+        self._host_pages = list(config.hiding.hidden_pages(pages_per_block))
+        self.tenants: Dict[int, TenantState] = {}
+        for tenant in range(config.tenants):
+            key = HidingKey.generate(
+                entropy=b"fleet-tenant:%d:%d" % (config.seed, tenant)
+            )
+            self.tenants[tenant] = TenantState(
+                tenant=tenant,
+                shard=tenant % config.n_shards,
+                block=tenant // config.n_shards,
+                key=key,
+            )
+        self.queue = RequestQueue(
+            max_per_tenant=config.max_queue_per_tenant,
+            max_round_requests=config.max_round_requests,
+        )
+        self.aggregator = obs.ShardAggregator()
+        self._drain_origin = 0.0
+        self._provision()
+
+    # ------------------------------------------------------------------
+    # provisioning / covers / selection
+
+    def _cover_bits(self, tenant: int, epoch: int, page: int) -> np.ndarray:
+        """Deterministic cover (public) data for one tenant host page.
+
+        Keyed by ``(fleet seed, tenant, epoch, page)`` only — independent
+        of shard count and block index, so the service knows every host
+        page's public bits without a raw chip read, in both schedulers
+        alike.
+        """
+        rng = substream(self.config.seed, "cover", tenant, epoch, page)
+        cells = self.model.geometry.cells_per_page
+        return (rng.random(cells) < 0.5).astype(np.uint8)
+
+    def _provision(self) -> None:
+        """Program every tenant's cover pages, one batch per shard."""
+        for shard in self.shards:
+            locations = []
+            data = []
+            with obs.collect(absorb=True) as col:
+                for tenant in sorted(self.tenants):
+                    ts = self.tenants[tenant]
+                    if ts.shard != shard.index:
+                        continue
+                    ts.free_pages = list(self._host_pages)
+                    for page in self._host_pages:
+                        cover = self._cover_bits(tenant, 0, page)
+                        ts.cover_bits[page] = cover
+                        locations.append((ts.block, page))
+                        data.append(cover)
+                shard.chip.program_locations(locations, data)
+            self.aggregator.add(shard.index, col.snapshot)
+
+    def _selection(self, ts: TenantState, page: int) -> np.ndarray:
+        """The cached selection map of one tenant host page."""
+        cells = ts.cells.get(page)
+        if cells is None:
+            address = self.model.geometry.page_address(ts.block, page)
+            cells = select_cells(
+                ts.key, address, ts.cover_bits[page], self._coded_len
+            )
+            ts.cells[page] = cells
+        return cells
+
+    # ------------------------------------------------------------------
+    # request intake / drain
+
+    def submit(self, request: Request) -> bool:
+        """Queue a request; False when admission control rejects it."""
+        if request.tenant not in self.tenants:
+            raise KeyError(f"unknown tenant {request.tenant}")
+        try:
+            self.queue.submit(request)
+        except AdmissionError:
+            return False
+        return True
+
+    def drain(self, scheduler) -> List[Response]:
+        """Serve every queued request through `scheduler`, in rounds.
+
+        Each round is split per shard (ascending shard order) and handed
+        to ``scheduler.run_round``; per-(round, shard) observability
+        snapshots accumulate in :attr:`aggregator` in submission order.
+        Responses carry wall-clock latency relative to the drain start.
+        """
+        responses: List[Response] = []
+        self._drain_origin = time.perf_counter()
+        while len(self.queue):
+            round_requests = self.queue.next_round()
+            by_shard: Dict[int, List[Request]] = {}
+            for request in round_requests:
+                shard_id = self.tenants[request.tenant].shard
+                by_shard.setdefault(shard_id, []).append(request)
+            for shard_id in sorted(by_shard):
+                shard_requests = by_shard[shard_id]
+                with obs.collect(absorb=True) as col:
+                    _OBS_SHARD_ROUNDS.inc()
+                    _OBS_REQUESTS.inc(len(shard_requests))
+                    _OBS_ROUND_SIZE.observe(len(shard_requests))
+                    shard_responses = scheduler.run_round(
+                        self, shard_id, shard_requests
+                    )
+                self.aggregator.add(shard_id, col.snapshot)
+                responses.extend(shard_responses)
+        return responses
+
+    # ------------------------------------------------------------------
+    # the execution engine (shared by both schedulers)
+
+    def execute_round(
+        self, shard_id: int, requests: Sequence[Request]
+    ) -> List[Response]:
+        """Execute requests of one shard-round, phase-batched.
+
+        Requests must target distinct tenants (the queue's
+        one-request-per-tenant round invariant): distinct tenants mean
+        distinct blocks, so every chip batch below addresses distinct
+        locations and the results are bit-identical to executing the
+        requests one call at a time — the naive scheduler *is* this
+        method invoked per request.
+        """
+        shard = self.shards[shard_id]
+        tenants_seen = {r.tenant for r in requests}
+        if len(tenants_seen) != len(requests):
+            raise ValueError(
+                "a round must hold at most one request per tenant"
+            )
+        outcome: Dict[int, Response] = {}
+
+        # -- plan writes (tenant-local; may trigger a rebuild) ----------
+        write_meta: List[Tuple[Request, TenantState, int, int, bytes]] = []
+        for request in requests:
+            if request.kind != "write":
+                continue
+            ts = self.tenants[request.tenant]
+            if len(request.payload) > self.slot_payload_bytes:
+                outcome[request.tenant] = Response(
+                    request.tenant, "write", request.lba, "too_large"
+                )
+                continue
+            if request.lba not in ts.slots and (
+                len(ts.slots) >= len(self._host_pages)
+            ):
+                outcome[request.tenant] = Response(
+                    request.tenant, "write", request.lba, "full"
+                )
+                continue
+            if not ts.free_pages:
+                self._rebuild(ts, drop_lba=request.lba)
+            page = ts.free_pages.pop(0)
+            ts.seq += 1
+            blob = pack_slot(
+                ts.key,
+                SlotHeader(request.lba, ts.seq, len(request.payload)),
+                request.payload,
+            )
+            blob += b"\x00" * (self.slot_bytes - len(blob))
+            write_meta.append((request, ts, page, ts.seq, blob))
+
+        # -- encode + embed the round's writes in one batch -------------
+        if write_meta:
+            addresses = [
+                self.model.geometry.page_address(ts.block, page)
+                for _, ts, page, _, _ in write_meta
+            ]
+            coded = shard.vthi.codec.encode_pages_keyed(
+                [ts.key for _, ts, _, _, _ in write_meta],
+                addresses,
+                [blob for _, _, _, _, blob in write_meta],
+            )
+            items = []
+            for (request, ts, page, _, _), bits in zip(write_meta, coded):
+                cells = self._selection(ts, page)
+                items.append((ts.block, page, cells[bits == 0]))
+            stats = shard.vthi.embed_prepared(items)
+            for (request, ts, page, seq, _), (steps, _) in zip(
+                write_meta, stats
+            ):
+                ts.slots[request.lba] = (page, len(request.payload), seq)
+                # Echo the payload so callers can account bytes exactly.
+                outcome[request.tenant] = Response(
+                    request.tenant, "write", request.lba, "ok",
+                    payload=request.payload, pp_steps=steps,
+                )
+
+        # -- plan reads -------------------------------------------------
+        read_meta: List[Tuple[Request, TenantState, int, int]] = []
+        for request in requests:
+            if request.kind != "read":
+                continue
+            ts = self.tenants[request.tenant]
+            entry = ts.slots.get(request.lba)
+            if entry is None:
+                outcome[request.tenant] = Response(
+                    request.tenant, "read", request.lba, "not_found"
+                )
+                continue
+            read_meta.append((request, ts, entry[0], entry[1]))
+
+        # -- one threshold read + one batch decode for all reads --------
+        if read_meta:
+            blobs = self._recover_blobs(
+                shard,
+                [(ts, page) for _, ts, page, _ in read_meta],
+                on_error="return",
+            )
+            for (request, ts, page, length), blob in zip(read_meta, blobs):
+                response = Response(
+                    request.tenant, "read", request.lba, "error"
+                )
+                if blob is not None:
+                    slot = unpack_slot(ts.key, blob)
+                    if slot is not None and slot[0].lba == request.lba:
+                        response = Response(
+                            request.tenant, "read", request.lba, "ok",
+                            payload=slot[1],
+                        )
+                outcome[request.tenant] = response
+
+        # -- mounts: batch-scan every tenant's host pages ---------------
+        mount_meta: List[Tuple[Request, TenantState, int]] = []
+        for request in requests:
+            if request.kind != "mount":
+                continue
+            ts = self.tenants[request.tenant]
+            for page in self._host_pages:
+                mount_meta.append((request, ts, page))
+        if mount_meta:
+            blobs = self._recover_blobs(
+                shard,
+                [(ts, page) for _, ts, page in mount_meta],
+                on_error="return",
+            )
+            found: Dict[int, Dict[int, Tuple[int, int]]] = {}
+            for (request, ts, page), blob in zip(mount_meta, blobs):
+                per_tenant = found.setdefault(request.tenant, {})
+                if blob is None:
+                    continue
+                slot = unpack_slot(ts.key, blob)
+                if slot is None or slot[0].is_tombstone:
+                    continue
+                header = slot[0]
+                best = per_tenant.get(header.lba)
+                if best is None or header.seq > best[0]:
+                    per_tenant[header.lba] = (header.seq, header.length)
+            for request in requests:
+                if request.kind != "mount":
+                    continue
+                per_tenant = found.get(request.tenant, {})
+                directory = tuple(
+                    sorted(
+                        (lba, length)
+                        for lba, (_, length) in per_tenant.items()
+                    )
+                )
+                outcome[request.tenant] = Response(
+                    request.tenant, "mount", 0, "ok", directory=directory
+                )
+
+        stamp = time.perf_counter() - self._drain_origin
+        return [
+            replace(outcome[request.tenant], latency_s=stamp)
+            for request in requests
+        ]
+
+    # ------------------------------------------------------------------
+    # shared helpers
+
+    def _recover_blobs(
+        self,
+        shard: Shard,
+        targets: Sequence[Tuple[TenantState, int]],
+        on_error: str,
+    ) -> List[Optional[bytes]]:
+        """Threshold-read + batch-decode slot blobs at (tenant, page).
+
+        One :meth:`~repro.nand.chip.FlashChip.read_locations` over every
+        target and one keyed batch ECC decode; selection maps come from
+        the per-epoch cache (identical in both schedulers).
+        """
+        locations = [(ts.block, page) for ts, page in targets]
+        shifted = shard.chip.read_locations(
+            locations, threshold=self.config.hiding.threshold
+        )
+        coded = [
+            shifted[i][self._selection(ts, page)]
+            for i, (ts, page) in enumerate(targets)
+        ]
+        return shard.vthi.codec.decode_pages_keyed(
+            [ts.key for ts, _ in targets],
+            [
+                self.model.geometry.page_address(ts.block, page)
+                for ts, page in targets
+            ],
+            coded,
+            self.slot_bytes,
+            on_error=on_error,
+        )
+
+    def _rebuild(self, ts: TenantState, drop_lba: int) -> None:
+        """Erase a full tenant block and re-embed its live slots.
+
+        The tenant-volume equivalent of §5.1's re-embedding duty: when
+        every host page of the epoch is burned, live payloads (minus the
+        LBA being overwritten) are read back, the block is erased, fresh
+        cover data is programmed and the survivors are re-embedded.  All
+        operations touch only this tenant's block, and the whole
+        procedure runs at request-planning time in both schedulers, so
+        its position in the tenant's operation sequence is identical
+        under naive and coalesced dispatch.
+        """
+        _OBS_REBUILDS.inc()
+        shard = self.shards[ts.shard]
+        candidates = sorted(
+            (lba, entry)
+            for lba, entry in ts.slots.items()
+            if lba != drop_lba
+        )
+        live: List[Tuple[int, Tuple[int, int, int]]] = []
+        payloads: List[bytes] = []
+        if candidates:
+            blobs = self._recover_blobs(
+                shard,
+                [(ts, entry[0]) for _, entry in candidates],
+                on_error="return",
+            )
+            for (lba, entry), blob in zip(candidates, blobs):
+                if blob is None:
+                    # Uncorrectable slot: the data is gone.  Dropping it
+                    # (subsequent reads see not_found) keeps the fleet
+                    # serving; the decode result — and hence the loss —
+                    # is identical under both schedulers.
+                    _OBS_LOST_SLOTS.inc()
+                    continue
+                live.append((lba, entry))
+                payloads.append(blob)
+        shard.chip.erase_block(ts.block)
+        ts.epoch += 1
+        ts.cover_bits = {}
+        ts.cells = {}
+        ts.slots = {}
+        covers = {
+            page: self._cover_bits(ts.tenant, ts.epoch, page)
+            for page in self._host_pages
+        }
+        shard.chip.program_locations(
+            [(ts.block, page) for page in self._host_pages],
+            [covers[page] for page in self._host_pages],
+        )
+        ts.cover_bits = covers
+        keep = self._host_pages[: len(live)]
+        ts.free_pages = list(self._host_pages[len(live):])
+        if live:
+            addresses = [
+                self.model.geometry.page_address(ts.block, page)
+                for page in keep
+            ]
+            coded = shard.vthi.codec.encode_pages_keyed(
+                [ts.key] * len(live), addresses, payloads
+            )
+            items = []
+            for page, bits in zip(keep, coded):
+                cells = self._selection(ts, page)
+                items.append((ts.block, page, cells[bits == 0]))
+            shard.vthi.embed_prepared(items)
+            for (lba, entry), page in zip(live, keep):
+                ts.slots[lba] = (page, entry[1], entry[2])
+
+    # ------------------------------------------------------------------
+    # observability
+
+    def fleet_snapshot(self) -> obs.ObsSnapshot:
+        """Fleet totals: per-shard merges + exact chip op counters.
+
+        Per-shard snapshots merge in submission order; shards fold in
+        ascending index order; each shard's ``op_counters`` is its
+        chip's live totals — so the fleet-wide ``OpCounters`` equals the
+        ordered sum over shards, float-exact.
+        """
+        shard_snapshots = []
+        for shard in self.shards:
+            snapshot = self.aggregator.shard_total(shard.index)
+            snapshot.op_counters = shard.chip.counters.copy()
+            shard_snapshots.append(snapshot)
+        return obs.merge_snapshots(shard_snapshots)
+
+    def mount_directory(self, tenant: int) -> Tuple[Tuple[int, int], ...]:
+        """Convenience scan of one tenant's volume (outside any round)."""
+        ts = self.tenants[tenant]
+        responses = self.execute_round(
+            ts.shard, [Request(tenant, "mount")]
+        )
+        return responses[0].directory

@@ -1,0 +1,114 @@
+"""Seeded synthetic tenant workloads for the fleet service.
+
+Each tenant's operation stream is derived from its own RNG substream
+(``substream(seed, "workload", tenant)``), so a tenant's sequence is a
+pure function of ``(seed, tenant)`` — independent of the fleet's shard
+count, of every other tenant, and of how the streams interleave on the
+wire.  The *arrival order* is a separate deterministic shuffle keyed by
+``arrival_seed``: varying it permutes which tenant's next request lands
+first while preserving every tenant's own FIFO, which is exactly the
+degree of freedom the bit-identity tests sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..rng import substream
+from .requests import Request
+
+#: Workload mix weights in :data:`repro.fleet.requests.KINDS` order
+#: (write, read, mount).  Read-heavy, like steady-state storage traffic.
+DEFAULT_MIX = (0.3, 0.5, 0.2)
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadConfig:
+    """Shape of a synthetic fleet workload."""
+
+    tenants: int = 8
+    ops_per_tenant: int = 4
+    seed: int = 0
+    #: Distinct hidden LBAs each tenant uses.  Keep at or below the
+    #: tenant volume's slot count so overwrites, not capacity misses,
+    #: exercise the erase-rebuild path.
+    lba_space: int = 2
+    #: Largest write payload in bytes (must fit the volume's slot).
+    max_payload_bytes: int = 11
+    mix: tuple = DEFAULT_MIX
+    #: Seed of the arrival interleaving (per-tenant order is unaffected).
+    arrival_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tenants < 1:
+            raise ValueError(f"tenants must be >= 1, got {self.tenants}")
+        if self.ops_per_tenant < 1:
+            raise ValueError(
+                f"ops_per_tenant must be >= 1, got {self.ops_per_tenant}"
+            )
+        if self.lba_space < 1:
+            raise ValueError(f"lba_space must be >= 1, got {self.lba_space}")
+        if len(self.mix) != 3 or sum(self.mix) <= 0:
+            raise ValueError(f"mix must be 3 non-negative weights, got {self.mix}")
+
+
+def tenant_stream(config: WorkloadConfig, tenant: int) -> List[Request]:
+    """One tenant's deterministic operation sequence.
+
+    The first operation is always a write (so later reads have something
+    to find); subsequent kinds follow the configured mix.  Payload bytes
+    and lengths draw from the same per-tenant substream.
+    """
+    rng = substream(config.seed, "workload", tenant)
+    total = sum(config.mix)
+    thresholds = (
+        config.mix[0] / total,
+        (config.mix[0] + config.mix[1]) / total,
+    )
+    requests: List[Request] = []
+    for op in range(config.ops_per_tenant):
+        draw = float(rng.random())
+        if op == 0 or draw < thresholds[0]:
+            kind = "write"
+        elif draw < thresholds[1]:
+            kind = "read"
+        else:
+            kind = "mount"
+        lba = int(rng.integers(config.lba_space))
+        if kind == "write":
+            length = int(rng.integers(1, config.max_payload_bytes + 1))
+            payload = rng.integers(0, 256, size=length).astype("uint8").tobytes()
+            requests.append(Request(tenant, "write", lba, payload))
+        elif kind == "read":
+            requests.append(Request(tenant, "read", lba))
+        else:
+            requests.append(Request(tenant, "mount"))
+    return requests
+
+
+def generate_requests(config: WorkloadConfig) -> List[Request]:
+    """The full workload in arrival order.
+
+    Emits each tenant's stream in FIFO order, interleaved by a shuffle
+    of tenant occurrences keyed by ``arrival_seed``: two configs
+    differing only in ``arrival_seed`` contain exactly the same
+    per-tenant requests, arriving in a different global order.
+    """
+    streams = {
+        tenant: tenant_stream(config, tenant)
+        for tenant in range(config.tenants)
+    }
+    occurrences = [
+        tenant
+        for tenant in range(config.tenants)
+        for _ in range(config.ops_per_tenant)
+    ]
+    arrival_rng = substream(config.seed, "arrival", config.arrival_seed)
+    arrival_rng.shuffle(occurrences)
+    cursors = {tenant: 0 for tenant in range(config.tenants)}
+    ordered: List[Request] = []
+    for tenant in occurrences:
+        ordered.append(streams[tenant][cursors[tenant]])
+        cursors[tenant] += 1
+    return ordered

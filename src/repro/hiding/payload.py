@@ -127,14 +127,36 @@ class PayloadCodec:
         Identical output to encoding page by page (whitening nonces are
         per page address), minus the per-page parity passes.
         """
+        return self.encode_pages_keyed(
+            [key] * len(page_addresses), page_addresses, payloads
+        )
+
+    def encode_pages_keyed(
+        self,
+        keys: Sequence[HidingKey],
+        page_addresses: Sequence[int],
+        payloads: Sequence[bytes],
+    ) -> List[np.ndarray]:
+        """Like :meth:`encode_pages`, but with one key *per page*.
+
+        A fleet coalescing many tenants' writes into one batch carries a
+        different hiding key per page; whitening stays per-(key, page
+        address) while the BCH parity of every page still runs in one
+        ``encode_many`` pass.  With a constant key list this is exactly
+        :meth:`encode_pages`.
+        """
         if len(payloads) != len(page_addresses):
             raise ValueError(
                 f"got {len(page_addresses)} page addresses for "
                 f"{len(payloads)} payloads"
             )
+        if len(keys) != len(page_addresses):
+            raise ValueError(
+                f"got {len(keys)} keys for {len(page_addresses)} pages"
+            )
         _OBS_ENCODE_PAGES.inc(len(payloads))
         per_page_bits = []
-        for address, data in zip(page_addresses, payloads):
+        for key, address, data in zip(keys, page_addresses, payloads):
             encrypted = key.cipher().encrypt(
                 data, nonce=b"payload:%d" % address
             )
@@ -193,10 +215,37 @@ class PayloadCodec:
         instead of raising — the mount scan probes every eligible page and
         expects most to fail.
         """
+        return self.decode_pages_keyed(
+            [key] * len(page_addresses),
+            page_addresses,
+            coded_pages,
+            n_bytes,
+            on_error=on_error,
+        )
+
+    def decode_pages_keyed(
+        self,
+        keys: Sequence[HidingKey],
+        page_addresses: Sequence[int],
+        coded_pages: Sequence[np.ndarray],
+        n_bytes: int,
+        on_error: str = "raise",
+    ) -> List[Optional[bytes]]:
+        """Like :meth:`decode_pages`, but with one key *per page*.
+
+        The decode counterpart of :meth:`encode_pages_keyed`: the ECC of
+        every page (whoever it belongs to) corrects in one vectorised
+        ``decode_many`` pass, then each page unwhitens under its own key.
+        With a constant key list this is exactly :meth:`decode_pages`.
+        """
         if len(coded_pages) != len(page_addresses):
             raise ValueError(
                 f"got {len(page_addresses)} page addresses for "
                 f"{len(coded_pages)} coded pages"
+            )
+        if len(keys) != len(page_addresses):
+            raise ValueError(
+                f"got {len(keys)} keys for {len(page_addresses)} pages"
             )
         expected = self.coded_length(n_bytes)
         allocation = self._allocate(n_bytes * 8)
@@ -229,7 +278,7 @@ class PayloadCodec:
                 page_words.append(results[p * n_words:(p + 1) * n_words])
         _OBS_DECODE_PAGES.inc(len(pages))
         out: List[Optional[bytes]] = []
-        for address, words in zip(page_addresses, page_words):
+        for key, address, words in zip(keys, page_addresses, page_words):
             failure = next(
                 (w for w in words if isinstance(w, EccError)), None
             )

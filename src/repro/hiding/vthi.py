@@ -231,6 +231,72 @@ class VtHi:
             for i in range(len(pages))
         ]
 
+    def embed_prepared(
+        self, items: Sequence[tuple]
+    ) -> List[tuple]:
+        """Algorithm 1's read-PP loop over prepared items *across blocks*.
+
+        Each item is ``(block, page, zero_cells)`` — the hidden-'0' cell
+        indices the caller already derived from its selection map (a
+        multi-tenant service computes those under per-tenant keys).  The
+        loop runs step-synchronised like :meth:`embed_pages`, but each
+        step's probe is one
+        :meth:`~repro.nand.chip.FlashChip.probe_voltages_locations` call
+        spanning blocks.  Per-item outcomes — probe values, pulse
+        randomness, step counts — are bit-identical to embedding each
+        item alone, in any grouping: every input to the loop (voltages,
+        PP pulse streams, pulse counts) is per-(block, page) state, and
+        items in one batch never share a page.
+
+        Returns ``(pp_steps_used, cells_left_below)`` per item.
+        """
+        prepared = [
+            (int(block), int(page), np.asarray(cells, dtype=np.int64))
+            for block, page, cells in items
+        ]
+        for block, page, _ in prepared:
+            if not self.chip.is_page_programmed(block, page):
+                raise SelectionError(
+                    f"page {page} of block {block} holds no public data; "
+                    "VT-HI hides inside public data (§5.1)"
+                )
+        target = self.config.threshold + self.config.guard
+        steps = [0] * len(prepared)
+        below = [cells for _, _, cells in prepared]
+        active = [i for i in range(len(prepared)) if below[i].size]
+        with obs.span("vthi.embed_prepared", items=len(prepared)):
+            for _ in range(self.config.pp_steps):
+                if not active:
+                    break
+                locations = [prepared[i][:2] for i in active]
+                voltages = self.chip.probe_voltages_locations(locations)
+                still_active = []
+                for row, i in enumerate(active):
+                    zero_cells = prepared[i][2]
+                    below[i] = zero_cells[
+                        voltages[row, zero_cells] < target
+                    ]
+                    if below[i].size == 0:
+                        continue
+                    self.chip.partial_program(
+                        prepared[i][0],
+                        prepared[i][1],
+                        below[i],
+                        fraction=self.config.pp_fraction,
+                        precision=self.config.pp_precision,
+                    )
+                    steps[i] += 1
+                    still_active.append(i)
+                active = still_active
+        _OBS_EMBED_PAGES.inc(len(prepared))
+        _OBS_EMBED_PP_STEPS.inc(sum(steps))
+        if obs.is_enabled():
+            for count in steps:
+                _OBS_STEPS_HIST.observe(count)
+        return [
+            (steps[i], int(below[i].size)) for i in range(len(prepared))
+        ]
+
     def read_bits(
         self,
         block: int,

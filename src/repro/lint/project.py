@@ -35,6 +35,15 @@ _DISPATCH_METHODS = frozenset({"map", "map_with_obs"})
 #: Bare-name dispatch helpers from :mod:`repro.parallel`.
 _DISPATCH_FUNCTIONS = frozenset({"run_units"})
 
+#: Attribute methods treated as fleet dispatch when the module imports
+#: from :mod:`repro.fleet`: a scheduler's ``run_round`` and the service
+#: engine ``execute_round`` route tenant requests into the batch
+#: kernels, so everything reachable from them is row-producing and the
+#: determinism rules must cover it.  Unlike parallel dispatch (where the
+#: dispatched *argument* is the entry), the called method itself is the
+#: entry point.
+_FLEET_DISPATCH_METHODS = frozenset({"run_round", "execute_round"})
+
 
 @dataclass(slots=True)
 class FunctionInfo:
@@ -339,6 +348,13 @@ class Project:
             src.endswith("parallel")
             for src, _ in module.from_imports.values()
         )
+        uses_fleet = any(
+            src == "repro.fleet" or src.startswith("repro.fleet.")
+            for src in module.imports.values()
+        ) or any(
+            src == "repro.fleet" or src.startswith("repro.fleet.")
+            for src, _ in module.from_imports.values()
+        ) or module.modname.startswith("repro.fleet")
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -354,6 +370,15 @@ class Project:
                 and node.func.attr in _DISPATCH_METHODS
             ):
                 entry = node.args[0] if node.args else None
+            elif (
+                uses_fleet
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _FLEET_DISPATCH_METHODS
+            ):
+                # The fleet engine itself is the entry: requests fan out
+                # from here into the chip batch kernels.
+                yield DispatchSite(module.modname, node.lineno, node.func.attr)
+                continue
             else:
                 continue
             name: Optional[str] = None

@@ -22,6 +22,7 @@ from ..project import FunctionInfo, ModuleInfo, Project
 #: the parallel-reachable set).
 SCOPE_PACKAGES: Tuple[str, ...] = (
     "repro.experiments",
+    "repro.fleet",
     "repro.hiding",
     "repro.nand",
 )
@@ -115,8 +116,10 @@ class NondeterministicSourceRule(Rule):
     severity = Severity.ERROR
     description = (
         "random.*, global np.random.*, wall-clock time or OS entropy in "
-        "experiments/, hiding/, nand/ or any function dispatched through "
-        "repro.parallel; derive randomness via repro.rng substreams"
+        "experiments/, fleet/, hiding/, nand/ or any function reachable "
+        "from a repro.parallel work unit or a fleet scheduler dispatch "
+        "(run_round/execute_round); derive randomness via repro.rng "
+        "substreams"
     )
 
     def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
@@ -233,9 +236,9 @@ class ParallelSharedStateRule(Rule):
     severity = Severity.ERROR
     description = (
         "global/module-level state mutated by a function reachable from a "
-        "ParallelRunner work unit — a cross-backend race; results would "
-        "depend on worker scheduling (thread) or silently diverge from the "
-        "parent (process)"
+        "ParallelRunner work unit or a fleet scheduler dispatch — a "
+        "cross-backend race; results would depend on worker scheduling "
+        "(thread) or silently diverge from the parent (process)"
     )
 
     def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:

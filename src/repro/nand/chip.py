@@ -416,6 +416,126 @@ class FlashChip:
         self._account("read", len(pages))
         return bits
 
+    # ------------------------------------------------------------------
+    # cross-block batched operations
+    #
+    # The per-block batch ops above amortise Python dispatch across the
+    # pages of ONE block; a fleet-style service coalesces requests from
+    # many tenants, each owning a different block, so these variants take
+    # ``(block, page)`` location lists spanning blocks.  Soundness is the
+    # same argument one level up: all mutable operation state (voltages,
+    # exposure, latent caches) lives on ``BlockState``, so operations on
+    # distinct blocks commute exactly, and within one call every location
+    # is distinct — each batch is bit-identical to the serial loop over
+    # its locations in list order.
+
+    def _check_locations(
+        self, locations: Sequence
+    ) -> list:
+        """Validate a cross-block location batch -> ``[(block, page)]``.
+
+        Mirrors :meth:`_check_pages`: bounds errors delegate to
+        ``check_page`` for the first offender in list order, duplicates
+        are rejected (the serial loops these mirror never legally touch
+        the same location twice in one batch).
+        """
+        locs = [(int(block), int(page)) for block, page in locations]
+        if not locs:
+            raise AddressError("locations must be a non-empty sequence")
+        for block, page in locs:
+            self.geometry.check_page(block, page)
+        if len(set(locs)) != len(locs):
+            raise AddressError("batched locations must be distinct")
+        return locs
+
+    def read_locations(
+        self,
+        locations: Sequence,
+        threshold: Optional[float] = None,
+    ) -> np.ndarray:
+        """Read many ``(block, page)`` locations as a bit array.
+
+        The cross-block counterpart of :meth:`read_pages`: equivalent to
+        stacking ``read_page(block, page, threshold)`` per location in
+        list order.  Disturb masks are computed against each page's
+        pre-read exposure exactly as the serial loop over distinct
+        locations does (a read only bumps its *own* page's exposure).
+        """
+        locs = self._check_locations(locations)
+        if threshold is None:
+            threshold = self.params.voltage.slc_threshold
+        states = {block: self._block(block) for block, _ in locs}
+        voltages = np.stack(
+            [self._effective_voltages(states[b], p) for b, p in locs]
+        )
+        bits = (voltages < threshold).astype(np.uint8)
+        for i, (block, page) in enumerate(locs):
+            flip = self._disturb_mask(states[block], page)
+            if flip.any():
+                bits[i][flip] ^= 1
+        prob = self.params.disturb.read_flip_prob
+        for block, page in locs:
+            states[block].page_exposure[page] += prob
+        self._account("read", len(locs))
+        return bits
+
+    def probe_voltages_locations(self, locations: Sequence) -> np.ndarray:
+        """Per-cell voltages of many ``(block, page)`` locations.
+
+        The cross-block counterpart of :meth:`probe_voltages_batch`:
+        equivalent to stacking :meth:`probe_voltages` per location; one
+        read operation is accounted per location probed.
+        """
+        locs = self._check_locations(locations)
+        states = {block: self._block(block) for block, _ in locs}
+        voltages = np.stack(
+            [self._effective_voltages(states[b], p) for b, p in locs]
+        )
+        self._account("read", len(locs))
+        quantised = np.clip(
+            np.rint(voltages), 0, self.params.voltage.probe_max
+        )
+        return quantised.astype(np.uint8)
+
+    def program_locations(self, locations: Sequence, data) -> None:
+        """Program public data at many ``(block, page)`` locations.
+
+        Equivalent to ``for (b, p), d in zip(locations, data):
+        program_page(b, p, d)``, except every location is validated
+        before any cell is touched.  Locations are grouped per block (in
+        first-appearance order, preserving each block's internal list
+        order) and run through the block program kernel; the grouping is
+        sound because blocks share no mutable state.
+        """
+        locs = self._check_locations(locations)
+        payloads = list(data)
+        if len(payloads) != len(locs):
+            raise ProgramError(
+                f"got {len(payloads)} payloads for {len(locs)} locations"
+            )
+        grouped: Dict[int, list] = {}
+        for i, (block, page) in enumerate(locs):
+            grouped.setdefault(block, []).append(i)
+        for block, indices in grouped.items():
+            state = self._block(block)
+            if state.bad:
+                raise ProgramError(f"block {block} is marked bad")
+            pages = [locs[i][1] for i in indices]
+            already = [int(p) for p in pages if state.page_programmed[p]]
+            if already:
+                raise ProgramError(
+                    f"pages {already} of block {block} already programmed; "
+                    "NAND requires erase before reprogram"
+                )
+        for block, indices in grouped.items():
+            state = self._block(block)
+            pages = [locs[i][1] for i in indices]
+            all_bits = np.stack(
+                [self._as_bits(payloads[i]) for i in indices]
+            )
+            self._program_rows(state, block, pages, all_bits)
+        self._account("program", len(locs))
+
     def _check_pages(self, block: int, pages: Sequence[int]) -> np.ndarray:
         pages = np.asarray(pages, dtype=np.int64)
         if pages.ndim != 1 or pages.size == 0:

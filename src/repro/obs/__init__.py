@@ -18,7 +18,7 @@ Instrumentation never touches RNG or numeric state: experiment rows are
 bit-identical with observability enabled or disabled.
 """
 
-from .aggregate import Collection, collect, scoped_call
+from .aggregate import Collection, ShardAggregator, collect, scoped_call
 from .metrics import (
     DEFAULT_SPAN_CAPACITY,
     Counter,
@@ -58,6 +58,7 @@ __all__ = [
     "ObsSnapshot",
     "ProfileEntry",
     "Registry",
+    "ShardAggregator",
     "SpanRecord",
     "TRACE_ENV",
     "collect",

@@ -1,0 +1,152 @@
+"""Coalescing is semantics-free: bit-identical per-tenant results.
+
+The headline property of the fleet layer (DESIGN §12): for any workload,
+any arrival interleaving, any round cap and either scheduler, every
+tenant observes exactly the same responses — coalescing changes *when*
+chip work happens, never *what* a tenant reads back.  Hypothesis drives
+the workload generator's seeds and the queue/scheduler knobs; the chips
+are compared down to raw block voltages.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import (
+    CoalescingScheduler,
+    FleetConfig,
+    FleetService,
+    NaiveScheduler,
+    WorkloadConfig,
+    generate_requests,
+)
+
+SETTINGS = dict(max_examples=8, deadline=None)
+
+
+def run_workload(
+    workload,
+    scheduler,
+    n_shards=2,
+    fleet_seed=9,
+    max_round_requests=None,
+):
+    service = FleetService(FleetConfig(
+        tenants=workload.tenants,
+        n_shards=n_shards,
+        seed=fleet_seed,
+        max_round_requests=max_round_requests,
+    ))
+    for request in generate_requests(workload):
+        assert service.submit(request)
+    responses = service.drain(scheduler)
+    return service, sorted(r.deterministic_view() for r in responses)
+
+
+def assert_chips_identical(service_a, service_b):
+    for shard_a, shard_b in zip(service_a.shards, service_b.shards):
+        for block in range(service_a.model.geometry.n_blocks):
+            np.testing.assert_array_equal(
+                shard_a.chip._block(block).voltages,
+                shard_b.chip._block(block).voltages,
+            )
+
+
+def int_counters(service):
+    totals = service.fleet_snapshot().op_counters
+    return (
+        totals.reads, totals.programs, totals.erases,
+        totals.partial_programs,
+    )
+
+
+class TestSchedulerEquivalence:
+    @settings(**SETTINGS)
+    @given(
+        seed=st.integers(0, 2**16),
+        tenants=st.integers(1, 10),
+        ops=st.integers(1, 6),
+    )
+    def test_naive_and_coalesced_bit_identical(self, seed, tenants, ops):
+        workload = WorkloadConfig(
+            tenants=tenants, ops_per_tenant=ops, seed=seed
+        )
+        shards = min(2, tenants)
+        svc_naive, out_naive = run_workload(
+            workload, NaiveScheduler(), n_shards=shards
+        )
+        svc_coal, out_coal = run_workload(
+            workload, CoalescingScheduler(), n_shards=shards
+        )
+        assert out_naive == out_coal
+        # Not just the responses: the simulated silicon ends bit-equal.
+        assert_chips_identical(svc_naive, svc_coal)
+        assert int_counters(svc_naive) == int_counters(svc_coal)
+
+    @settings(**SETTINGS)
+    @given(
+        seed=st.integers(0, 2**16),
+        arrival_a=st.integers(0, 2**16),
+        arrival_b=st.integers(0, 2**16),
+    )
+    def test_arrival_interleaving_is_immaterial(
+        self, seed, arrival_a, arrival_b
+    ):
+        base = dict(tenants=6, ops_per_tenant=4, seed=seed)
+        wl_a = WorkloadConfig(arrival_seed=arrival_a, **base)
+        wl_b = WorkloadConfig(arrival_seed=arrival_b, **base)
+        svc_a, out_a = run_workload(wl_a, CoalescingScheduler())
+        svc_b, out_b = run_workload(wl_b, CoalescingScheduler())
+        assert out_a == out_b
+        assert_chips_identical(svc_a, svc_b)
+
+    @settings(**SETTINGS)
+    @given(
+        seed=st.integers(0, 2**16),
+        cap=st.one_of(st.none(), st.integers(1, 5)),
+    )
+    def test_round_cap_is_immaterial(self, seed, cap):
+        workload = WorkloadConfig(tenants=6, ops_per_tenant=4, seed=seed)
+        _, capped = run_workload(
+            workload, CoalescingScheduler(), max_round_requests=cap
+        )
+        _, uncapped = run_workload(workload, CoalescingScheduler())
+        assert capped == uncapped
+
+    @settings(**SETTINGS)
+    @given(
+        seed=st.integers(0, 2**16),
+        shards_a=st.integers(1, 4),
+        shards_b=st.integers(1, 4),
+    )
+    def test_shard_count_is_service_invisible(self, seed, shards_a, shards_b):
+        # Placement (shard/block/chip seed) changes with the shard
+        # count, so voltages and pp_steps legitimately differ — but the
+        # service-level outcome (status, payload, directory) of every
+        # request must not.
+        workload = WorkloadConfig(tenants=6, ops_per_tenant=4, seed=seed)
+        _, out_a = run_workload(
+            workload, CoalescingScheduler(), n_shards=shards_a
+        )
+        _, out_b = run_workload(
+            workload, CoalescingScheduler(), n_shards=shards_b
+        )
+        def strip(view):
+            return view[:6]  # drop pp_steps
+
+        assert [strip(v) for v in out_a] == [strip(v) for v in out_b]
+
+
+class TestReplayDeterminism:
+    def test_same_config_same_everything(self):
+        workload = WorkloadConfig(tenants=5, ops_per_tenant=5, seed=123)
+        svc_a, out_a = run_workload(workload, CoalescingScheduler())
+        svc_b, out_b = run_workload(workload, CoalescingScheduler())
+        assert out_a == out_b
+        assert_chips_identical(svc_a, svc_b)
+        snap_a = svc_a.fleet_snapshot()
+        snap_b = svc_b.fleet_snapshot()
+        assert snap_a.counters == snap_b.counters
+        # float totals too: same submission order => bit-equal floats
+        assert snap_a.op_counters.busy_time_s == snap_b.op_counters.busy_time_s
+        assert snap_a.op_counters.energy_j == snap_b.op_counters.energy_j

@@ -1,0 +1,144 @@
+"""Cross-block location kernels are bit-identical to single-page loops.
+
+Same discipline as ``tests/nand/test_batch_ops.py``, one level up: the
+fleet's coalescing scheduler feeds ``(block, page)`` lists that span
+*blocks*, so ``read_locations`` / ``probe_voltages_locations`` /
+``program_locations`` must match loops of the per-page ops on an
+identically-seeded chip — voltages, readback and ``OpCounters`` alike.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nand import TEST_MODEL, FlashChip
+from repro.nand.errors import AddressError, ProgramError
+from repro.rng import substream
+
+GEO = TEST_MODEL.geometry
+
+
+def page_bits(index):
+    rng = substream(505, "loc-page", index)
+    return (rng.random(GEO.cells_per_page) < 0.5).astype(np.uint8)
+
+
+def counters_tuple(chip):
+    c = chip.counters
+    return (
+        c.reads, c.programs, c.erases, c.partial_programs,
+        c.busy_time_s, c.energy_j,
+    )
+
+
+def chip_pair(seed=11):
+    return (
+        FlashChip(GEO, TEST_MODEL.params, seed=seed),
+        FlashChip(GEO, TEST_MODEL.params, seed=seed),
+    )
+
+
+#: Locations spanning three blocks, deliberately not block-sorted.
+LOCATIONS = [(2, 1), (0, 0), (1, 3), (0, 2), (2, 0), (1, 1)]
+
+
+def program_both(batch_chip, loop_chip, locations):
+    data = [page_bits(i) for i in range(len(locations))]
+    batch_chip.program_locations(locations, data)
+    for (block, page), bits in zip(locations, data):
+        loop_chip.program_page(block, page, bits)
+    return data
+
+
+class TestProgramLocations:
+    def test_matches_single_page_loop(self):
+        batch_chip, loop_chip = chip_pair()
+        program_both(batch_chip, loop_chip, LOCATIONS)
+        for block in range(3):
+            np.testing.assert_array_equal(
+                batch_chip._block(block).voltages,
+                loop_chip._block(block).voltages,
+            )
+        assert counters_tuple(batch_chip) == counters_tuple(loop_chip)
+
+    def test_payload_count_mismatch(self):
+        chip, _ = chip_pair()
+        with pytest.raises(ProgramError, match="2 payloads for 3"):
+            chip.program_locations(
+                [(0, 0), (0, 1), (0, 2)], [page_bits(0), page_bits(1)]
+            )
+
+    def test_rejects_duplicate_locations(self):
+        chip, _ = chip_pair()
+        with pytest.raises(AddressError, match="distinct"):
+            chip.program_locations(
+                [(0, 0), (0, 0)], [page_bits(0), page_bits(1)]
+            )
+
+    def test_rejects_empty(self):
+        chip, _ = chip_pair()
+        with pytest.raises(AddressError, match="non-empty"):
+            chip.program_locations([], [])
+
+    def test_validates_before_any_write(self):
+        # A bad location anywhere in the list must leave the chip
+        # untouched — no partial batch.
+        chip, _ = chip_pair()
+        before = counters_tuple(chip)
+        with pytest.raises(AddressError):
+            chip.program_locations(
+                [(0, 0), (99, 0)], [page_bits(0), page_bits(1)]
+            )
+        assert counters_tuple(chip) == before
+        assert not chip._block(0).page_programmed[0]
+
+
+class TestReadLocations:
+    def test_matches_single_page_loop(self):
+        batch_chip, loop_chip = chip_pair()
+        program_both(batch_chip, loop_chip, LOCATIONS)
+        batch = batch_chip.read_locations(LOCATIONS)
+        for row, (block, page) in zip(batch, LOCATIONS):
+            np.testing.assert_array_equal(
+                row, loop_chip.read_page(block, page)
+            )
+        assert counters_tuple(batch_chip) == counters_tuple(loop_chip)
+
+    def test_threshold_read_matches(self):
+        batch_chip, loop_chip = chip_pair()
+        program_both(batch_chip, loop_chip, LOCATIONS)
+        batch = batch_chip.read_locations(LOCATIONS, threshold=34)
+        for row, (block, page) in zip(batch, LOCATIONS):
+            np.testing.assert_array_equal(
+                row, loop_chip.read_page(block, page, threshold=34)
+            )
+
+    def test_disturb_accumulates_identically(self):
+        batch_chip, loop_chip = chip_pair()
+        program_both(batch_chip, loop_chip, LOCATIONS)
+        for _ in range(5):
+            batch_chip.read_locations(LOCATIONS)
+            for block, page in LOCATIONS:
+                loop_chip.read_page(block, page)
+        for block in range(3):
+            np.testing.assert_array_equal(
+                batch_chip._block(block).voltages,
+                loop_chip._block(block).voltages,
+            )
+
+    def test_rejects_duplicates(self):
+        chip, _ = chip_pair()
+        chip.program_locations([(0, 0)], [page_bits(0)])
+        with pytest.raises(AddressError, match="distinct"):
+            chip.read_locations([(0, 0), (0, 0)])
+
+
+class TestProbeVoltagesLocations:
+    def test_matches_single_page_probe(self):
+        batch_chip, loop_chip = chip_pair()
+        program_both(batch_chip, loop_chip, LOCATIONS)
+        batch = batch_chip.probe_voltages_locations(LOCATIONS)
+        for row, (block, page) in zip(batch, LOCATIONS):
+            np.testing.assert_array_equal(
+                row, loop_chip.probe_voltages(block, page)
+            )
+        assert counters_tuple(batch_chip) == counters_tuple(loop_chip)

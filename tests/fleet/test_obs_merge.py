@@ -1,0 +1,126 @@
+"""Fleet observability totals are exact, ordered merges — never samples.
+
+``ShardAggregator`` retains per-(round, shard) snapshots in submission
+order and folds them through ``merge_snapshots`` in exactly that order,
+so fleet totals must equal a manual one-at-a-time fold float-for-float,
+and the merged ``OpCounters`` must equal the ordered sum of the per-shard
+chip counters.
+"""
+
+from repro import obs
+from repro.fleet import (
+    CoalescingScheduler,
+    FleetConfig,
+    FleetService,
+    Request,
+    WorkloadConfig,
+    generate_requests,
+)
+from repro.obs import ShardAggregator, merge_snapshots
+
+
+def drained_service(tenants=6, n_shards=3, seed=21):
+    service = FleetService(FleetConfig(
+        tenants=tenants, n_shards=n_shards, seed=seed
+    ))
+    workload = WorkloadConfig(tenants=tenants, ops_per_tenant=5, seed=seed)
+    for request in generate_requests(workload):
+        assert service.submit(request)
+    service.drain(CoalescingScheduler())
+    return service
+
+
+def snapshot_key(snapshot):
+    """Every float-bearing field that must match bit-for-bit."""
+    return (
+        snapshot.counters,
+        snapshot.gauges,
+        {name: (h.count, h.total, h.min, h.max)
+         for name, h in snapshot.histograms.items()},
+        snapshot.wall_s,
+    )
+
+
+class TestAggregatorExactness:
+    def test_totals_equal_manual_fold(self):
+        service = drained_service()
+        entries = [snap for _, snap in service.aggregator._entries]
+        manual = merge_snapshots([])
+        for snapshot in entries:
+            manual = merge_snapshots([manual, snapshot])
+        totals = service.aggregator.totals()
+        assert snapshot_key(totals) == snapshot_key(manual)
+
+    def test_shard_totals_partition_the_entries(self):
+        service = drained_service()
+        agg = service.aggregator
+        assert sorted(agg.shard_ids()) == [0, 1, 2]
+        # Each shard total equals folding just that shard's snapshots.
+        for shard_id in agg.shard_ids():
+            own = [s for sid, s in agg._entries if sid == shard_id]
+            assert snapshot_key(agg.shard_total(shard_id)) == snapshot_key(
+                merge_snapshots(own)
+            )
+        # And the per-shard counter sums recompose the global counters.
+        recomposed = {}
+        for _, snapshot in agg._entries:
+            for name, value in snapshot.counters.items():
+                recomposed[name] = recomposed.get(name, 0) + value
+        assert recomposed == agg.totals().counters
+
+    def test_fleet_op_counters_equal_chip_sums(self):
+        service = drained_service()
+        totals = service.fleet_snapshot()
+        summed = service.shards[0].chip.counters.copy()
+        for shard in service.shards[1:]:
+            summed = summed + shard.chip.counters
+        assert totals.op_counters.reads == summed.reads
+        assert totals.op_counters.programs == summed.programs
+        assert totals.op_counters.erases == summed.erases
+        assert totals.op_counters.partial_programs == summed.partial_programs
+        # float fields too: merge folds shards in the same order
+        assert totals.op_counters.busy_time_s == summed.busy_time_s
+        assert totals.op_counters.energy_j == summed.energy_j
+
+    def test_scoped_counters_match_chip_counters(self):
+        # The per-round collect scopes see every chip op the drain ran:
+        # chip.* counters in the aggregated totals equal the lifetime
+        # chip OpCounters (provisioning is recorded through a scope too).
+        service = drained_service()
+        totals = service.fleet_snapshot()
+        assert totals.counters["chip.reads"] == totals.op_counters.reads
+        assert totals.counters["chip.programs"] == totals.op_counters.programs
+        assert totals.counters["chip.erases"] == totals.op_counters.erases
+        assert (
+            totals.counters["chip.partial_programs"]
+            == totals.op_counters.partial_programs
+        )
+
+    def test_submission_order_is_preserved_not_sorted(self):
+        agg = ShardAggregator()
+        with obs.collect(absorb=False) as col_a:
+            obs.counter("merge.test").inc(1)
+        with obs.collect(absorb=False) as col_b:
+            obs.counter("merge.test").inc(2)
+        agg.add(7, col_a.snapshot)
+        agg.add(3, col_b.snapshot)
+        assert agg.shard_ids() == [7, 3]  # first-submission order
+        assert len(agg) == 2
+        assert agg.totals().counters["merge.test"] == 3.0
+        assert agg.shard_total(7).counters["merge.test"] == 1.0
+        assert agg.shard_total(3).counters["merge.test"] == 2.0
+
+
+class TestRequestAccounting:
+    def test_fleet_counters_count_requests_and_rounds(self):
+        service = FleetService(FleetConfig(tenants=4, n_shards=2, seed=1))
+        for tenant in range(4):
+            service.submit(Request(tenant, "write", 0, b"x"))
+            service.submit(Request(tenant, "mount"))
+        service.drain(CoalescingScheduler())
+        totals = service.aggregator.totals()
+        assert totals.counters["fleet.requests"] == 8.0
+        # 2 rounds x 2 shards with every tenant active
+        assert totals.counters["fleet.shard_rounds"] == 4.0
+        assert totals.histograms["fleet.round_size"].count == 4
+        assert totals.histograms["fleet.round_size"].total == 8.0

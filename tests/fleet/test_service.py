@@ -1,0 +1,219 @@
+"""Fleet service semantics: round-trips, statuses, rebuild, admission."""
+
+import pytest
+
+from repro.fleet import (
+    AdmissionError,
+    CoalescingScheduler,
+    FleetConfig,
+    FleetService,
+    Request,
+    RequestQueue,
+)
+
+
+def small_service(**overrides):
+    params = dict(tenants=4, n_shards=2, seed=5)
+    params.update(overrides)
+    return FleetService(FleetConfig(**params))
+
+
+def drain(service):
+    return service.drain(CoalescingScheduler())
+
+
+class TestRoundTrips:
+    def test_write_then_read(self):
+        service = small_service()
+        assert service.submit(Request(0, "write", 0, b"attack at dawn"))
+        assert service.submit(Request(0, "read", 0))
+        responses = drain(service)
+        assert [r.status for r in responses] == ["ok", "ok"]
+        assert responses[1].payload == b"attack at dawn"
+
+    def test_overwrite_serves_latest(self):
+        service = small_service()
+        for payload in (b"first", b"second", b"third"):
+            service.submit(Request(1, "write", 0, payload))
+        service.submit(Request(1, "read", 0))
+        responses = drain(service)
+        assert responses[-1].payload == b"third"
+
+    def test_tenants_are_isolated(self):
+        service = small_service()
+        service.submit(Request(0, "write", 0, b"tenant zero"))
+        service.submit(Request(1, "write", 0, b"tenant one"))
+        service.submit(Request(0, "read", 0))
+        service.submit(Request(1, "read", 0))
+        responses = {
+            (r.tenant, r.kind): r for r in drain(service)
+        }
+        assert responses[(0, "read")].payload == b"tenant zero"
+        assert responses[(1, "read")].payload == b"tenant one"
+
+
+class TestStatuses:
+    def test_read_missing_lba(self):
+        service = small_service()
+        service.submit(Request(2, "read", 1))
+        (response,) = drain(service)
+        assert response.status == "not_found"
+        assert response.payload == b""
+
+    def test_write_too_large(self):
+        service = small_service()
+        oversize = b"x" * (service.slot_payload_bytes + 1)
+        service.submit(Request(0, "write", 0, oversize))
+        (response,) = drain(service)
+        assert response.status == "too_large"
+
+    def test_volume_full_on_distinct_lbas(self):
+        service = small_service()
+        slots = len(service._host_pages)
+        for lba in range(slots + 1):
+            service.submit(Request(0, "write", lba, b"v"))
+        responses = drain(service)
+        assert [r.status for r in responses] == ["ok"] * slots + ["full"]
+
+
+class TestRebuild:
+    def test_overwrites_trigger_rebuild_and_preserve_others(self):
+        service = small_service()
+        ts = service.tenants[0]
+        slots = len(service._host_pages)
+        # Fill every slot, then overwrite lba 0 until a rebuild must fire.
+        for lba in range(slots):
+            service.submit(Request(0, "write", lba, b"keep %d" % lba))
+        for round_ in range(3):
+            service.submit(Request(0, "write", 0, b"round %d" % round_))
+        drain(service)
+        assert ts.epoch >= 1
+        # Every other lba survived the erase cycles.
+        for lba in range(slots):
+            service.submit(Request(0, "read", lba))
+        responses = drain(service)
+        got = {r.lba: r.payload for r in responses}
+        assert got[0] == b"round 2"
+        for lba in range(1, slots):
+            assert got[lba] == b"keep %d" % lba
+
+    def test_uncorrectable_slot_is_dropped_not_fatal(self):
+        # Under a deliberately feeble code (t=2 against a ~6-error/page
+        # raw BER) rebuild decodes fail; the service must drop the dead
+        # slots, count them, and keep serving — identically under both
+        # schedulers (the decode result is scheduler-independent).
+        from repro.fleet import FLEET_HIDING, NaiveScheduler
+
+        def run(scheduler):
+            service = small_service(
+                tenants=2, n_shards=1,
+                hiding=FLEET_HIDING.replace(ecc_t=2),
+            )
+            slots = len(service._host_pages)
+            for lba in range(slots):
+                service.submit(Request(0, "write", lba, b"v%d" % lba))
+            service.submit(Request(0, "write", 0, b"again"))  # rebuild
+            service.drain(scheduler)
+            for lba in range(slots):
+                service.submit(Request(0, "read", lba))
+            statuses = [r.status for r in service.drain(scheduler)]
+            lost = service.aggregator.totals().counters.get(
+                "fleet.lost_slots", 0
+            )
+            return statuses, lost
+
+        statuses, lost = run(CoalescingScheduler())
+        assert lost > 0
+        assert "not_found" in statuses
+        assert run(NaiveScheduler()) == (statuses, lost)
+
+    def test_rebuild_is_scoped_to_the_tenant_block(self):
+        service = small_service(tenants=2, n_shards=1)
+        service.submit(Request(1, "write", 0, b"bystander"))
+        drain(service)
+        slots = len(service._host_pages)
+        for i in range(slots + 2):
+            service.submit(Request(0, "write", 0, b"w%d" % i))
+        drain(service)
+        assert service.tenants[0].epoch >= 1
+        assert service.tenants[1].epoch == 0
+        # the bystander on the same chip is untouched and still readable
+        service.submit(Request(1, "read", 0))
+        (response,) = drain(service)
+        assert response.payload == b"bystander"
+
+
+class TestMount:
+    def test_directory_lists_live_slots(self):
+        service = small_service()
+        service.submit(Request(3, "write", 0, b"short"))
+        service.submit(Request(3, "write", 1, b"longer one"))
+        service.submit(Request(3, "write", 0, b"rewritten!"))
+        service.submit(Request(3, "mount"))
+        responses = drain(service)
+        directory = responses[-1].directory
+        assert directory == ((0, len(b"rewritten!")), (1, len(b"longer one")))
+
+    def test_empty_volume_mounts_empty(self):
+        service = small_service()
+        service.submit(Request(2, "mount"))
+        (response,) = drain(service)
+        assert response.status == "ok"
+        assert response.directory == ()
+
+    def test_mount_directory_helper_matches_state(self):
+        service = small_service()
+        service.submit(Request(0, "write", 1, b"hello"))
+        drain(service)
+        assert service.mount_directory(0) == ((1, 5),)
+
+
+class TestAdmission:
+    def test_per_tenant_depth_bound(self):
+        service = small_service(max_queue_per_tenant=2)
+        assert service.submit(Request(0, "read", 0))
+        assert service.submit(Request(0, "read", 0))
+        assert not service.submit(Request(0, "read", 0))
+        # other tenants are unaffected
+        assert service.submit(Request(1, "read", 0))
+        assert service.queue.stats.rejected == 1
+
+    def test_queue_raises_for_direct_users(self):
+        queue = RequestQueue(max_per_tenant=1)
+        queue.submit(Request(0, "read", 0))
+        with pytest.raises(AdmissionError, match="tenant 0"):
+            queue.submit(Request(0, "read", 0))
+
+    def test_round_cap_rotates_round_robin(self):
+        queue = RequestQueue(max_round_requests=2)
+        for tenant in (0, 1, 2):
+            queue.submit(Request(tenant, "mount"))
+            queue.submit(Request(tenant, "mount"))
+        rounds = []
+        while len(queue):
+            rounds.append([r.tenant for r in queue.next_round()])
+        assert rounds == [[0, 1], [2, 0], [1, 2]]
+
+    def test_unknown_tenant_rejected(self):
+        service = small_service()
+        with pytest.raises(KeyError):
+            service.submit(Request(99, "read", 0))
+
+
+class TestRoundInvariants:
+    def test_two_requests_same_tenant_rejected(self):
+        service = small_service()
+        with pytest.raises(ValueError, match="one request per tenant"):
+            service.execute_round(
+                0, [Request(0, "read", 0), Request(0, "read", 1)]
+            )
+
+    def test_responses_in_request_order(self):
+        service = small_service(tenants=4, n_shards=1)
+        requests = [Request(t, "mount") for t in (3, 1, 0, 2)]
+        responses = service.execute_round(0, requests)
+        assert [r.tenant for r in responses] == [3, 1, 0, 2]
+
+    def test_bad_request_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown request kind"):
+            Request(0, "erase")

@@ -113,3 +113,23 @@ def test_selection_size_and_range(count, seed):
 def test_shape_validation():
     with pytest.raises(ValueError):
         select_cells(KEY, 0, np.zeros((2, 2)), 1)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_matches_reference_index_stream_walk(seed):
+    # The production selector inlines and bulk-decodes the keystream;
+    # it must consume the exact same stream as the straightforward
+    # ``KeyedPrng.index_stream`` walk and pick the same cells.
+    bits = bits_with_ones(700, seed=seed)
+    ones = int((bits == 1).sum())
+    count = min(ones, 1 + seed % 128)
+    fast = select_cells(KEY, seed, bits, count)
+    prng = KEY.selection_prng().for_page(seed)
+    chosen = []
+    for offset in prng.index_stream(bits.size):
+        if bits[offset] == 1:
+            chosen.append(offset)
+            if len(chosen) == count:
+                break
+    np.testing.assert_array_equal(fast, np.asarray(chosen, dtype=np.int64))

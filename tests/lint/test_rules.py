@@ -212,6 +212,94 @@ class TestDet002:
 
 
 # ----------------------------------------------------------------------
+# Fleet scheduler dispatch sites seed DET001/DET002 reachability
+
+
+class TestFleetDispatch:
+    def test_wall_clock_reachable_from_fleet_dispatch(self, project):
+        # time.time() lives outside every scope package but is reachable
+        # from a fleet engine dispatch (execute_round) in a module that
+        # imports repro.fleet.
+        root = project({
+            "src/repro/clockutil.py": src(
+                """
+                import time
+
+                def stamp(x):
+                    return x, time.time()
+                """
+            ),
+            "src/repro/fleet/service.py": src(
+                """
+                from repro.clockutil import stamp
+
+                class FleetService:
+                    def execute_round(self, shard_id, requests):
+                        return [stamp(r) for r in requests]
+                """
+            ),
+            "src/repro/driver.py": src(
+                """
+                from repro.fleet.service import FleetService
+
+                def drive(requests):
+                    return FleetService().execute_round(0, requests)
+                """
+            ),
+        })
+        findings = lint(root)
+        assert codes(findings) == ["DET001"]
+        assert findings[0].path == "src/repro/clockutil.py"
+
+    def test_run_round_outside_fleet_not_a_dispatch(self, project):
+        # The same method names in a module with no repro.fleet import
+        # are not dispatch sites: the helper stays unreachable.
+        root = project({
+            "src/repro/clockutil.py": src(
+                """
+                import time
+
+                def stamp(x):
+                    return x, time.time()
+                """
+            ),
+            "src/repro/other.py": src(
+                """
+                from repro.clockutil import stamp
+
+                class Engine:
+                    def run_round(self, requests):
+                        return [stamp(r) for r in requests]
+
+                def drive(requests):
+                    return Engine().run_round(requests)
+                """
+            ),
+        })
+        assert lint(root) == []
+
+    def test_shared_state_write_under_fleet_dispatch(self, project):
+        root = project({
+            "src/repro/fleet/service.py": src(
+                """
+                _ROUNDS = {}
+
+                class FleetService:
+                    def execute_round(self, shard_id, requests):
+                        _ROUNDS[shard_id] = len(requests)
+                        return requests
+
+                def drive(svc):
+                    return svc.execute_round(0, [])
+                """
+            ),
+        })
+        findings = lint(root)
+        assert codes(findings) == ["DET002"]
+        assert "_ROUNDS" in findings[0].message
+
+
+# ----------------------------------------------------------------------
 # DET003 — iteration over sets of strings
 
 
