@@ -7,7 +7,7 @@ benchmark (``bench_fleet.collect``), so later PRs can diff performance
 against one consistent machine snapshot::
 
     PYTHONPATH=src python benchmarks/save_baseline.py [output.json]
-    PYTHONPATH=src python benchmarks/save_baseline.py --no-chip --no-fleet
+    PYTHONPATH=src python benchmarks/save_baseline.py --no-chip --no-fleet --no-onfi
 """
 
 from __future__ import annotations
@@ -21,6 +21,7 @@ from pathlib import Path
 
 import bench_chip
 import bench_fleet
+import bench_onfi
 
 from repro.experiments import fig6, reliability
 from repro.parallel import ParallelRunner, resolve_backend
@@ -88,7 +89,9 @@ def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     with_chip = "--no-chip" not in argv
     with_fleet = "--no-fleet" not in argv
-    argv = [a for a in argv if a not in ("--no-chip", "--no-fleet")]
+    with_onfi = "--no-onfi" not in argv
+    argv = [a for a in argv
+            if a not in ("--no-chip", "--no-fleet", "--no-onfi")]
     output = Path(argv[0]) if argv else DEFAULT_OUTPUT
     baseline = collect()
     output.write_text(json.dumps(baseline, indent=2) + "\n")
@@ -108,6 +111,13 @@ def main(argv=None) -> int:
             json.dumps(fleet_report, indent=2) + "\n"
         )
         print(f"wrote {bench_fleet.DEFAULT_OUTPUT}")
+    if with_onfi:
+        onfi_report = bench_onfi.collect(bench_onfi.FULL)
+        bench_onfi.check_floors(onfi_report, tiny=False)
+        bench_onfi.DEFAULT_OUTPUT.write_text(
+            json.dumps(onfi_report, indent=2) + "\n"
+        )
+        print(f"wrote {bench_onfi.DEFAULT_OUTPUT}")
     return 0
 
 

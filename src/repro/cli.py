@@ -385,42 +385,96 @@ def _cmd_fleet(args) -> int:
         seed=args.seed, arrival_seed=args.arrival_seed,
     )
     requests = generate_requests(workload)
+
+    def run_service(name: str, remote: bool):
+        with FleetService(FleetConfig(
+            tenants=args.tenants, n_shards=args.shards, seed=args.seed,
+            remote=remote, remote_backend=args.remote_backend,
+        )) as service:
+            rejected = sum(0 if service.submit(r) else 1 for r in requests)
+            start = time.perf_counter()
+            responses = service.drain(
+                make_scheduler(name),
+                shard_workers=args.shard_workers if remote else None,
+            )
+            wall = time.perf_counter() - start
+            snapshot = service.fleet_snapshot()
+        return responses, wall, rejected, snapshot
+
     runs = {}
     for name in names:
-        service = FleetService(FleetConfig(
-            tenants=args.tenants, n_shards=args.shards, seed=args.seed,
-        ))
-        rejected = sum(0 if service.submit(r) else 1 for r in requests)
-        start = time.perf_counter()
-        responses = service.drain(make_scheduler(name))
-        wall = time.perf_counter() - start
-        runs[name] = (service, responses, wall)
+        responses, wall, rejected, snapshot = run_service(
+            name, remote=args.remote
+        )
+        runs[name] = (responses, wall)
         payload_bytes = sum(
             len(r.payload) for r in responses if r.status == "ok"
         )
+        mode = "remote shards" if args.remote else "shards"
         print(f"{name}: {len(responses)} requests "
-              f"({rejected} rejected) over {args.shards} shards "
+              f"({rejected} rejected) over {args.shards} {mode} "
               f"in {wall:.3f} s — "
               f"{payload_bytes / wall / 1e6:.4f} MB/s hidden payload")
         print(_fleet_latency_table(responses))
         print(file=sys.stderr)
-        print(obs.one_line_summary(service.fleet_snapshot(),
-                                   enabled=obs.is_enabled()),
+        print(obs.one_line_summary(snapshot, enabled=obs.is_enabled()),
               file=sys.stderr)
+        if args.remote:
+            # Divergence check: the same workload on in-process shards
+            # must produce byte-identical per-tenant results.
+            local_responses, local_wall, _, _ = run_service(
+                name, remote=False
+            )
+            remote_view = sorted(
+                r.deterministic_view() for r in responses
+            )
+            local_view = sorted(
+                r.deterministic_view() for r in local_responses
+            )
+            identical = remote_view == local_view
+            print(f"{name}: remote vs in-process "
+                  f"({local_wall:.3f} s): per-tenant results "
+                  f"{'bit-identical' if identical else 'DIVERGED'}")
+            if not identical:
+                return 1
     if len(runs) == 2:
         naive_view = sorted(
-            r.deterministic_view() for r in runs["naive"][1]
+            r.deterministic_view() for r in runs["naive"][0]
         )
         coalesced_view = sorted(
-            r.deterministic_view() for r in runs["coalesced"][1]
+            r.deterministic_view() for r in runs["coalesced"][0]
         )
         identical = naive_view == coalesced_view
-        speedup = runs["naive"][2] / runs["coalesced"][2]
+        speedup = runs["naive"][1] / runs["coalesced"][1]
         print(f"coalesced vs naive: {speedup:.2f}x wall-clock; "
               f"per-tenant results "
               f"{'bit-identical' if identical else 'DIVERGED'}")
         if not identical:
             return 1
+    return 0
+
+
+def _cmd_onfi_serve(args) -> int:
+    """Serve one simulated chip as an ONFI wire device server."""
+    import socket
+
+    from .onfi import serve_listener
+
+    model = MODELS[args.model]
+    chip = FlashChip(model.geometry, model.params, seed=args.seed)
+    listener = socket.create_server((args.host, args.port))
+    host, port = listener.getsockname()[:2]
+    geometry = model.geometry
+    print(f"serving {args.model} chip (seed {args.seed}, "
+          f"{geometry.n_blocks}x{geometry.pages_per_block}x"
+          f"{geometry.page_bytes}B) on {host}:{port}",
+          flush=True)
+    try:
+        serve_listener(chip, listener, once=args.once)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        listener.close()
     return 0
 
 
@@ -563,7 +617,32 @@ def build_parser() -> argparse.ArgumentParser:
                    default="both",
                    help="request scheduler; `both` also checks "
                         "bit-identity and reports the speedup")
+    p.add_argument("--remote", action="store_true",
+                   help="place each shard chip in its own ONFI device "
+                        "server and verify bit-identity against "
+                        "in-process shards (exit 1 on divergence)")
+    p.add_argument("--remote-backend", choices=("process", "thread"),
+                   default="process",
+                   help="device-server backend for --remote "
+                        "(default process)")
+    p.add_argument("--shard-workers", type=int, default=None,
+                   help="threads fanning a round over remote shards "
+                        "(results are identical at any count)")
     p.set_defaults(func=_cmd_fleet)
+
+    p = sub.add_parser(
+        "onfi-serve",
+        help="serve a simulated chip over the ONFI wire protocol "
+             "(DESIGN.md §13); prints the bound host:port",
+    )
+    p.add_argument("--model", choices=sorted(MODELS), default="test")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (default 0 = ephemeral)")
+    p.add_argument("--once", action="store_true",
+                   help="serve a single connection, then exit")
+    p.set_defaults(func=_cmd_onfi_serve)
 
     p = sub.add_parser(
         "report", help="run the full light evaluation and print every table"

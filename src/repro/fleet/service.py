@@ -92,6 +92,14 @@ class FleetConfig:
     max_queue_per_tenant: int = 64
     #: Cap on requests admitted per round (``None`` = all tenants).
     max_round_requests: Optional[int] = None
+    #: Place each shard chip in its own device server, reached over the
+    #: :mod:`repro.onfi` wire (the ``fleet --remote`` mode).  Results are
+    #: bit-identical to in-process shards; only wall-clock differs.
+    remote: bool = False
+    #: Device-server backend for remote shards: ``"process"`` forks one
+    #: server per shard (true parallelism with ``drain(shard_workers=)``),
+    #: ``"thread"`` serves in-process (cheap, used by tests).
+    remote_backend: str = "process"
 
     def __post_init__(self) -> None:
         if self.tenants < 1:
@@ -101,6 +109,10 @@ class FleetConfig:
         if self.n_shards > self.tenants:
             raise ValueError(
                 f"n_shards ({self.n_shards}) exceeds tenants ({self.tenants})"
+            )
+        if self.remote_backend not in ("process", "thread"):
+            raise ValueError(
+                f"unknown remote backend {self.remote_backend!r}"
             )
 
 
@@ -165,12 +177,26 @@ class FleetService:
             )
         self.model = model
         self.shards: List[Shard] = []
+        self._server_handles: List[object] = []
         for index in range(config.n_shards):
-            chip = FlashChip(
-                model.geometry,
-                model.params,
-                seed=derive_seed(config.seed, "shard", index),
-            )
+            shard_seed = derive_seed(config.seed, "shard", index)
+            if config.remote:
+                # Imported lazily: only remote fleets pay for the wire
+                # stack (repro.onfi has no dependency back on the fleet).
+                from ..onfi import RemoteChip, spawn_chip_server
+
+                sock, handle = spawn_chip_server(
+                    model.geometry,
+                    model.params,
+                    seed=shard_seed,
+                    backend=config.remote_backend,
+                )
+                chip = RemoteChip(sock, model.geometry, model.params)
+                self._server_handles.append(handle)
+            else:
+                chip = FlashChip(
+                    model.geometry, model.params, seed=shard_seed
+                )
             self.shards.append(
                 Shard(index, chip, VtHi(chip, config.hiding))
             )
@@ -265,34 +291,127 @@ class FleetService:
             return False
         return True
 
-    def drain(self, scheduler) -> List[Response]:
+    def drain(
+        self, scheduler, shard_workers: Optional[int] = None
+    ) -> List[Response]:
         """Serve every queued request through `scheduler`, in rounds.
 
         Each round is split per shard (ascending shard order) and handed
         to ``scheduler.run_round``; per-(round, shard) observability
         snapshots accumulate in :attr:`aggregator` in submission order.
         Responses carry wall-clock latency relative to the drain start.
+
+        ``shard_workers`` fans a round's shards out over that many
+        threads.  Shards are fully disjoint (a tenant lives on exactly
+        one shard), worker metrics collect into thread-local registries,
+        and the main thread absorbs snapshots / appends responses in
+        ascending shard order — so results and aggregator contents are
+        identical to the sequential path.  Threads buy wall-clock only
+        when the shard chips release the GIL or live in their own server
+        processes (``FleetConfig.remote``).
         """
         responses: List[Response] = []
         self._drain_origin = time.perf_counter()
+        fan_out = shard_workers is not None and shard_workers > 1
         while len(self.queue):
             round_requests = self.queue.next_round()
             by_shard: Dict[int, List[Request]] = {}
             for request in round_requests:
                 shard_id = self.tenants[request.tenant].shard
                 by_shard.setdefault(shard_id, []).append(request)
-            for shard_id in sorted(by_shard):
-                shard_requests = by_shard[shard_id]
-                with obs.collect(absorb=True) as col:
-                    _OBS_SHARD_ROUNDS.inc()
-                    _OBS_REQUESTS.inc(len(shard_requests))
-                    _OBS_ROUND_SIZE.observe(len(shard_requests))
-                    shard_responses = scheduler.run_round(
-                        self, shard_id, shard_requests
+            ordered = sorted(by_shard)
+            if fan_out and len(ordered) > 1:
+                outcomes = self._run_shards_threaded(
+                    scheduler, by_shard, ordered, shard_workers
+                )
+            else:
+                outcomes = {
+                    shard_id: self._run_shard_round(
+                        scheduler, shard_id, by_shard[shard_id],
+                        absorb=True,
                     )
-                self.aggregator.add(shard_id, col.snapshot)
+                    for shard_id in ordered
+                }
+            for shard_id in ordered:
+                shard_responses, snapshot = outcomes[shard_id]
+                self.aggregator.add(shard_id, snapshot)
                 responses.extend(shard_responses)
         return responses
+
+    def _run_shard_round(
+        self,
+        scheduler,
+        shard_id: int,
+        shard_requests: List[Request],
+        absorb: bool,
+    ):
+        """One (round, shard) execution under an obs collection scope."""
+        with obs.collect(absorb=absorb) as col:
+            _OBS_SHARD_ROUNDS.inc()
+            _OBS_REQUESTS.inc(len(shard_requests))
+            _OBS_ROUND_SIZE.observe(len(shard_requests))
+            shard_responses = scheduler.run_round(
+                self, shard_id, shard_requests
+            )
+        return shard_responses, col.snapshot
+
+    def _run_shards_threaded(
+        self,
+        scheduler,
+        by_shard: Dict[int, List[Request]],
+        ordered: List[int],
+        shard_workers: int,
+    ):
+        """Run one round's shards on worker threads.
+
+        Workers collect without absorbing (their registries are
+        thread-local); the caller's registry absorbs every snapshot on
+        the main thread, in ascending shard order, so parent totals
+        match the sequential path exactly.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(
+            max_workers=min(shard_workers, len(ordered))
+        ) as pool:
+            futures = {
+                shard_id: pool.submit(
+                    self._run_shard_round,
+                    scheduler,
+                    shard_id,
+                    by_shard[shard_id],
+                    False,
+                )
+                for shard_id in ordered
+            }
+            outcomes = {
+                shard_id: future.result()
+                for shard_id, future in futures.items()
+            }
+        if obs.is_enabled():
+            registry = obs.get_registry()
+            for shard_id in ordered:
+                registry.absorb(outcomes[shard_id][1])
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def close(self) -> None:
+        """Shut down remote shard servers (no-op for in-process chips)."""
+        for shard in self.shards:
+            close = getattr(shard.chip, "close", None)
+            if close is not None:
+                close()
+        for handle in self._server_handles:
+            handle.close()  # type: ignore[attr-defined]
+        self._server_handles = []
+
+    def __enter__(self) -> "FleetService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # the execution engine (shared by both schedulers)

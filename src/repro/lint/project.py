@@ -44,6 +44,17 @@ _DISPATCH_FUNCTIONS = frozenset({"run_units"})
 #: entry point.
 _FLEET_DISPATCH_METHODS = frozenset({"run_round", "execute_round"})
 
+#: Attribute methods treated as wire dispatch when the module imports
+#: from :mod:`repro.onfi` (or is part of it): the server's frame
+#: dispatch (``handle_frame``/``serve``) turns wire bytes into chip
+#: operations, and the client's issue points (``_call``/``_post``) are
+#: where every RemoteChip method crosses the socket.  Both sides are
+#: row-producing boundaries, so everything reachable from them falls
+#: under the determinism rules; the one sanctioned entropy use on this
+#: path (the client's random initial frame tag) carries an explicit
+#: ``repro: noqa[DET001]`` with its justification.
+_ONFI_DISPATCH_METHODS = frozenset({"handle_frame", "serve", "_call", "_post"})
+
 
 @dataclass(slots=True)
 class FunctionInfo:
@@ -355,6 +366,13 @@ class Project:
             src == "repro.fleet" or src.startswith("repro.fleet.")
             for src, _ in module.from_imports.values()
         ) or module.modname.startswith("repro.fleet")
+        uses_onfi = any(
+            src == "repro.onfi" or src.startswith("repro.onfi.")
+            for src in module.imports.values()
+        ) or any(
+            src == "repro.onfi" or src.startswith("repro.onfi.")
+            for src, _ in module.from_imports.values()
+        ) or module.modname.startswith("repro.onfi")
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -377,6 +395,16 @@ class Project:
             ):
                 # The fleet engine itself is the entry: requests fan out
                 # from here into the chip batch kernels.
+                yield DispatchSite(module.modname, node.lineno, node.func.attr)
+                continue
+            elif (
+                uses_onfi
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _ONFI_DISPATCH_METHODS
+            ):
+                # The wire boundary: the called method itself is the
+                # entry, both server-side (frame dispatch into the chip)
+                # and client-side (RemoteChip issuing frames).
                 yield DispatchSite(module.modname, node.lineno, node.func.attr)
                 continue
             else:

@@ -25,6 +25,7 @@ SCOPE_PACKAGES: Tuple[str, ...] = (
     "repro.fleet",
     "repro.hiding",
     "repro.nand",
+    "repro.onfi",
 )
 
 #: Modules exempt from DET001: the crypto layer *is* the sanctioned home
@@ -116,10 +117,11 @@ class NondeterministicSourceRule(Rule):
     severity = Severity.ERROR
     description = (
         "random.*, global np.random.*, wall-clock time or OS entropy in "
-        "experiments/, fleet/, hiding/, nand/ or any function reachable "
-        "from a repro.parallel work unit or a fleet scheduler dispatch "
-        "(run_round/execute_round); derive randomness via repro.rng "
-        "substreams"
+        "experiments/, fleet/, hiding/, nand/, onfi/ or any function "
+        "reachable from a repro.parallel work unit, a fleet scheduler "
+        "dispatch (run_round/execute_round) or an ONFI wire dispatch "
+        "(handle_frame/serve/_call/_post); derive randomness via "
+        "repro.rng substreams"
     )
 
     def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
@@ -236,9 +238,10 @@ class ParallelSharedStateRule(Rule):
     severity = Severity.ERROR
     description = (
         "global/module-level state mutated by a function reachable from a "
-        "ParallelRunner work unit or a fleet scheduler dispatch — a "
-        "cross-backend race; results would depend on worker scheduling "
-        "(thread) or silently diverge from the parent (process)"
+        "ParallelRunner work unit, a fleet scheduler dispatch or an ONFI "
+        "wire dispatch — a cross-backend race; results would depend on "
+        "worker scheduling (thread) or silently diverge from the parent "
+        "(process)"
     )
 
     def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:

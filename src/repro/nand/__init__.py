@@ -29,7 +29,7 @@ from .noise import (
     sample_programmed,
     sample_programmed_batch,
 )
-from .onfi import Command, OnfiBus
+from .onfi import Command, OnfiBus, Status
 from .params import (
     ChipParams,
     DisturbModel,
@@ -75,6 +75,7 @@ __all__ = [
     "PartialProgramModel",
     "ProgramError",
     "RetentionModel",
+    "Status",
     "TEST_MODEL",
     "VENDOR_A",
     "VENDOR_B",

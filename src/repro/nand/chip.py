@@ -54,6 +54,77 @@ from .retention import (
 DataLike = Union[bytes, bytearray, np.ndarray]
 
 
+def as_bits(geometry: ChipGeometry, data: DataLike) -> np.ndarray:
+    """Canonicalise page data into a ``cells_per_page`` uint8 bit array.
+
+    The single validation/conversion path for program payloads: both the
+    in-process chip and the wire client (:mod:`repro.onfi`) route through
+    it, so a payload rejected locally is rejected remotely with the same
+    error type and message — and an accepted one yields the same bits.
+    """
+    n_cells = geometry.cells_per_page
+    if isinstance(data, (bytes, bytearray)):
+        if len(data) != geometry.page_bytes:
+            raise ProgramError(
+                f"page data must be {geometry.page_bytes} bytes, "
+                f"got {len(data)}"
+            )
+        return np.unpackbits(np.frombuffer(bytes(data), dtype=np.uint8))
+    bits = np.asarray(data)
+    if bits.shape != (n_cells,):
+        raise ProgramError(
+            f"bit array must have shape ({n_cells},), got {bits.shape}"
+        )
+    if not ((bits == 0) | (bits == 1)).all():
+        raise ProgramError("bit array must contain only 0 and 1")
+    return bits.astype(np.uint8)
+
+
+def check_pages(
+    geometry: ChipGeometry, block: int, pages: Sequence[int]
+) -> np.ndarray:
+    """Validate a per-block page batch (pure in geometry and inputs).
+
+    Shared by the in-process batch ops and the wire client, so both
+    sides reject a malformed batch with the same error in the same
+    order.
+    """
+    pages = np.asarray(pages, dtype=np.int64)
+    if pages.ndim != 1 or pages.size == 0:
+        raise AddressError("pages must be a non-empty 1-D sequence")
+    out_of_range = (pages < 0) | (pages >= geometry.pages_per_block)
+    if out_of_range.any():
+        # Delegate to check_page for the first offender in list order,
+        # so the error message matches the serial loop's exactly.
+        first = int(pages[int(np.argmax(out_of_range))])
+        geometry.check_page(block, first)
+    else:
+        geometry.check_block(block)
+    ordered = np.sort(pages)
+    if (ordered[1:] == ordered[:-1]).any():
+        raise AddressError("batched pages must be distinct")
+    return pages
+
+
+def check_locations(geometry: ChipGeometry, locations: Sequence) -> list:
+    """Validate a cross-block location batch -> ``[(block, page)]``.
+
+    Mirrors :func:`check_pages`: bounds errors delegate to
+    ``check_page`` for the first offender in list order, duplicates are
+    rejected (the serial loops these mirror never legally touch the
+    same location twice in one batch).  Pure in geometry and inputs —
+    shared by the in-process chip and the wire client.
+    """
+    locs = [(int(block), int(page)) for block, page in locations]
+    if not locs:
+        raise AddressError("locations must be a non-empty sequence")
+    for block, page in locs:
+        geometry.check_page(block, page)
+    if len(set(locs)) != len(locs):
+        raise AddressError("batched locations must be distinct")
+    return locs
+
+
 @dataclass(slots=True)
 class OpCounters:
     """Cumulative operation counts plus the time/energy they cost.
@@ -432,21 +503,7 @@ class FlashChip:
     def _check_locations(
         self, locations: Sequence
     ) -> list:
-        """Validate a cross-block location batch -> ``[(block, page)]``.
-
-        Mirrors :meth:`_check_pages`: bounds errors delegate to
-        ``check_page`` for the first offender in list order, duplicates
-        are rejected (the serial loops these mirror never legally touch
-        the same location twice in one batch).
-        """
-        locs = [(int(block), int(page)) for block, page in locations]
-        if not locs:
-            raise AddressError("locations must be a non-empty sequence")
-        for block, page in locs:
-            self.geometry.check_page(block, page)
-        if len(set(locs)) != len(locs):
-            raise AddressError("batched locations must be distinct")
-        return locs
+        return check_locations(self.geometry, locations)
 
     def read_locations(
         self,
@@ -537,21 +594,7 @@ class FlashChip:
         self._account("program", len(locs))
 
     def _check_pages(self, block: int, pages: Sequence[int]) -> np.ndarray:
-        pages = np.asarray(pages, dtype=np.int64)
-        if pages.ndim != 1 or pages.size == 0:
-            raise AddressError("pages must be a non-empty 1-D sequence")
-        out_of_range = (pages < 0) | (pages >= self.geometry.pages_per_block)
-        if out_of_range.any():
-            # Delegate to check_page for the first offender in list order,
-            # so the error message matches the serial loop's exactly.
-            first = int(pages[int(np.argmax(out_of_range))])
-            self.geometry.check_page(block, first)
-        else:
-            self.geometry.check_block(block)
-        ordered = np.sort(pages)
-        if (ordered[1:] == ordered[:-1]).any():
-            raise AddressError("batched pages must be distinct")
-        return pages
+        return check_pages(self.geometry, block, pages)
 
     def _effective_voltages_batch(
         self, state: BlockState, pages: np.ndarray
@@ -681,22 +724,7 @@ class FlashChip:
     # internals
 
     def _as_bits(self, data: DataLike) -> np.ndarray:
-        n_cells = self.geometry.cells_per_page
-        if isinstance(data, (bytes, bytearray)):
-            if len(data) != self.geometry.page_bytes:
-                raise ProgramError(
-                    f"page data must be {self.geometry.page_bytes} bytes, "
-                    f"got {len(data)}"
-                )
-            return np.unpackbits(np.frombuffer(bytes(data), dtype=np.uint8))
-        bits = np.asarray(data)
-        if bits.shape != (n_cells,):
-            raise ProgramError(
-                f"bit array must have shape ({n_cells},), got {bits.shape}"
-            )
-        if not ((bits == 0) | (bits == 1)).all():
-            raise ProgramError("bit array must contain only 0 and 1")
-        return bits.astype(np.uint8)
+        return as_bits(self.geometry, data)
 
     def _page_levels(self, state: BlockState, page: int) -> PageLevels:
         return page_levels(

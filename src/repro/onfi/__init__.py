@@ -1,0 +1,60 @@
+"""ONFI wire transport: chips as out-of-process device servers.
+
+The host/tester split of the paper's §6.1 made literal: a
+:class:`ChipServer` owns one :class:`~repro.nand.chip.FlashChip` and
+serves the binary frame protocol of :mod:`repro.onfi.wire`; a
+:class:`RemoteChip` client exposes the same batch API as the in-process
+chip — bit-identically — over a socket, socketpair or pipe, so the
+fleet and hiding layers run unchanged against remote silicon.  See
+DESIGN.md §13 for the frame layout, opcodes, status-byte semantics and
+pipelining rules.
+"""
+
+from .client import MAX_OUTSTANDING, RemoteChip
+from .server import (
+    ChipServer,
+    ServerHandle,
+    serve_listener,
+    serve_socket,
+    serve_stream,
+    spawn_chip_server,
+)
+from .wire import (
+    ERROR_KINDS,
+    FLAG_PARTIAL,
+    FLAG_THRESHOLD,
+    HEADER,
+    MAX_PAYLOAD,
+    MIN_LENGTH,
+    FrameReader,
+    Op,
+    decode_error,
+    encode_error,
+    error_kind,
+    pack_frame,
+    write_frame,
+)
+
+__all__ = [
+    "ChipServer",
+    "ERROR_KINDS",
+    "FLAG_PARTIAL",
+    "FLAG_THRESHOLD",
+    "FrameReader",
+    "HEADER",
+    "MAX_OUTSTANDING",
+    "MAX_PAYLOAD",
+    "MIN_LENGTH",
+    "Op",
+    "RemoteChip",
+    "ServerHandle",
+    "decode_error",
+    "encode_error",
+    "error_kind",
+    "pack_frame",
+    "serve_listener",
+    "serve_socket",
+    "serve_stream",
+    "spawn_chip_server",
+    "write_frame",
+]

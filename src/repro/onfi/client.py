@@ -1,0 +1,457 @@
+"""RemoteChip: the FlashChip batch API over a wire connection.
+
+The host half of the device-server split.  A :class:`RemoteChip` speaks
+the frame protocol of :mod:`repro.onfi.wire` to a
+:class:`~repro.onfi.server.ChipServer` and exposes the same surface the
+fleet and hiding layers use on an in-process
+:class:`~repro.nand.chip.FlashChip` — same batch calls, same results
+bit for bit, same error types and messages.
+
+Two properties make the transport cheap and exact:
+
+* **Coalesced batch framing** — every location-batch operation is one
+  frame each way, with ndarray payloads shipped as raw bytes (no
+  pickling, no per-page round trips), so framing cost amortises over
+  the batch.
+* **Pipelining** — acknowledgement-only operations (programs, erases,
+  partial programs, threshold sets) are posted without waiting;
+  responses are matched by echoed tags at the next synchronising call.
+  The server executes frames strictly in order, so pipelined and
+  synchronous issue orders produce identical chip states.  A posted
+  operation's failure surfaces at the next sync point with the original
+  exception type and message (earliest failure first).
+
+Client-side validation mirrors only the *pure* checks
+(:func:`~repro.nand.chip.check_pages`,
+:func:`~repro.nand.chip.check_locations`,
+:func:`~repro.nand.chip.as_bits`) — shared module-level code, so the
+error text matches in-process exactly; everything stateful is judged by
+the real chip on the server.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+from collections import deque
+from typing import Deque, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nand.chip import OpCounters, as_bits, check_locations, check_pages
+from ..nand.errors import CommandError, ProgramError
+from ..nand.geometry import ChipGeometry
+from ..nand.onfi import Status
+from ..nand.params import ChipParams
+from .wire import (
+    FLAG_PARTIAL,
+    FLAG_THRESHOLD,
+    FrameReader,
+    Op,
+    decode_error,
+    pack_f64,
+    write_frame,
+    pack_i64,
+    pack_i64_array,
+    pack_locations,
+    pack_u8_array,
+    take_f64,
+    take_i64,
+    take_u64,
+    take_u8_matrix,
+)
+
+#: Posted (unacknowledged) operations in flight before a forced drain.
+#: Ack responses are 8 bytes, so the server can never block writing
+#: this many — which is what keeps pipelined writes deadlock-free.
+MAX_OUTSTANDING = 512
+
+
+class RemoteChip:
+    """A flash chip living behind a :mod:`repro.onfi` wire connection."""
+
+    def __init__(
+        self,
+        transport,
+        geometry: ChipGeometry,
+        params: Optional[ChipParams] = None,
+        pipeline: bool = True,
+    ) -> None:
+        """Connect over `transport` (a socket or an ``(rfile, wfile)``
+        stream pair) and verify the served chip matches `geometry`.
+        """
+        self.geometry = geometry
+        self.params = params if params is not None else ChipParams()
+        self.pipeline = pipeline
+        self._sock: Optional[socket.socket] = None
+        if isinstance(transport, socket.socket):
+            self._sock = transport
+            self._rfile = transport.makefile("rb")
+            self._wfile = transport.makefile("wb")
+        else:
+            self._rfile, self._wfile = transport
+        self._reader = FrameReader(self._rfile)
+        # The initial tag is random so a desynchronised or replayed
+        # stream is detected on the first response (TCP-ISN style).
+        # It frames transport bookkeeping only and never reaches the
+        # chip, so determinism of results is unaffected.
+        self._tag = int.from_bytes(os.urandom(2), "little")  # repro: noqa[DET001] — wire tag seed is transport bookkeeping, never a chip input
+        self._outstanding: Deque[Tuple[int, Op]] = deque()
+        self._deferred: List[Exception] = []
+        self._closed = False
+        self._hello()
+
+    # ------------------------------------------------------------------
+    # transport plumbing
+
+    def _next_tag(self) -> int:
+        self._tag = (self._tag + 1) & 0xFFFF
+        return self._tag
+
+    def _read_matching(self, want_tag: int, want_op: Op):
+        """Read one response and verify it answers (`want_tag`, op)."""
+        frame = self._reader.read_frame()
+        if frame is None:
+            raise CommandError("server closed the connection mid-exchange")
+        opcode, status_byte, tag, payload = frame
+        if tag != want_tag or opcode != int(want_op):
+            raise CommandError(
+                f"response desync: expected tag {want_tag} opcode "
+                f"0x{int(want_op):02X}, got tag {tag} opcode 0x{opcode:02X}"
+            )
+        return Status.from_byte(status_byte), payload
+
+    def _drain_acks(self) -> None:
+        """Collect responses for every posted operation, deferring
+        failures in arrival (= issue) order."""
+        while self._outstanding:
+            tag, op = self._outstanding.popleft()
+            status, payload = self._read_matching(tag, op)
+            if status.failed:
+                self._deferred.append(decode_error(bytes(payload)))
+
+    def _raise_deferred(self) -> None:
+        if self._deferred:
+            error = self._deferred[0]
+            self._deferred = []
+            raise error
+
+    def _post(self, op: Op, flags: int = 0, payload: bytes = b"") -> None:
+        """Issue an ack-only operation, pipelined when enabled."""
+        if not self.pipeline:
+            self._call(op, flags, payload)
+            return
+        if len(self._outstanding) >= MAX_OUTSTANDING:
+            self.drain()
+        tag = self._next_tag()
+        write_frame(self._wfile, int(op), flags, tag, payload)
+        self._outstanding.append((tag, op))
+
+    def _call(self, op: Op, flags: int = 0, payload: bytes = b""):
+        """Issue an operation and wait for its response (a sync point).
+
+        Flushes the pipeline first; failures of earlier posted
+        operations take precedence over this call's own outcome.
+        """
+        tag = self._next_tag()
+        write_frame(self._wfile, int(op), flags, tag, payload)
+        self._wfile.flush()
+        self._drain_acks()
+        status, response = self._read_matching(tag, op)
+        error: Optional[Exception] = None
+        if status.failed:
+            error = decode_error(bytes(response))
+        self._raise_deferred()
+        if error is not None:
+            raise error
+        return status, response
+
+    def drain(self) -> None:
+        """Synchronise: flush posted operations and surface any failure."""
+        self._wfile.flush()
+        self._drain_acks()
+        self._raise_deferred()
+
+    def _hello(self) -> None:
+        _, payload = self._call(Op.HELLO)
+        n_blocks, o = take_i64(payload, 0)
+        pages_per_block, o = take_i64(payload, o)
+        cells_per_page, o = take_i64(payload, o)
+        page_bytes, o = take_i64(payload, o)
+        self.seed, o = take_u64(payload, o)
+        self.clock, o = take_f64(payload, o)
+        geometry = self.geometry
+        served = (n_blocks, pages_per_block, cells_per_page, page_bytes)
+        expected = (
+            geometry.n_blocks,
+            geometry.pages_per_block,
+            geometry.cells_per_page,
+            geometry.page_bytes,
+        )
+        if served != expected:
+            raise CommandError(
+                f"server chip geometry {served} does not match the "
+                f"client's {expected} "
+                f"(blocks, pages/block, cells/page, bytes/page)"
+            )
+
+    def close(self, shutdown: bool = True) -> None:
+        """Drain the pipeline, optionally SHUTDOWN the server, hang up."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if shutdown:
+                self._call(Op.SHUTDOWN)
+            else:
+                self.drain()
+        finally:
+            for stream in (self._wfile, self._rfile):
+                try:
+                    stream.close()
+                except OSError:
+                    pass
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+
+    def __enter__(self) -> "RemoteChip":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Suppress SHUTDOWN on an error path: the connection may be
+        # mid-desync and the server's exit is the handle's job anyway.
+        self.close(shutdown=exc_type is None)
+
+    # ------------------------------------------------------------------
+    # FlashChip surface — singles
+
+    @staticmethod
+    def _threshold_prefix(threshold: Optional[float]) -> Tuple[int, bytes]:
+        if threshold is None:
+            return 0, b""
+        return FLAG_THRESHOLD, pack_f64(float(threshold))
+
+    def read_page(
+        self, block: int, page: int, threshold: Optional[float] = None
+    ) -> np.ndarray:
+        flags, prefix = self._threshold_prefix(threshold)
+        _, payload = self._call(
+            Op.READ, flags, prefix + pack_i64(block, page)
+        )
+        return take_u8_matrix(
+            payload, 0, 1, self.geometry.cells_per_page
+        )[0]
+
+    def probe_voltages(self, block: int, page: int) -> np.ndarray:
+        _, payload = self._call(Op.PROBE_VOLTAGES, 0, pack_i64(block, page))
+        return take_u8_matrix(
+            payload, 0, 1, self.geometry.cells_per_page
+        )[0]
+
+    def program_page(self, block: int, page: int, data) -> None:
+        bits = as_bits(self.geometry, data)
+        self._post(
+            Op.PROGRAM, 0, pack_i64(block, page) + pack_u8_array(bits)
+        )
+
+    def erase_block(self, block: int) -> None:
+        self._post(Op.ERASE, 0, pack_i64(block))
+
+    def partial_program(
+        self,
+        block: int,
+        page: int,
+        cells: Sequence[int],
+        fraction: float = 1.0,
+        precision: float = 1.0,
+    ) -> None:
+        cell_array = np.asarray(cells, dtype=np.int64)
+        self._post(
+            Op.PARTIAL_PROGRAM,
+            0,
+            pack_i64(block, page)
+            + pack_f64(float(fraction), float(precision))
+            + pack_i64_array(cell_array),
+        )
+
+    def partial_program_via_reset(
+        self, block: int, page: int, data, abort_after_us: float = 600.0
+    ) -> None:
+        """The §6.1 host sequence on the wire: a PROGRAM of `data` held
+        open (FLAG_PARTIAL) and aborted by RESET after `abort_after_us`
+        microseconds, charging the pattern's '0' cells partially —
+        exactly :meth:`repro.nand.onfi.OnfiBus.partial_program`.
+        """
+        bits = as_bits(self.geometry, data)
+        self._post(
+            Op.PROGRAM,
+            FLAG_PARTIAL,
+            pack_i64(block, page) + pack_u8_array(bits),
+        )
+        self._post(Op.RESET, 0, pack_f64(float(abort_after_us)))
+
+    def set_read_threshold(self, level: Optional[float]) -> None:
+        """Set the server-side read reference shift (bus state)."""
+        payload = b"" if level is None else pack_f64(float(level))
+        self._post(Op.SET_READ_THRESHOLD, 0, payload)
+
+    def reset(self) -> None:
+        """Plain RESET: clears volatile server state (threshold, SR)."""
+        self._post(Op.RESET)
+
+    def read_status(self) -> Status:
+        """READ_STATUS: the server's ONFI status register, decoded.
+
+        The register byte arrives in the payload — the response header's
+        FAIL bit reports only whether the query frame itself failed.
+        """
+        _, payload = self._call(Op.READ_STATUS)
+        if len(payload) != 1:
+            raise CommandError(
+                f"READ_STATUS answered {len(payload)} bytes, wanted 1"
+            )
+        return Status.from_byte(payload[0])
+
+    # ------------------------------------------------------------------
+    # FlashChip surface — coalesced batches (one frame per call)
+
+    def read_pages(
+        self,
+        block: int,
+        pages: Sequence[int],
+        threshold: Optional[float] = None,
+    ) -> np.ndarray:
+        page_array = check_pages(self.geometry, block, pages)
+        flags, prefix = self._threshold_prefix(threshold)
+        _, payload = self._call(
+            Op.READ_PAGES,
+            flags,
+            prefix + pack_i64(block) + pack_i64_array(page_array),
+        )
+        return take_u8_matrix(
+            payload, 0, len(page_array), self.geometry.cells_per_page
+        )
+
+    def probe_voltages_batch(
+        self, block: int, pages: Sequence[int]
+    ) -> np.ndarray:
+        page_array = check_pages(self.geometry, block, pages)
+        _, payload = self._call(
+            Op.PROBE_PAGES,
+            0,
+            pack_i64(block) + pack_i64_array(page_array),
+        )
+        return take_u8_matrix(
+            payload, 0, len(page_array), self.geometry.cells_per_page
+        )
+
+    def program_pages(
+        self, block: int, pages: Sequence[int], data: Iterable
+    ) -> None:
+        page_array = check_pages(self.geometry, block, pages)
+        payloads = list(data)
+        if len(payloads) != len(page_array):
+            raise ProgramError(
+                f"got {len(payloads)} payloads for {len(page_array)} pages"
+            )
+        bits = np.stack(
+            [as_bits(self.geometry, payload) for payload in payloads]
+        )
+        self._post(
+            Op.PROGRAM_PAGES,
+            0,
+            pack_i64(block, len(page_array))
+            + pack_i64_array(page_array)
+            + pack_u8_array(bits),
+        )
+
+    def read_locations(
+        self,
+        locations: Sequence[Tuple[int, int]],
+        threshold: Optional[float] = None,
+    ) -> np.ndarray:
+        pairs = check_locations(self.geometry, locations)
+        flags, prefix = self._threshold_prefix(threshold)
+        _, payload = self._call(
+            Op.READ_LOCATIONS, flags, prefix + pack_locations(pairs)
+        )
+        return take_u8_matrix(
+            payload, 0, len(pairs), self.geometry.cells_per_page
+        )
+
+    def probe_voltages_locations(
+        self, locations: Sequence[Tuple[int, int]]
+    ) -> np.ndarray:
+        pairs = check_locations(self.geometry, locations)
+        _, payload = self._call(
+            Op.PROBE_LOCATIONS, 0, pack_locations(pairs)
+        )
+        return take_u8_matrix(
+            payload, 0, len(pairs), self.geometry.cells_per_page
+        )
+
+    def program_locations(
+        self, locations: Sequence[Tuple[int, int]], data: Iterable
+    ) -> None:
+        pairs = check_locations(self.geometry, locations)
+        payloads = list(data)
+        if len(payloads) != len(pairs):
+            raise ProgramError(
+                f"got {len(payloads)} payloads for {len(pairs)} locations"
+            )
+        bits = np.stack(
+            [as_bits(self.geometry, payload) for payload in payloads]
+        )
+        self._post(
+            Op.PROGRAM_LOCATIONS,
+            0,
+            pack_i64(len(pairs))
+            + pack_locations(pairs)
+            + pack_u8_array(bits),
+        )
+
+    # ------------------------------------------------------------------
+    # FlashChip surface — clock, counters, queries
+
+    def advance_time(self, seconds: float) -> None:
+        _, payload = self._call(
+            Op.ADVANCE_TIME, 0, pack_f64(float(seconds))
+        )
+        self.clock, _ = take_f64(payload, 0)
+
+    @property
+    def counters(self) -> OpCounters:
+        """The server chip's cumulative op counters (f64-exact)."""
+        _, payload = self._call(Op.GET_COUNTERS)
+        reads, o = take_i64(payload, 0)
+        programs, o = take_i64(payload, o)
+        erases, o = take_i64(payload, o)
+        partial_programs, o = take_i64(payload, o)
+        busy_time_s, o = take_f64(payload, o)
+        energy_j, o = take_f64(payload, o)
+        return OpCounters(
+            reads=reads,
+            programs=programs,
+            erases=erases,
+            partial_programs=partial_programs,
+            busy_time_s=busy_time_s,
+            energy_j=energy_j,
+        )
+
+    def is_page_programmed(self, block: int, page: int) -> bool:
+        _, payload = self._call(
+            Op.IS_PROGRAMMED, 0, pack_i64(block, page)
+        )
+        if len(payload) != 1:
+            raise CommandError(
+                f"IS_PROGRAMMED answered {len(payload)} bytes, wanted 1"
+            )
+        return bool(payload[0])
+
+    def block_pec(self, block: int) -> int:
+        _, payload = self._call(Op.BLOCK_PEC, 0, pack_i64(block))
+        value, _ = take_i64(payload, 0)
+        return value

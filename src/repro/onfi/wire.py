@@ -1,0 +1,382 @@
+"""Binary framing for the ONFI wire transport (DESIGN §13).
+
+One frame = an 8-byte little-endian header plus a payload::
+
+    <u32 length> <u8 opcode> <u8 flags/status> <u16 tag> <payload ...>
+
+``length`` counts every byte *after* the length field (opcode + flags +
+tag + payload), so it is at least :data:`MIN_LENGTH`.  The third header
+byte is request *flags* on the way in and the real ONFI status byte
+(:class:`repro.nand.onfi.Status`) on the way out; a response whose
+status has the FAIL bit set carries an error payload (``u8 kind`` +
+UTF-8 message) instead of data.  ``tag`` echoes verbatim so a
+pipelining client can match responses to requests out of band.
+
+All addresses travel as signed 64-bit integers — negative blocks and
+pages cross the wire intact and are rejected by the *server's* chip
+with exactly the in-process error type and message.  Cell bits and
+voltages travel as raw ``uint8`` arrays via ``frombuffer``/memoryview;
+nothing on this wire is pickled.
+"""
+
+from __future__ import annotations
+
+import struct
+from enum import IntEnum, unique
+from typing import BinaryIO, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nand.errors import (
+    AddressError,
+    CommandError,
+    EraseError,
+    NandError,
+    ProgramError,
+    WearOutError,
+)
+
+#: ``<length u32> <opcode u8> <flags/status u8> <tag u16>``, little-endian.
+HEADER = struct.Struct("<IBBH")
+
+#: Bytes after the length field that are header, not payload.
+MIN_LENGTH = 4
+
+#: Payload ceiling — bounds server-side allocations against hostile or
+#: corrupt length fields (a full location batch on the bench geometry is
+#: a few MiB; 64 MiB leaves an order of magnitude of headroom).
+MAX_PAYLOAD = 64 << 20
+
+_I64 = struct.Struct("<q")
+_U64 = struct.Struct("<Q")
+_F64 = struct.Struct("<d")
+
+
+@unique
+class Op(IntEnum):
+    """Wire opcodes.
+
+    Single-page operations reuse the ONFI/vendor encodings of
+    :class:`repro.nand.onfi.Command`; the coalesced batch operations —
+    one frame per PR-6/PR-7 location-batch chip call — live in the
+    0xB0 vendor range and the host-side admin operations in 0xA0.
+    """
+
+    # -- singles (ONFI / vendor encodings) -------------------------------
+    READ = 0x00
+    ERASE = 0x60
+    READ_STATUS = 0x70
+    PROGRAM = 0x80
+    SET_READ_THRESHOLD = 0xC5
+    PROBE_VOLTAGES = 0xC6
+    PARTIAL_PROGRAM = 0xC7
+    RESET = 0xFF
+    # -- coalesced batches (one frame per batch op) ----------------------
+    READ_PAGES = 0xB0
+    PROBE_PAGES = 0xB1
+    PROGRAM_PAGES = 0xB2
+    READ_LOCATIONS = 0xB3
+    PROBE_LOCATIONS = 0xB4
+    PROGRAM_LOCATIONS = 0xB5
+    # -- admin -----------------------------------------------------------
+    HELLO = 0xA0
+    ADVANCE_TIME = 0xA1
+    GET_COUNTERS = 0xA2
+    IS_PROGRAMMED = 0xA3
+    BLOCK_PEC = 0xA4
+    SHUTDOWN = 0xAF
+
+
+#: Request flag: hold this PROGRAM open so a following RESET can abort
+#: it early (the paper's partial-program sequence, §1/§6.1).
+FLAG_PARTIAL = 0x01
+
+#: Request flag: the payload starts with an explicit f64 read threshold
+#: (the vendor reference-shift applied to this operation only).
+FLAG_THRESHOLD = 0x02
+
+#: Error payload kinds — ``u8`` codes mapping wire errors back onto the
+#: exact exception type the in-process chip raises.
+ERROR_KINDS: Tuple[type, ...] = (
+    NandError,
+    CommandError,
+    AddressError,
+    ProgramError,
+    EraseError,
+    WearOutError,
+    ValueError,
+)
+_KIND_BY_TYPE = {exc: code for code, exc in enumerate(ERROR_KINDS)}
+
+
+def error_kind(exc: BaseException) -> int:
+    """The wire code of an exception (most specific type wins)."""
+    code = _KIND_BY_TYPE.get(type(exc))
+    if code is not None:
+        return code
+    for klass in type(exc).__mro__:
+        code = _KIND_BY_TYPE.get(klass)
+        if code is not None:
+            return code
+    return 0
+
+
+def encode_error(exc: BaseException) -> bytes:
+    """Pack an exception as an error payload (kind + UTF-8 message)."""
+    return bytes([error_kind(exc)]) + str(exc).encode("utf-8")
+
+
+def decode_error(payload: bytes) -> Exception:
+    """Rebuild the in-process exception an error payload describes."""
+    if not payload:
+        return NandError("malformed error frame (empty payload)")
+    kind = payload[0]
+    message = payload[1:].decode("utf-8", errors="replace")
+    if kind >= len(ERROR_KINDS):
+        return NandError(message)
+    return ERROR_KINDS[kind](message)
+
+
+def pack_frame(
+    opcode: int, flags_or_status: int, tag: int, payload: bytes = b""
+) -> bytes:
+    """Serialise one frame (header + payload)."""
+    if len(payload) > MAX_PAYLOAD:
+        raise CommandError(
+            f"payload of {len(payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD}-byte frame cap"
+        )
+    header = HEADER.pack(
+        MIN_LENGTH + len(payload), opcode & 0xFF, flags_or_status & 0xFF,
+        tag & 0xFFFF,
+    )
+    return header + payload
+
+
+def write_frame(
+    wfile, opcode: int, flags_or_status: int, tag: int, payload=b""
+) -> None:
+    """Write one frame as header + payload without concatenating them.
+
+    The scatter write keeps multi-megabyte batch payloads out of an
+    intermediate ``header + payload`` copy; callers flush when the
+    exchange needs the frame on the wire.
+    """
+    if len(payload) > MAX_PAYLOAD:
+        raise CommandError(
+            f"payload of {len(payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD}-byte frame cap"
+        )
+    wfile.write(HEADER.pack(
+        MIN_LENGTH + len(payload), opcode & 0xFF, flags_or_status & 0xFF,
+        tag & 0xFFFF,
+    ))
+    if payload:
+        wfile.write(payload)
+
+
+class FrameReader:
+    """Incremental frame decoder over a readable binary stream.
+
+    ``read_frame`` returns ``None`` on a clean end-of-stream at a frame
+    boundary (the peer hung up between commands) and raises
+    :class:`~repro.nand.errors.CommandError` when the stream ends inside
+    a frame or the length field is out of bounds — truncation is always
+    a *defined* failure, never a hang or a partial decode.
+    """
+
+    __slots__ = ("stream",)
+
+    def __init__(self, stream: BinaryIO) -> None:
+        self.stream = stream
+
+    def _read_exact(self, n: int) -> Optional[bytearray]:
+        """Read exactly `n` bytes into a fresh writable buffer.
+
+        Returns ``None`` on immediate EOF (nothing read), raises on a
+        short read.  The buffer is a ``bytearray`` so ndarray payloads
+        can be viewed writable via ``np.frombuffer`` without a copy;
+        ``readinto`` fills it straight from the stream when available.
+        """
+        buffer = bytearray(n)
+        view = memoryview(buffer)
+        readinto = getattr(self.stream, "readinto", None)
+        got = 0
+        while got < n:
+            if readinto is not None:
+                count = readinto(view[got:])
+            else:
+                chunk = self.stream.read(n - got)
+                count = len(chunk) if chunk else 0
+                if count:
+                    view[got:got + count] = chunk
+            if not count:
+                if got == 0:
+                    return None
+                raise CommandError(
+                    f"stream truncated: wanted {n} bytes, got {got}"
+                )
+            got += count
+        return buffer
+
+    def read_frame(self) -> Optional[Tuple[int, int, int, bytearray]]:
+        """The next ``(opcode, flags_or_status, tag, payload)`` frame."""
+        header = self._read_exact(HEADER.size)
+        if header is None:
+            return None
+        length, opcode, flags, tag = HEADER.unpack(bytes(header))
+        if length < MIN_LENGTH:
+            raise CommandError(
+                f"frame length {length} below the {MIN_LENGTH}-byte "
+                f"header minimum"
+            )
+        if length - MIN_LENGTH > MAX_PAYLOAD:
+            raise CommandError(
+                f"frame length {length} exceeds the "
+                f"{MAX_PAYLOAD}-byte payload cap"
+            )
+        payload = self._read_exact(length - MIN_LENGTH)
+        if payload is None and length > MIN_LENGTH:
+            raise CommandError(
+                f"stream truncated: frame promised "
+                f"{length - MIN_LENGTH} payload bytes, got none"
+            )
+        return opcode, flags, tag, payload if payload is not None else bytearray()
+
+
+# ----------------------------------------------------------------------
+# payload codecs
+#
+# Every codec is symmetric and total over well-formed inputs; decoders
+# raise CommandError for any size mismatch so the server's dispatch can
+# answer malformed payloads with a defined error response.
+
+
+def pack_i64(*values: int) -> bytes:
+    return struct.pack(f"<{len(values)}q", *values)
+
+
+def pack_f64(*values: float) -> bytes:
+    return struct.pack(f"<{len(values)}d", *values)
+
+
+def pack_u64(value: int) -> bytes:
+    """One unsigned 64-bit value (chip seeds are full-width hashes)."""
+    return _U64.pack(value)
+
+
+def take_u64(payload, offset: int) -> Tuple[int, int]:
+    """Decode one u64 at `offset`; returns (value, next offset)."""
+    if offset + 8 > len(payload):
+        raise CommandError(
+            f"payload truncated: wanted u64 at offset {offset}, "
+            f"have {len(payload)} bytes"
+        )
+    return _U64.unpack_from(payload, offset)[0], offset + 8
+
+
+def take_i64(payload, offset: int) -> Tuple[int, int]:
+    """Decode one i64 at `offset`; returns (value, next offset)."""
+    if offset + 8 > len(payload):
+        raise CommandError(
+            f"payload truncated: wanted i64 at offset {offset}, "
+            f"have {len(payload)} bytes"
+        )
+    return _I64.unpack_from(payload, offset)[0], offset + 8
+
+
+def take_f64(payload, offset: int) -> Tuple[float, int]:
+    """Decode one f64 at `offset`; returns (value, next offset)."""
+    if offset + 8 > len(payload):
+        raise CommandError(
+            f"payload truncated: wanted f64 at offset {offset}, "
+            f"have {len(payload)} bytes"
+        )
+    return _F64.unpack_from(payload, offset)[0], offset + 8
+
+
+def pack_i64_array(values: Sequence[int]) -> bytes:
+    """Ship an index sequence as a flat little-endian i64 array."""
+    return np.ascontiguousarray(
+        np.asarray(values, dtype=np.int64)
+    ).tobytes()
+
+
+def take_i64_array(payload, offset: int) -> np.ndarray:
+    """Decode the rest of the payload as a flat i64 array."""
+    rest = len(payload) - offset
+    if rest % 8:
+        raise CommandError(
+            f"payload tail of {rest} bytes is not a whole i64 array"
+        )
+    return np.frombuffer(payload, dtype=np.int64, offset=offset)
+
+
+def take_i64_count(
+    payload, offset: int, count: int
+) -> Tuple[np.ndarray, int]:
+    """Decode exactly `count` i64 values; returns (array, next offset)."""
+    if count < 0:
+        raise CommandError(f"negative element count {count}")
+    end = offset + count * 8
+    if end > len(payload):
+        raise CommandError(
+            f"payload truncated: wanted {count} i64s at offset {offset}, "
+            f"have {len(payload)} bytes"
+        )
+    values = np.frombuffer(
+        payload, dtype=np.int64, offset=offset, count=count
+    )
+    return values, end
+
+
+def pack_u8_array(array: np.ndarray) -> bytes:
+    """Ship a bit/voltage array as raw uint8 bytes (no copy on C-order)."""
+    return np.ascontiguousarray(array, dtype=np.uint8).tobytes()
+
+
+def u8_payload(array: np.ndarray) -> memoryview:
+    """A uint8 array as a frame payload without the ``tobytes`` copy.
+
+    For multi-megabyte batch responses the memoryview goes straight to
+    the stream's scatter write (:func:`write_frame`); use
+    :func:`pack_u8_array` when the bytes must be concatenated.
+    """
+    return memoryview(np.ascontiguousarray(array, dtype=np.uint8)).cast("B")
+
+
+def take_u8_matrix(payload, offset: int, rows: int, cols: int) -> np.ndarray:
+    """Decode the payload tail as a ``(rows, cols)`` uint8 matrix.
+
+    Zero-copy over the reader's ``bytearray`` buffers — the result is
+    writable exactly like a freshly allocated in-process array.
+    """
+    rest = len(payload) - offset
+    if rows < 0 or rest != rows * cols:
+        raise CommandError(
+            f"payload tail of {rest} bytes does not hold "
+            f"{rows} rows of {cols} cells"
+        )
+    return np.frombuffer(
+        payload, dtype=np.uint8, offset=offset
+    ).reshape(rows, cols)
+
+
+def pack_locations(locations: Sequence[Tuple[int, int]]) -> bytes:
+    """Ship ``(block, page)`` pairs as an interleaved i64 array."""
+    flat = np.asarray(
+        [coord for location in locations for coord in location],
+        dtype=np.int64,
+    )
+    return flat.tobytes()
+
+
+def take_locations(payload, offset: int) -> list:
+    """Decode interleaved i64 pairs back into ``[(block, page)]``."""
+    flat = take_i64_array(payload, offset)
+    if flat.size % 2:
+        raise CommandError(
+            f"location list of {flat.size} i64s is not whole pairs"
+        )
+    pairs = flat.reshape(-1, 2)
+    return [(int(block), int(page)) for block, page in pairs]

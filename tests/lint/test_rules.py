@@ -300,6 +300,135 @@ class TestFleetDispatch:
 
 
 # ----------------------------------------------------------------------
+# ONFI wire dispatch sites seed DET001/DET002 reachability
+
+
+class TestOnfiDispatch:
+    def test_wall_clock_reachable_from_wire_dispatch(self, project):
+        # time.time() lives outside every scope package but is reachable
+        # from a server frame dispatch (handle_frame) in a module that
+        # imports repro.onfi.
+        root = project({
+            "src/repro/clockutil.py": src(
+                """
+                import time
+
+                def stamp(x):
+                    return x, time.time()
+                """
+            ),
+            "src/repro/onfi/server.py": src(
+                """
+                from repro.clockutil import stamp
+
+                class ChipServer:
+                    def handle_frame(self, opcode, flags, tag, payload):
+                        return stamp(payload)
+                """
+            ),
+            "src/repro/driver.py": src(
+                """
+                from repro.onfi.server import ChipServer
+
+                def drive(frame):
+                    return ChipServer().handle_frame(*frame)
+                """
+            ),
+        })
+        findings = lint(root)
+        assert codes(findings) == ["DET001"]
+        assert findings[0].path == "src/repro/clockutil.py"
+
+    def test_client_call_sites_are_dispatches(self, project):
+        # The RemoteChip issue points (_call/_post) seed reachability
+        # from any module importing repro.onfi.
+        root = project({
+            "src/repro/entropy.py": src(
+                """
+                import os
+
+                def nonce():
+                    return os.urandom(2)
+                """
+            ),
+            "src/repro/wired.py": src(
+                """
+                from repro.onfi import RemoteChip
+                from repro.entropy import nonce
+
+                class PaddedChip(RemoteChip):
+                    def _call(self, op, flags=0, payload=b""):
+                        return super()._call(op, flags, payload + nonce())
+
+                def probe(chip):
+                    return chip._call(0xC6)
+                """
+            ),
+        })
+        findings = lint(root)
+        assert codes(findings) == ["DET001"]
+        assert findings[0].path == "src/repro/entropy.py"
+
+    def test_handle_frame_outside_onfi_not_a_dispatch(self, project):
+        # The same method names in a module with no repro.onfi import
+        # are not dispatch sites: the helper stays unreachable.
+        root = project({
+            "src/repro/clockutil.py": src(
+                """
+                import time
+
+                def stamp(x):
+                    return x, time.time()
+                """
+            ),
+            "src/repro/other.py": src(
+                """
+                from repro.clockutil import stamp
+
+                class Codec:
+                    def handle_frame(self, frame):
+                        return stamp(frame)
+
+                def drive(frame):
+                    return Codec().handle_frame(frame)
+                """
+            ),
+        })
+        assert lint(root) == []
+
+    def test_os_urandom_in_onfi_package_scope(self, project):
+        # repro.onfi is a whole-module scope package: OS entropy inside
+        # it is flagged with no dispatch site needed...
+        root = project({
+            "src/repro/onfi/client.py": src(
+                """
+                import os
+
+                def fresh_tag():
+                    return int.from_bytes(os.urandom(2), "little")
+                """
+            ),
+        })
+        findings = lint(root)
+        assert codes(findings) == ["DET001"]
+
+    def test_justified_noqa_suppresses_wire_tag_entropy(self, project):
+        # ...and the real client's justified suppression works: the wire
+        # tag seed is transport bookkeeping, never a chip input.
+        root = project({
+            "src/repro/onfi/client.py": src(
+                """
+                import os
+
+                def fresh_tag():
+                    return int.from_bytes(os.urandom(2), "little")  # repro: noqa[DET001] — transport tag only
+                """
+            ),
+        })
+        assert lint(root) == []
+
+
+# ----------------------------------------------------------------------
 # DET003 — iteration over sets of strings
 
 

@@ -3,9 +3,16 @@
 import numpy as np
 import pytest
 
-from repro.nand import OnfiBus
+from repro.nand import OnfiBus, Status
 from repro.nand.errors import CommandError
-from repro.nand.onfi import Command
+from repro.nand.onfi import (
+    STATUS_ARDY,
+    STATUS_FAIL,
+    STATUS_FAILC,
+    STATUS_RDY,
+    STATUS_WP_N,
+    Command,
+)
 
 
 @pytest.fixture
@@ -85,3 +92,68 @@ def test_erase_via_bus(bus, chip):
     bus.program(0, 0, page_bits(chip))
     bus.erase(0)
     assert (bus.read(0, 0) == 1).all()
+
+
+# ----------------------------------------------------------------------
+# the ONFI status register
+
+
+def test_status_byte_layout():
+    assert Command.READ_STATUS.value == 0x70
+    idle = Status()
+    # Ready, array ready, writable (WP_n active low => bit set), no fail.
+    assert idle.to_byte() == STATUS_RDY | STATUS_ARDY | STATUS_WP_N
+    failed = Status(failed=True, failed_previous=True)
+    assert failed.to_byte() & STATUS_FAIL
+    assert failed.to_byte() & STATUS_FAILC
+    protected = Status(write_protected=True)
+    assert not protected.to_byte() & STATUS_WP_N
+
+
+def test_status_round_trips_every_field_combination():
+    for value in range(32):
+        status = Status(
+            ready=bool(value & 1),
+            array_ready=bool(value & 2),
+            failed=bool(value & 4),
+            failed_previous=bool(value & 8),
+            write_protected=bool(value & 16),
+        )
+        assert Status.from_byte(status.to_byte()) == status
+
+
+def test_status_from_byte_ignores_reserved_bits():
+    byte = Status().to_byte()
+    assert Status.from_byte(byte | 0x04 | 0x08 | 0x10) == Status()
+
+
+def test_status_from_byte_rejects_out_of_range():
+    with pytest.raises(CommandError):
+        Status.from_byte(-1)
+    with pytest.raises(CommandError):
+        Status.from_byte(256)
+
+
+def test_status_roll_moves_fail_to_failc():
+    status = Status().rolled(failed=True)
+    assert status.failed and not status.failed_previous
+    status = status.rolled(failed=False)
+    assert not status.failed and status.failed_previous
+    status = status.rolled(failed=False)
+    assert not status.failed and not status.failed_previous
+
+
+def test_bus_status_tracks_operation_outcomes(bus, chip):
+    assert bus.read_status() == Status()
+    bus.program(0, 0, page_bits(chip))
+    assert not bus.read_status().failed
+    with pytest.raises(CommandError):
+        bus.set_read_threshold(999)
+    assert bus.read_status().failed
+    # READ_STATUS itself never rolls the register.
+    assert bus.read_status().failed
+    bus.read(0, 0)
+    after = bus.read_status()
+    assert not after.failed and after.failed_previous
+    bus.reset()
+    assert bus.read_status() == Status()

@@ -1,0 +1,83 @@
+"""Fleet shards behind the wire: remote mode is bit-identical.
+
+`repro.fleet` must run over :class:`RemoteChip` unchanged — same
+responses, same observability totals, same chip op counters — whether
+shards live in-process, behind a thread server, or behind a process
+server drained by a worker pool.
+"""
+
+import pytest
+
+from repro.fleet import (
+    CoalescingScheduler,
+    FleetConfig,
+    FleetService,
+    NaiveScheduler,
+    WorkloadConfig,
+    generate_requests,
+)
+
+SEED = 23
+
+
+def run_fleet(scheduler, *, remote=False, backend="process", workers=None):
+    workload = WorkloadConfig(tenants=3, ops_per_tenant=6, seed=SEED)
+    config = FleetConfig(
+        tenants=3,
+        n_shards=2,
+        seed=SEED,
+        remote=remote,
+        remote_backend=backend,
+    )
+    with FleetService(config) as service:
+        for request in generate_requests(workload):
+            service.submit(request)
+        responses = service.drain(scheduler, shard_workers=workers)
+        snapshot = service.fleet_snapshot()
+    views = sorted(r.deterministic_view() for r in responses)
+    return views, snapshot.op_counters
+
+
+@pytest.mark.parametrize("scheduler_cls", [CoalescingScheduler, NaiveScheduler])
+def test_remote_thread_fleet_matches_in_process(scheduler_cls):
+    local_views, local_counters = run_fleet(scheduler_cls())
+    remote_views, remote_counters = run_fleet(
+        scheduler_cls(), remote=True, backend="thread"
+    )
+    assert remote_views == local_views
+    assert remote_counters == local_counters
+
+
+def test_remote_process_fleet_with_worker_pool_matches_in_process():
+    local_views, local_counters = run_fleet(CoalescingScheduler())
+    remote_views, remote_counters = run_fleet(
+        CoalescingScheduler(), remote=True, backend="process", workers=2
+    )
+    assert remote_views == local_views
+    assert remote_counters == local_counters
+
+
+def test_threaded_drain_matches_sequential_drain():
+    sequential, seq_counters = run_fleet(
+        CoalescingScheduler(), remote=True, backend="thread"
+    )
+    threaded, thr_counters = run_fleet(
+        CoalescingScheduler(), remote=True, backend="thread", workers=2
+    )
+    assert threaded == sequential
+    assert thr_counters == seq_counters
+
+
+def test_close_is_idempotent_and_reentrant():
+    config = FleetConfig(
+        tenants=2, n_shards=2, seed=SEED, remote=True, remote_backend="thread"
+    )
+    service = FleetService(config)
+    service.close()
+    service.close()  # second close is a no-op
+
+
+def test_config_rejects_unknown_backend():
+    with pytest.raises(ValueError):
+        FleetConfig(tenants=2, n_shards=1, seed=0, remote=True,
+                    remote_backend="carrier-pigeon")

@@ -1,0 +1,200 @@
+"""Frame and payload codecs: symmetry, bounds, defined failures."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.nand.errors import (
+    AddressError,
+    CommandError,
+    NandError,
+    ProgramError,
+)
+from repro.onfi import (
+    MAX_PAYLOAD,
+    MIN_LENGTH,
+    FrameReader,
+    Op,
+    decode_error,
+    encode_error,
+    error_kind,
+    pack_frame,
+)
+from repro.onfi.wire import (
+    pack_f64,
+    pack_i64,
+    pack_i64_array,
+    pack_locations,
+    pack_u8_array,
+    pack_u64,
+    take_f64,
+    take_i64,
+    take_i64_array,
+    take_i64_count,
+    take_locations,
+    take_u64,
+    take_u8_matrix,
+)
+
+
+def read_one(data: bytes):
+    return FrameReader(io.BytesIO(data)).read_frame()
+
+
+def test_frame_round_trip():
+    frame = pack_frame(int(Op.READ), 0x02, 0xBEEF, b"payload")
+    opcode, flags, tag, payload = read_one(frame)
+    assert (opcode, flags, tag) == (int(Op.READ), 0x02, 0xBEEF)
+    assert bytes(payload) == b"payload"
+
+
+def test_empty_payload_frame_is_minimal():
+    frame = pack_frame(int(Op.RESET), 0, 1)
+    assert len(frame) == 4 + MIN_LENGTH
+    opcode, _, _, payload = read_one(frame)
+    assert opcode == int(Op.RESET) and bytes(payload) == b""
+
+
+def test_clean_eof_returns_none():
+    assert read_one(b"") is None
+
+
+def test_truncated_header_raises():
+    frame = pack_frame(int(Op.READ), 0, 1)
+    with pytest.raises(CommandError):
+        read_one(frame[:5])
+
+
+def test_truncated_payload_raises():
+    frame = pack_frame(int(Op.READ), 0, 1, b"abcdef")
+    with pytest.raises(CommandError):
+        read_one(frame[:-2])
+
+
+def test_undersized_length_field_raises():
+    bad = (MIN_LENGTH - 1).to_bytes(4, "little") + b"\x00\x00\x00\x00"
+    with pytest.raises(CommandError):
+        read_one(bad)
+
+
+def test_oversized_length_field_raises():
+    bad = (MIN_LENGTH + MAX_PAYLOAD + 1).to_bytes(4, "little")
+    bad += b"\x00\x00\x00\x00"
+    with pytest.raises(CommandError):
+        read_one(bad)
+
+
+def test_pack_frame_rejects_oversized_payload():
+    class Huge(bytes):
+        def __len__(self):
+            return MAX_PAYLOAD + 1
+
+    with pytest.raises(CommandError):
+        pack_frame(0, 0, 0, Huge())
+
+
+def test_multiple_frames_stream():
+    stream = io.BytesIO(
+        pack_frame(1, 0, 10, b"a") + pack_frame(2, 0, 11, b"bc")
+    )
+    reader = FrameReader(stream)
+    assert reader.read_frame()[2] == 10
+    assert reader.read_frame()[2] == 11
+    assert reader.read_frame() is None
+
+
+def test_scalar_codecs_round_trip():
+    payload = pack_i64(-5, 2**62) + pack_u64(2**64 - 1) + pack_f64(2.5)
+    a, o = take_i64(payload, 0)
+    b, o = take_i64(payload, o)
+    c, o = take_u64(payload, o)
+    d, o = take_f64(payload, o)
+    assert (a, b, c, d) == (-5, 2**62, 2**64 - 1, 2.5)
+    assert o == len(payload)
+
+
+def test_scalar_codecs_raise_on_truncation():
+    with pytest.raises(CommandError):
+        take_i64(b"\x00" * 7, 0)
+    with pytest.raises(CommandError):
+        take_f64(b"\x00" * 10, 4)
+    with pytest.raises(CommandError):
+        take_u64(b"", 0)
+
+
+def test_i64_array_round_trip():
+    values = np.array([-1, 0, 7, 2**40], dtype=np.int64)
+    decoded = take_i64_array(bytearray(pack_i64_array(values)), 0)
+    assert np.array_equal(decoded, values)
+
+
+def test_i64_array_rejects_ragged_tail():
+    with pytest.raises(CommandError):
+        take_i64_array(b"\x00" * 9, 0)
+
+
+def test_i64_count_rejects_negative_and_short():
+    payload = pack_i64_array(np.arange(3))
+    values, end = take_i64_count(payload, 0, 3)
+    assert list(values) == [0, 1, 2] and end == 24
+    with pytest.raises(CommandError):
+        take_i64_count(payload, 0, 4)
+    with pytest.raises(CommandError):
+        take_i64_count(payload, 0, -1)
+
+
+def test_u8_matrix_round_trip_is_writable():
+    rows = np.arange(12, dtype=np.uint8).reshape(3, 4)
+    decoded = take_u8_matrix(bytearray(pack_u8_array(rows)), 0, 3, 4)
+    assert np.array_equal(decoded, rows)
+    decoded[0, 0] = 99  # zero-copy view over a bytearray stays writable
+    assert decoded[0, 0] == 99
+
+
+def test_u8_matrix_rejects_size_mismatch():
+    with pytest.raises(CommandError):
+        take_u8_matrix(b"\x00" * 11, 0, 3, 4)
+    with pytest.raises(CommandError):
+        take_u8_matrix(b"\x00" * 12, 0, -3, 4)
+
+
+def test_locations_round_trip_preserves_negatives():
+    locations = [(0, 1), (-2, 5), (3, -9)]
+    decoded = take_locations(bytearray(pack_locations(locations)), 0)
+    assert decoded == locations
+
+
+def test_locations_reject_odd_element_count():
+    with pytest.raises(CommandError):
+        take_locations(pack_i64_array(np.arange(3)), 0)
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        NandError("base"),
+        CommandError("bad frame"),
+        AddressError("block -1 out of range"),
+        ProgramError("page already programmed"),
+        ValueError("fraction must be in (0, 2], got 3.0"),
+    ],
+)
+def test_error_codec_preserves_type_and_message(exc):
+    decoded = decode_error(encode_error(exc))
+    assert type(decoded) is type(exc)
+    assert str(decoded) == str(exc)
+
+
+def test_error_kind_uses_most_specific_type():
+    class CustomAddress(AddressError):
+        pass
+
+    assert error_kind(CustomAddress("x")) == error_kind(AddressError("x"))
+
+
+def test_decode_error_defined_on_garbage():
+    assert isinstance(decode_error(b""), NandError)
+    assert isinstance(decode_error(bytes([250]) + b"zz"), NandError)
+    decoded = decode_error(bytes([1]) + b"\xff\xfe")  # invalid UTF-8
+    assert isinstance(decoded, CommandError)

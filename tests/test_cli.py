@@ -152,3 +152,64 @@ def test_report_command_runs_everything(capsys):
 def test_missing_device_file_message(tmp_path):
     with pytest.raises(SystemExit, match="repro-stash init"):
         main(["stats", str(tmp_path / "nope.stash")])
+
+
+def test_fleet_smoke_both_schedulers(capsys):
+    assert main(["fleet", "--tenants", "2", "--shards", "2",
+                 "--ops", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "coalesced vs naive" in out
+    assert "bit-identical" in out and "DIVERGED" not in out
+
+
+def test_fleet_remote_checks_divergence(capsys):
+    assert main(["fleet", "--tenants", "2", "--shards", "2", "--ops", "3",
+                 "--scheduler", "coalesced", "--remote",
+                 "--remote-backend", "thread", "--shard-workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "remote shards" in out
+    assert "remote vs in-process" in out
+    assert "bit-identical" in out and "DIVERGED" not in out
+
+
+def test_onfi_serve_once_round_trips_over_tcp():
+    import os
+    import re
+    import socket
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    import numpy as np
+
+    import repro
+    from repro.nand import TEST_MODEL, FlashChip
+    from repro.onfi import RemoteChip
+
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "onfi-serve",
+         "--once", "--seed", "9"],
+        stdout=subprocess.PIPE, text=True, env=env,
+    )
+    try:
+        banner = proc.stdout.readline()
+        match = re.search(r"on ([\d.]+):(\d+)", banner)
+        assert match, banner
+        sock = socket.create_connection(
+            (match.group(1), int(match.group(2))), timeout=30
+        )
+        chip = RemoteChip(sock, TEST_MODEL.geometry, TEST_MODEL.params)
+        local = FlashChip(TEST_MODEL.geometry, TEST_MODEL.params, seed=9)
+        assert chip.seed == local.seed
+        assert np.array_equal(chip.read_page(0, 0), local.read_page(0, 0))
+        chip.close()
+        assert proc.wait(timeout=30) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
