@@ -9,7 +9,11 @@ Measures three things and writes them to ``BENCH_obs.json``:
 * the structural overhead estimate — obs events emitted by the enabled
   run x per-call no-op cost — which must stay under 2% of the disabled
   runtime (the ISSUE acceptance bar, asserted noise-robustly the same
-  way the CI smoke test does).
+  way the CI smoke test does);
+* the remote transport in both modes — with observability disabled the
+  telemetry layer must put **zero** obs frames (and zero trace-prefix
+  bytes) on the wire, asserted via the client's per-opcode frame
+  counters.
 
 Also verifies the rows are bit-identical in both modes.  Runnable
 standalone::
@@ -81,6 +85,59 @@ def event_estimate(snapshot) -> int:
     return 4 * ops + 10 * spans + 10 * metrics
 
 
+def remote_transport_section(tiny: bool = False) -> dict:
+    """A remote ONFI workload, observability disabled vs enabled."""
+    import numpy as np
+
+    from repro.nand import TEST_MODEL
+    from repro.onfi import Op, RemoteChip, spawn_chip_server
+
+    geometry = TEST_MODEL.geometry
+    rounds = 2 if tiny else 12
+    rng = np.random.default_rng(17)
+    bits = (rng.random(geometry.cells_per_page) < 0.5).astype("uint8")
+    pages = list(range(geometry.pages_per_block))
+
+    def run(enabled: bool):
+        was = obs.is_enabled()
+        obs.set_enabled(enabled)
+        try:
+            sock, handle = spawn_chip_server(
+                geometry, TEST_MODEL.params, seed=5, backend="thread"
+            )
+            chip = RemoteChip(sock, geometry, TEST_MODEL.params)
+            start = time.perf_counter()
+            with obs.span("bench.remote"):
+                for _ in range(rounds):
+                    chip.program_page(0, 0, bits)
+                    chip.read_pages(0, pages)
+                    chip.erase_block(0)
+            seconds = time.perf_counter() - start
+            sent = dict(chip.sent_ops)
+            chip.close()
+            handle.close()
+            return seconds, sent
+        finally:
+            obs.set_enabled(was)
+
+    disabled_s, disabled_sent = run(False)
+    enabled_s, _ = run(True)
+    obs_frames = (
+        disabled_sent.get(int(Op.OBS_COLLECT), 0)
+        + disabled_sent.get(int(Op.OBS_RESET), 0)
+    )
+    assert obs_frames == 0, (
+        f"disabled mode put {obs_frames} obs frames on the wire"
+    )
+    return {
+        "rounds": rounds,
+        "disabled_s": round(disabled_s, 4),
+        "enabled_s": round(enabled_s, 4),
+        "enabled_over_disabled": round(enabled_s / disabled_s, 4),
+        "zero_obs_frames_when_disabled": True,
+    }
+
+
 def collect(tiny: bool = False) -> dict:
     kwargs = FIG6_TINY_KWARGS if tiny else FIG6_KWARGS
     _timed_run(False, FIG6_TINY_KWARGS)  # warm the codec/table caches
@@ -110,6 +167,7 @@ def collect(tiny: bool = False) -> dict:
                 100 * estimated_overhead_s / disabled_s, 4
             ),
         },
+        "remote": remote_transport_section(tiny=tiny),
         "rows_bit_identical": True,
     }
 
@@ -131,6 +189,11 @@ def main(argv) -> int:
     assert bench["estimated_disabled_overhead_pct"] < 2.0, (
         "disabled-mode overhead estimate exceeds the 2% bar"
     )
+    remote = results["remote"]
+    print(f"remote transport: disabled {remote['disabled_s']:.3f} s, "
+          f"enabled {remote['enabled_s']:.3f} s "
+          f"({remote['enabled_over_disabled']:.3f}x); "
+          f"zero obs frames when disabled: OK")
     if not tiny:
         output.write_text(json.dumps(results, indent=2) + "\n")
         print(f"baseline written to {output}")

@@ -23,6 +23,7 @@ import bench_chip
 import bench_fleet
 import bench_onfi
 
+from repro import benchtrack
 from repro.experiments import fig6, reliability
 from repro.parallel import ParallelRunner, resolve_backend
 
@@ -118,6 +119,16 @@ def main(argv=None) -> int:
             json.dumps(onfi_report, indent=2) + "\n"
         )
         print(f"wrote {bench_onfi.DEFAULT_OUTPUT}")
+    # Append a schema-versioned row to the bench trajectory, so
+    # `repro-stash bench-report` can diff future runs against this one.
+    root = DEFAULT_OUTPUT.parent
+    metrics = benchtrack.extract_metrics(benchtrack.load_snapshots(root))
+    history_path = root / benchtrack.HISTORY_NAME
+    benchtrack.append_history(
+        benchtrack.history_row(metrics, machine=baseline["machine"]),
+        history_path,
+    )
+    print(f"appended {len(metrics)} metrics to {history_path}")
     return 0
 
 

@@ -333,33 +333,40 @@ def _cmd_obs(args) -> int:
         obs.export_jsonl(col.snapshot.spans, trace)
         print()
         print(f"[obs] trace: {len(col.snapshot.spans)} spans -> {trace}")
+        print()
+        print(obs.render_trace_tree(col.snapshot.spans))
     print()
     print(obs.one_line_summary(col.snapshot))
     return 0
 
 
-def _percentile(values, q: float) -> float:
-    """Nearest-rank percentile of a non-empty list (q in [0, 100])."""
-    ordered = sorted(values)
-    rank = max(1, -(-int(q * len(ordered)) // 100))  # ceil(q*n/100)
-    return ordered[min(rank, len(ordered)) - 1]
-
-
 def _fleet_latency_table(responses) -> str:
-    from .fleet import KINDS
+    """Per-kind latencies: wall-clock ms plus deterministic rounds.
+
+    The ``rnd`` columns are virtual-time round latencies
+    (:attr:`~repro.fleet.requests.Response.latency_rounds`) — exactly
+    reproducible for a fixed configuration, unlike the ms columns.
+    """
+    from .fleet import KINDS, percentile
 
     lines = [f"  {'kind':<8} {'count':>6} {'ok':>6} "
-             f"{'p50 ms':>9} {'p99 ms':>9}"]
+             f"{'p50 ms':>9} {'p99 ms':>9} {'p50 rnd':>8} {'p99 rnd':>8}"]
     for kind in KINDS:
         group = [r for r in responses if r.kind == kind]
         if not group:
             continue
         lat = [r.latency_s for r in group]
+        rounds = [
+            r.latency_rounds for r in group if r.latency_rounds >= 0
+        ]
         ok = sum(1 for r in group if r.status == "ok")
+        rnd50 = int(percentile(rounds, 50)) if rounds else -1
+        rnd99 = int(percentile(rounds, 99)) if rounds else -1
         lines.append(
             f"  {kind:<8} {len(group):>6} {ok:>6} "
-            f"{_percentile(lat, 50) * 1e3:>9.2f} "
-            f"{_percentile(lat, 99) * 1e3:>9.2f}"
+            f"{percentile(lat, 50) * 1e3:>9.2f} "
+            f"{percentile(lat, 99) * 1e3:>9.2f} "
+            f"{rnd50:>8} {rnd99:>8}"
         )
     return "\n".join(lines)
 
@@ -402,11 +409,13 @@ def _cmd_fleet(args) -> int:
         return responses, wall, rejected, snapshot
 
     runs = {}
+    slo_runs = {}
     for name in names:
         responses, wall, rejected, snapshot = run_service(
             name, remote=args.remote
         )
         runs[name] = (responses, wall)
+        slo_runs[f"{name}:remote" if args.remote else name] = responses
         payload_bytes = sum(
             len(r.payload) for r in responses if r.status == "ok"
         )
@@ -425,6 +434,7 @@ def _cmd_fleet(args) -> int:
             local_responses, local_wall, _, _ = run_service(
                 name, remote=False
             )
+            slo_runs[name] = local_responses
             remote_view = sorted(
                 r.deterministic_view() for r in responses
             )
@@ -451,6 +461,11 @@ def _cmd_fleet(args) -> int:
               f"{'bit-identical' if identical else 'DIVERGED'}")
         if not identical:
             return 1
+    if args.report:
+        from .fleet import render_slo_table
+
+        print()
+        print(render_slo_table(slo_runs))
     return 0
 
 
@@ -476,6 +491,19 @@ def _cmd_onfi_serve(args) -> int:
     finally:
         listener.close()
     return 0
+
+
+def _cmd_bench_report(args) -> int:
+    """Diff current BENCH snapshots against the bench history."""
+    from pathlib import Path
+
+    from . import benchtrack
+
+    root = Path(args.bench_root)
+    history = Path(args.history) if args.history else None
+    return benchtrack.report(
+        root, history, record=args.record, check=args.check
+    )
 
 
 def _cmd_lint(args) -> int:
@@ -628,7 +656,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shard-workers", type=int, default=None,
                    help="threads fanning a round over remote shards "
                         "(results are identical at any count)")
+    p.add_argument("--report", action="store_true",
+                   help="print the SLO table: p50/p99/p99.9 round "
+                        "latency per op kind per scheduler (virtual "
+                        "time — deterministic)")
     p.set_defaults(func=_cmd_fleet)
+
+    p = sub.add_parser(
+        "bench-report",
+        help="diff the BENCH_*.json snapshots against BENCH_history.jsonl "
+             "with per-metric regression thresholds (exit 1 on "
+             "regression, 2 on missing inputs)",
+    )
+    p.add_argument("--bench-root", default=".",
+                   help="directory holding the BENCH_*.json snapshots "
+                        "and the history file (default .)")
+    p.add_argument("--history", default=None,
+                   help="history JSONL path (default "
+                        "<bench-root>/BENCH_history.jsonl)")
+    p.add_argument("--record", action="store_true",
+                   help="append the current metrics as a new history row "
+                        "(seeds the file when empty)")
+    p.add_argument("--check", action="store_true",
+                   help="CI smoke: also print an explicit ok line")
+    p.set_defaults(func=_cmd_bench_report)
 
     p = sub.add_parser(
         "onfi-serve",

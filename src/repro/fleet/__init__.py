@@ -11,12 +11,21 @@ bit-identical per tenant to naive per-request dispatch.
 from .requests import (
     AdmissionError,
     KINDS,
+    QueuedRequest,
     QueueStats,
     Request,
     RequestQueue,
     Response,
 )
 from .scheduler import CoalescingScheduler, NaiveScheduler, make_scheduler
+from .slo import (
+    SLO_PERCENTILES,
+    SloRow,
+    latency_samples,
+    percentile,
+    render_slo_table,
+    slo_rows,
+)
 from .service import (
     FLEET_HIDING,
     FleetConfig,
@@ -41,15 +50,22 @@ __all__ = [
     "FleetService",
     "KINDS",
     "NaiveScheduler",
+    "QueuedRequest",
     "QueueStats",
     "Request",
     "RequestQueue",
     "Response",
+    "SLO_PERCENTILES",
     "Shard",
+    "SloRow",
     "TenantState",
     "WorkloadConfig",
     "fleet_model",
     "generate_requests",
+    "latency_samples",
     "make_scheduler",
+    "percentile",
+    "render_slo_table",
+    "slo_rows",
     "tenant_stream",
 ]

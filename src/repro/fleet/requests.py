@@ -50,11 +50,17 @@ class Request:
 class Response:
     """The deterministic outcome of one request.
 
-    Every field except ``latency_s`` is a pure function of the tenant's
-    request sequence (given the fleet seed and shard count) — the
-    bit-identity tests compare :meth:`deterministic_view` between
+    Every field except the latency stamps is a pure function of the
+    tenant's request sequence (given the fleet seed and shard count) —
+    the bit-identity tests compare :meth:`deterministic_view` between
     schedulers and arrival orders.  ``latency_s`` is wall-clock
     (submission-to-completion inside a drain) and legitimately varies.
+    ``round_index``/``submitted_round`` are the deterministic "virtual
+    time" latency (reproducible bit-for-bit for a fixed configuration —
+    the fleet SLO report is built from them), but they measure
+    *scheduling*, which the round cap and arrival order legitimately
+    change — so they stay out of the bit-identity view alongside
+    ``latency_s``.
     """
 
     tenant: int
@@ -65,9 +71,27 @@ class Response:
     directory: Tuple[Tuple[int, int], ...] = ()  #: (lba, length) pairs (mount)
     pp_steps: int = 0  #: partial-program steps the embed used (write)
     latency_s: float = 0.0
+    #: Cumulative fleet round (virtual time) this request completed in;
+    #: -1 when the request never went through a drain round.
+    round_index: int = -1
+    #: Rounds already formed when the request was admitted; -1 as above.
+    submitted_round: int = -1
+
+    @property
+    def latency_rounds(self) -> int:
+        """Rounds from admission to completion, inclusive (>= 1).
+
+        The deterministic latency measure: a request admitted while
+        ``submitted_round`` rounds had formed and completed in round
+        ``round_index`` waited this many round slots.  -1 when the
+        request carries no round stamps.
+        """
+        if self.round_index < 0 or self.submitted_round < 0:
+            return -1
+        return self.round_index - self.submitted_round + 1
 
     def deterministic_view(self) -> Tuple:
-        """Everything but the wall-clock latency."""
+        """Everything but the latency stamps."""
         return (
             self.tenant, self.kind, self.lba, self.status,
             self.payload, self.directory, self.pp_steps,
@@ -81,6 +105,20 @@ class QueueStats:
     submitted: int = 0
     rejected: int = 0
     rounds: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class QueuedRequest:
+    """One admitted request plus its admission-time round stamp.
+
+    ``submitted_round`` is the number of rounds the queue had formed
+    when the request was admitted — the deterministic "virtual clock"
+    reading that, paired with the completion round, yields
+    :attr:`Response.latency_rounds`.
+    """
+
+    request: Request
+    submitted_round: int
 
 
 class RequestQueue:
@@ -108,7 +146,7 @@ class RequestQueue:
         self.max_per_tenant = max_per_tenant
         self.max_round_requests = max_round_requests
         self.stats = QueueStats()
-        self._queues: Dict[int, Deque[Request]] = {}
+        self._queues: Dict[int, Deque[QueuedRequest]] = {}
         #: Round-robin position: the next round starts at the first
         #: tenant id strictly greater than this.
         self._cursor = -1
@@ -131,16 +169,17 @@ class RequestQueue:
                 f"tenant {request.tenant} queue full "
                 f"({self.max_per_tenant} pending)"
             )
-        queue.append(request)
+        queue.append(QueuedRequest(request, self.stats.rounds))
         self.stats.submitted += 1
 
-    def next_round(self) -> List[Request]:
+    def next_round_entries(self) -> List[QueuedRequest]:
         """Pop the next round: at most one request per tenant.
 
         Tenants are served in ascending id order starting after the last
         tenant served in the previous round (round-robin), capped at
         ``max_round_requests``.  Deterministic in the submission
-        sequence.
+        sequence.  Entries keep their admission-time round stamps so the
+        service can compute deterministic round latencies.
         """
         active = sorted(t for t, q in self._queues.items() if q)
         if not active:
@@ -150,7 +189,11 @@ class RequestQueue:
             cap = len(active)
         start = bisect_right(active, self._cursor)
         picked = [active[(start + i) % len(active)] for i in range(cap)]
-        round_requests = [self._queues[t].popleft() for t in picked]
+        round_entries = [self._queues[t].popleft() for t in picked]
         self._cursor = picked[-1]
         self.stats.rounds += 1
-        return round_requests
+        return round_entries
+
+    def next_round(self) -> List[Request]:
+        """:meth:`next_round_entries` without the round stamps."""
+        return [entry.request for entry in self.next_round_entries()]

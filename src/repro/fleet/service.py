@@ -48,6 +48,9 @@ _OBS_REQUESTS = obs.counter("fleet.requests")
 _OBS_REBUILDS = obs.counter("fleet.rebuilds")
 _OBS_LOST_SLOTS = obs.counter("fleet.lost_slots")
 _OBS_ROUND_SIZE = obs.histogram("fleet.round_size")
+_OBS_ADMITTED = obs.counter("fleet.admitted")
+_OBS_REJECTED = obs.counter("fleet.rejected")
+_OBS_QUEUE_DEPTH = obs.gauge("fleet.queue_depth")
 
 #: Fleet hiding configuration: 640 hidden bits per page under one
 #: (1023, t=30) BCH word.  Fresh embeds carry a handful of natural-charge
@@ -190,6 +193,7 @@ class FleetService:
                     model.params,
                     seed=shard_seed,
                     backend=config.remote_backend,
+                    proc_label=f"shard:{index}",
                 )
                 chip = RemoteChip(sock, model.geometry, model.params)
                 self._server_handles.append(handle)
@@ -231,6 +235,14 @@ class FleetService:
         )
         self.aggregator = obs.ShardAggregator()
         self._drain_origin = 0.0
+        #: tenant -> (completion round, submitted round) for the round
+        #: currently executing.  Written by the main thread in ``drain``
+        #: before any shard dispatch, read-only inside the round (also
+        #: from shard worker threads), so no synchronisation is needed.
+        self._round_stamp: Dict[int, Tuple[int, int]] = {}
+        #: Requests still queued when the current round was formed (the
+        #: queue-depth gauge value for this round).
+        self._round_queue_depth = 0
         self._provision()
 
     # ------------------------------------------------------------------
@@ -265,7 +277,33 @@ class FleetService:
                         locations.append((ts.block, page))
                         data.append(cover)
                 shard.chip.program_locations(locations, data)
+                self._harvest_remote_obs(shard)
             self.aggregator.add(shard.index, col.snapshot)
+
+    def _harvest_remote_obs(self, shard: "Shard") -> None:
+        """Fold a remote shard's server-side telemetry into this scope.
+
+        In-process shards record chip metrics directly into the active
+        collection scope; a remote shard's land in its ChipServer's
+        registry instead.  Harvesting the delta (OBS_COLLECT with reset)
+        into the same scope makes the aggregator's entries — and hence
+        every fleet total — bit-identical between the two modes: the
+        chip-side metrics are integer counter increments, so folding
+        them once per scope instead of interleaved per operation changes
+        no float sum.  ``op_counters`` are stripped because in-process
+        scopes have none either (chips register their counters at
+        construction, not per round); :meth:`fleet_snapshot` accounts
+        them separately from the chips' cumulative totals.
+
+        No-op for in-process shards and whenever observability is
+        disabled — with ``REPRO_OBS=0`` the remote path sends zero obs
+        frames.
+        """
+        if not self.config.remote or not obs.is_enabled():
+            return
+        harvest = shard.chip.obs_collect(reset=True)
+        harvest.op_counters = None
+        obs.get_registry().absorb(harvest)
 
     def _selection(self, ts: TenantState, page: int) -> np.ndarray:
         """The cached selection map of one tenant host page."""
@@ -288,7 +326,9 @@ class FleetService:
         try:
             self.queue.submit(request)
         except AdmissionError:
+            _OBS_REJECTED.inc()
             return False
+        _OBS_ADMITTED.inc()
         return True
 
     def drain(
@@ -314,9 +354,19 @@ class FleetService:
         self._drain_origin = time.perf_counter()
         fan_out = shard_workers is not None and shard_workers > 1
         while len(self.queue):
-            round_requests = self.queue.next_round()
+            round_entries = self.queue.next_round_entries()
+            round_no = self.queue.stats.rounds - 1
+            # Written before any shard dispatch (threaded or not) and
+            # only read inside the round: the deterministic stamps the
+            # responses and SLO histograms are built from.
+            self._round_stamp = {
+                entry.request.tenant: (round_no, entry.submitted_round)
+                for entry in round_entries
+            }
+            self._round_queue_depth = len(self.queue)
             by_shard: Dict[int, List[Request]] = {}
-            for request in round_requests:
+            for entry in round_entries:
+                request = entry.request
                 shard_id = self.tenants[request.tenant].shard
                 by_shard.setdefault(shard_id, []).append(request)
             ordered = sorted(by_shard)
@@ -336,6 +386,9 @@ class FleetService:
                 shard_responses, snapshot = outcomes[shard_id]
                 self.aggregator.add(shard_id, snapshot)
                 responses.extend(shard_responses)
+        # Stale stamps must not leak into out-of-drain execute_round
+        # calls (mount_directory): those carry the -1 sentinel instead.
+        self._round_stamp = {}
         return responses
 
     def _run_shard_round(
@@ -350,9 +403,28 @@ class FleetService:
             _OBS_SHARD_ROUNDS.inc()
             _OBS_REQUESTS.inc(len(shard_requests))
             _OBS_ROUND_SIZE.observe(len(shard_requests))
+            if obs.is_enabled():
+                # SLO attribution: deterministic round latencies per op
+                # kind and per tenant, plus the round's queue depth.
+                # Recorded client-side from the round stamps, so the
+                # values — integers, hence exact under any merge order —
+                # are identical across schedulers and remote modes.
+                _OBS_QUEUE_DEPTH.set(self._round_queue_depth)
+                for request in shard_requests:
+                    stamp = self._round_stamp.get(request.tenant)
+                    if stamp is None:
+                        continue
+                    latency = stamp[0] - stamp[1] + 1
+                    obs.histogram(
+                        f"fleet.latency_rounds.kind.{request.kind}"
+                    ).observe(latency)
+                    obs.histogram(
+                        f"fleet.latency_rounds.tenant.{request.tenant}"
+                    ).observe(latency)
             shard_responses = scheduler.run_round(
                 self, shard_id, shard_requests
             )
+            self._harvest_remote_obs(self.shards[shard_id])
         return shard_responses, col.snapshot
 
     def _run_shards_threaded(
@@ -568,7 +640,19 @@ class FleetService:
 
         stamp = time.perf_counter() - self._drain_origin
         return [
-            replace(outcome[request.tenant], latency_s=stamp)
+            replace(
+                outcome[request.tenant],
+                latency_s=stamp,
+                # Deterministic virtual-time latency: the round stamps
+                # written by drain() (absent outside a drain, e.g. the
+                # mount_directory convenience path -> (-1, -1)).
+                round_index=self._round_stamp.get(
+                    request.tenant, (-1, -1)
+                )[0],
+                submitted_round=self._round_stamp.get(
+                    request.tenant, (-1, -1)
+                )[1],
+            )
             for request in requests
         ]
 

@@ -44,8 +44,22 @@ from .metrics import (
     register_op_counters,
     set_enabled,
 )
-from .report import one_line_summary, render_metrics, render_profile
-from .trace import SpanRecord, export_jsonl, load_jsonl, span
+from .report import (
+    one_line_summary,
+    render_metrics,
+    render_profile,
+    render_trace_tree,
+    stitch_spans,
+)
+from .trace import (
+    SpanRecord,
+    adopt_parent,
+    current_span_name,
+    export_jsonl,
+    load_jsonl,
+    span,
+)
+from .wirefmt import OBS_WIRE_VERSION, decode_snapshot, encode_snapshot
 
 __all__ = [
     "Collection",
@@ -55,15 +69,20 @@ __all__ = [
     "HistStats",
     "Histogram",
     "OBS_ENV",
+    "OBS_WIRE_VERSION",
     "ObsSnapshot",
     "ProfileEntry",
     "Registry",
     "ShardAggregator",
     "SpanRecord",
     "TRACE_ENV",
+    "adopt_parent",
     "collect",
     "counter",
+    "current_span_name",
+    "decode_snapshot",
     "default_trace_path",
+    "encode_snapshot",
     "export_jsonl",
     "gauge",
     "get_registry",
@@ -79,7 +98,9 @@ __all__ = [
     "register_op_counters",
     "render_metrics",
     "render_profile",
+    "render_trace_tree",
     "scoped_call",
+    "stitch_spans",
     "set_enabled",
     "span",
 ]

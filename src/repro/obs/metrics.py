@@ -230,7 +230,15 @@ class Registry:
     the scope stack is thread-local — so plain dict updates suffice.
     """
 
-    def __init__(self, span_capacity: int = DEFAULT_SPAN_CAPACITY) -> None:
+    def __init__(
+        self,
+        span_capacity: int = DEFAULT_SPAN_CAPACITY,
+        proc_label: str = "",
+    ) -> None:
+        #: Stamped onto every span recorded here whose ``proc`` is empty.
+        #: Chip servers label their registries (``chip:3``) so stitched
+        #: multi-process traces attribute spans to the recording process.
+        self.proc_label = proc_label
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
         self.hists: Dict[str, HistStats] = {}
@@ -267,6 +275,8 @@ class Registry:
 
     def record_span(self, record: Any) -> None:
         """Append a finished span and fold it into the profile."""
+        if self.proc_label and not record.proc:
+            record.proc = self.proc_label
         self.spans.append(record)
         entry = self.profile.get(record.name)
         if entry is None:

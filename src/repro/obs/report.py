@@ -1,11 +1,13 @@
 """Plain-text rendering of snapshots: metric tables, self-time profile,
-and the one-line run summary the experiment CLI appends to every run."""
+the stitched multi-process trace tree, and the one-line run summary the
+experiment CLI appends to every run."""
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .metrics import ObsSnapshot, ProfileEntry
+from .trace import SpanRecord
 
 
 def _table(
@@ -94,6 +96,97 @@ def render_profile(profile: Dict[str, ProfileEntry], top: int = 10) -> str:
         f"self-time profile (top {len(rows)} by self time)\n\n"
         + _table(("span", "count", "self ms", "total ms", "avg ms"), rows)
     )
+
+
+class _TraceNode:
+    """One aggregated (proc, name, parent) cell of the stitched tree."""
+
+    __slots__ = ("proc", "name", "count", "total_s", "self_s", "children")
+
+    def __init__(self, proc: str, name: str) -> None:
+        self.proc = proc
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.self_s = 0.0
+        self.children: List["_TraceNode"] = []
+
+
+def stitch_spans(
+    spans: Sequence[SpanRecord],
+) -> List[_TraceNode]:
+    """Fold spans (possibly from several processes) into one call tree.
+
+    Spans aggregate by ``(proc, name, parent)``; a node attaches under
+    the node whose name matches its recorded ``parent`` — preferring a
+    same-process parent, else any process.  That second case is exactly
+    the ONFI trace-parent hop: a ``ChipServer`` span whose parent is the
+    client-side span name stitches under the client's subtree even
+    though the two spans were recorded in different processes.
+    """
+    nodes: Dict[Tuple[str, str, Optional[str]], _TraceNode] = {}
+    order: List[Tuple[str, str, Optional[str]]] = []
+    for record in spans:
+        key = (record.proc, record.name, record.parent)
+        node = nodes.get(key)
+        if node is None:
+            node = nodes[key] = _TraceNode(record.proc, record.name)
+            order.append(key)
+        node.count += 1
+        node.total_s += record.duration_s
+        node.self_s += record.self_s
+    by_name: Dict[str, List[Tuple[str, str, Optional[str]]]] = {}
+    for key in order:
+        by_name.setdefault(key[1], []).append(key)
+    roots: List[_TraceNode] = []
+    for key in order:
+        proc, _name, parent = key
+        if parent is None:
+            roots.append(nodes[key])
+            continue
+        candidates = by_name.get(parent, [])
+        chosen = None
+        for cand in candidates:
+            if cand == key:
+                continue
+            if cand[0] == proc:
+                chosen = cand
+                break
+            if chosen is None:
+                chosen = cand
+        if chosen is None:
+            roots.append(nodes[key])
+        else:
+            nodes[chosen].children.append(nodes[key])
+    return roots
+
+
+def render_trace_tree(spans: Sequence[SpanRecord]) -> str:
+    """The stitched trace as an indented tree, one line per node."""
+    roots = stitch_spans(spans)
+    if not roots:
+        return "(no spans recorded)"
+    lines = ["stitched trace tree", ""]
+    seen: set = set()
+
+    def emit(node: _TraceNode, depth: int) -> None:
+        if id(node) in seen:  # name-based parenting can loop; cut it
+            return
+        seen.add(id(node))
+        label = node.name if not node.proc else f"{node.name} [{node.proc}]"
+        lines.append(
+            f"{'  ' * depth}{label}  ×{node.count}  "
+            f"total {node.total_s * 1e3:.2f} ms  "
+            f"self {node.self_s * 1e3:.2f} ms"
+        )
+        for child in sorted(
+            node.children, key=lambda n: (-n.total_s, n.name, n.proc)
+        ):
+            emit(child, depth + 1)
+
+    for root in sorted(roots, key=lambda n: (-n.total_s, n.name, n.proc)):
+        emit(root, 0)
+    return "\n".join(lines)
 
 
 def one_line_summary(snapshot: ObsSnapshot, enabled: bool = True) -> str:

@@ -62,6 +62,7 @@ class SpanRecord:
         default_factory=dict
     )
     error: Optional[str] = None  # exception type name if the body raised
+    proc: str = ""  # recording process/chip label ("" = the local process)
 
 
 class _NoopSpan:
@@ -142,6 +143,59 @@ class Span:
                 return fn(*args, **kwargs)
 
         return wrapper
+
+
+def current_span_name() -> Optional[str]:
+    """The innermost open span's name on this thread, if any.
+
+    The ONFI client uses this to stamp a trace-parent prefix on request
+    frames so server-side spans stitch under the caller's span.
+    """
+    stack = _stack()
+    return stack[-1].name if stack else None
+
+
+class _AdoptedParent:
+    """A stack entry standing in for a span owned by another process.
+
+    Pushing one makes subsequent spans on this thread report the remote
+    span's name as their ``parent`` (and nest one level deeper) without
+    recording any span itself — the real span already lives in the
+    client's trace.
+    """
+
+    __slots__ = ("name", "attrs", "_start", "_child_s")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.attrs: Dict[str, Any] = {}
+        self._start = 0.0
+        self._child_s = 0.0
+
+    def __enter__(self) -> "_AdoptedParent":
+        _stack().append(self)  # type: ignore[arg-type]
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
+        _stack().pop()
+        return False
+
+
+def adopt_parent(name: str) -> Union[_AdoptedParent, _NoopSpan]:
+    """Parent this thread's next spans under an external span ``name``.
+
+    Context manager used by :class:`~repro.onfi.server.ChipServer` when a
+    request frame carries a trace-parent prefix.  No-op when
+    observability is disabled.
+    """
+    if not is_enabled():
+        return _NOOP
+    return _AdoptedParent(name)
 
 
 def span(name: str, **attrs: Any) -> Union[Span, _NoopSpan]:

@@ -23,7 +23,11 @@ from .wire import (
     ERROR_KINDS,
     FLAG_PARTIAL,
     FLAG_THRESHOLD,
+    FLAG_TRACE,
     HEADER,
+    HELLO_FLAGS_MASK,
+    HELLO_OBS,
+    HELLO_TRACE,
     MAX_PAYLOAD,
     MIN_LENGTH,
     FrameReader,
@@ -32,6 +36,8 @@ from .wire import (
     encode_error,
     error_kind,
     pack_frame,
+    pack_trace_parent,
+    take_trace_parent,
     write_frame,
 )
 
@@ -40,7 +46,11 @@ __all__ = [
     "ERROR_KINDS",
     "FLAG_PARTIAL",
     "FLAG_THRESHOLD",
+    "FLAG_TRACE",
     "FrameReader",
+    "HELLO_FLAGS_MASK",
+    "HELLO_OBS",
+    "HELLO_TRACE",
     "HEADER",
     "MAX_OUTSTANDING",
     "MAX_PAYLOAD",
@@ -52,9 +62,11 @@ __all__ = [
     "encode_error",
     "error_kind",
     "pack_frame",
+    "pack_trace_parent",
     "serve_listener",
     "serve_socket",
     "serve_stream",
     "spawn_chip_server",
+    "take_trace_parent",
     "write_frame",
 ]

@@ -34,7 +34,7 @@ from __future__ import annotations
 import os
 import socket
 from collections import deque
-from typing import Deque, Iterable, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -43,13 +43,20 @@ from ..nand.errors import CommandError, ProgramError
 from ..nand.geometry import ChipGeometry
 from ..nand.onfi import Status
 from ..nand.params import ChipParams
+from ..obs.metrics import ObsSnapshot, is_enabled as _obs_enabled
+from ..obs.trace import current_span_name
+from ..obs.wirefmt import decode_snapshot
 from .wire import (
     FLAG_PARTIAL,
     FLAG_THRESHOLD,
+    FLAG_TRACE,
+    HELLO_FLAGS_MASK,
+    HELLO_TRACE,
     FrameReader,
     Op,
     decode_error,
     pack_f64,
+    pack_trace_parent,
     write_frame,
     pack_i64,
     pack_i64_array,
@@ -99,6 +106,11 @@ class RemoteChip:
         self._outstanding: Deque[Tuple[int, Op]] = deque()
         self._deferred: List[Exception] = []
         self._closed = False
+        #: Request frames sent, by opcode — transport accounting only
+        #: (tests assert the disabled-obs path adds zero frames).
+        self.sent_ops: Dict[int, int] = {}
+        #: HELLO-negotiated capability bits from the server.
+        self.server_flags = 0
         self._hello()
 
     # ------------------------------------------------------------------
@@ -136,6 +148,20 @@ class RemoteChip:
             self._deferred = []
             raise error
 
+    def _wrap_trace(self, flags: int, payload: bytes) -> Tuple[int, bytes]:
+        """Prefix the frame with the current span name, when negotiated.
+
+        Zero bytes and zero branches beyond one flag check when
+        observability is disabled or the server lacks HELLO_TRACE — the
+        wire image of a disabled-obs run is byte-identical to one
+        without this feature.
+        """
+        if self.server_flags & HELLO_TRACE and _obs_enabled():
+            parent = current_span_name()
+            if parent is not None:
+                return flags | FLAG_TRACE, pack_trace_parent(parent) + payload
+        return flags, payload
+
     def _post(self, op: Op, flags: int = 0, payload: bytes = b"") -> None:
         """Issue an ack-only operation, pipelined when enabled."""
         if not self.pipeline:
@@ -143,7 +169,9 @@ class RemoteChip:
             return
         if len(self._outstanding) >= MAX_OUTSTANDING:
             self.drain()
+        flags, payload = self._wrap_trace(flags, payload)
         tag = self._next_tag()
+        self.sent_ops[int(op)] = self.sent_ops.get(int(op), 0) + 1
         write_frame(self._wfile, int(op), flags, tag, payload)
         self._outstanding.append((tag, op))
 
@@ -153,7 +181,9 @@ class RemoteChip:
         Flushes the pipeline first; failures of earlier posted
         operations take precedence over this call's own outcome.
         """
+        flags, payload = self._wrap_trace(flags, payload)
         tag = self._next_tag()
+        self.sent_ops[int(op)] = self.sent_ops.get(int(op), 0) + 1
         write_frame(self._wfile, int(op), flags, tag, payload)
         self._wfile.flush()
         self._drain_acks()
@@ -173,13 +203,18 @@ class RemoteChip:
         self._raise_deferred()
 
     def _hello(self) -> None:
-        _, payload = self._call(Op.HELLO)
+        # Request every capability this client knows; the server answers
+        # the accepted subset as a trailing byte (absent on pre-obs
+        # servers, which is a clean "no capabilities").
+        _, payload = self._call(Op.HELLO, 0, bytes([HELLO_FLAGS_MASK]))
         n_blocks, o = take_i64(payload, 0)
         pages_per_block, o = take_i64(payload, o)
         cells_per_page, o = take_i64(payload, o)
         page_bytes, o = take_i64(payload, o)
         self.seed, o = take_u64(payload, o)
         self.clock, o = take_f64(payload, o)
+        if o < len(payload):
+            self.server_flags = payload[o] & HELLO_FLAGS_MASK
         geometry = self.geometry
         served = (n_blocks, pages_per_block, cells_per_page, page_bytes)
         expected = (
@@ -422,24 +457,39 @@ class RemoteChip:
         )
         self.clock, _ = take_f64(payload, 0)
 
+    def obs_collect(self, reset: bool = False) -> ObsSnapshot:
+        """Harvest the server's telemetry registry as an ObsSnapshot.
+
+        Counters, gauges, histograms, profile and spans are whatever the
+        server recorded since its last reset; ``op_counters`` are always
+        the chip's cumulative totals.  ``reset=True`` clears the
+        registry (not the op counters) after the snapshot — the fleet's
+        per-round delta harvest.  Every float is f64 on the wire, so the
+        snapshot is bit-identical to one taken in the server's process.
+        """
+        _, payload = self._call(Op.OBS_COLLECT, 0, b"\x01" if reset else b"")
+        try:
+            return decode_snapshot(bytes(payload))
+        except ValueError as exc:
+            raise CommandError(
+                f"OBS_COLLECT payload undecodable: {exc}"
+            ) from exc
+
+    def obs_reset(self) -> None:
+        """Clear the server's telemetry registry (op counters persist)."""
+        self._call(Op.OBS_RESET)
+
     @property
     def counters(self) -> OpCounters:
-        """The server chip's cumulative op counters (f64-exact)."""
-        _, payload = self._call(Op.GET_COUNTERS)
-        reads, o = take_i64(payload, 0)
-        programs, o = take_i64(payload, o)
-        erases, o = take_i64(payload, o)
-        partial_programs, o = take_i64(payload, o)
-        busy_time_s, o = take_f64(payload, o)
-        energy_j, o = take_f64(payload, o)
-        return OpCounters(
-            reads=reads,
-            programs=programs,
-            erases=erases,
-            partial_programs=partial_programs,
-            busy_time_s=busy_time_s,
-            energy_j=energy_j,
-        )
+        """The server chip's cumulative op counters (f64-exact).
+
+        Rides the generic OBS_COLLECT snapshot encoding — new
+        ``OpCounters`` fields transport without touching this client.
+        """
+        ops: Optional[OpCounters] = self.obs_collect().op_counters
+        if ops is None:
+            raise CommandError("OBS_COLLECT answered no op counters")
+        return ops
 
     def is_page_programmed(self, block: int, page: int) -> bool:
         _, payload = self._call(

@@ -35,9 +35,20 @@ from ..nand.onfi import (
     validate_threshold,
 )
 from ..nand.params import ChipParams
+from ..obs.metrics import (
+    Registry,
+    is_enabled as _obs_enabled,
+    pop_registry,
+    push_registry,
+    set_enabled,
+)
+from ..obs.trace import adopt_parent, span
+from ..obs.wirefmt import encode_snapshot
 from .wire import (
     FLAG_PARTIAL,
     FLAG_THRESHOLD,
+    FLAG_TRACE,
+    HELLO_FLAGS_MASK,
     FrameReader,
     Op,
     encode_error,
@@ -51,13 +62,15 @@ from .wire import (
     take_i64_array,
     take_i64_count,
     take_locations,
+    take_trace_parent,
     take_u8_matrix,
 )
 
 #: Opcodes that are host-side queries: they answer from existing state
 #: and do not roll the status register.
 _NO_ROLL = frozenset(
-    {Op.READ_STATUS, Op.HELLO, Op.GET_COUNTERS, Op.SHUTDOWN}
+    {Op.READ_STATUS, Op.HELLO, Op.GET_COUNTERS, Op.OBS_COLLECT,
+     Op.OBS_RESET, Op.SHUTDOWN}
 )
 
 
@@ -72,7 +85,7 @@ def _done(payload, offset: int) -> None:
 class ChipServer:
     """Serve one flash chip to one connection at a time."""
 
-    def __init__(self, chip: FlashChip) -> None:
+    def __init__(self, chip: FlashChip, proc_label: str = "") -> None:
         self.chip = chip
         #: The ONFI status register, shared semantics with OnfiBus.
         self.status = Status()
@@ -81,6 +94,15 @@ class ChipServer:
         #: A PROGRAM held open by FLAG_PARTIAL, waiting for its RESET:
         #: ``(block, page, bits)``.
         self._pending: Optional[Tuple[int, int, np.ndarray]] = None
+        #: This server's private telemetry domain.  Pushed around every
+        #: frame dispatch (when observability is enabled), so server-side
+        #: spans and metrics accumulate here — isolated from the caller's
+        #: registries on the thread backend, and harvestable over the
+        #: wire via OBS_COLLECT on both backends.  ``proc_label`` stamps
+        #: recorded spans for multi-process trace stitching.
+        self.registry = Registry(proc_label=proc_label)
+        #: HELLO-negotiated capability bits (HELLO_OBS | HELLO_TRACE).
+        self.hello_flags = 0
 
     # ------------------------------------------------------------------
     # frame dispatch (pure in the frame; fuzzable without a socket)
@@ -112,7 +134,32 @@ class ChipServer:
                     f"a PROGRAM is held open for RESET; opcode "
                     f"0x{opcode:02X} aborts it uncharged"
                 )
-            out, status_byte = self._HANDLERS[op](self, flags, payload)
+            trace_parent: Optional[str] = None
+            if flags & FLAG_TRACE:
+                # Zero-copy strip: handlers see only their own payload.
+                trace_parent, o = take_trace_parent(payload, 0)
+                payload = memoryview(payload)[o:]
+                flags &= ~FLAG_TRACE
+            handler = self._HANDLERS[op]
+            if _obs_enabled():
+                # Route this frame's spans/metrics into the server's
+                # private registry (parented under the client's span
+                # when the frame carried a trace-parent prefix).
+                push_registry(self.registry)
+                try:
+                    if trace_parent is not None:
+                        with adopt_parent(trace_parent):
+                            out, status_byte = self._traced(
+                                op, handler, flags, payload, rolls
+                            )
+                    else:
+                        out, status_byte = self._traced(
+                            op, handler, flags, payload, rolls
+                        )
+                finally:
+                    pop_registry()
+            else:
+                out, status_byte = handler(self, flags, payload)
         except (NandError, ValueError) as exc:
             if rolls:
                 self.status = self.status.rolled(failed=True)
@@ -130,6 +177,20 @@ class ChipServer:
                 # payload, never via the response header.
                 status_byte = self.status.to_byte() & ~STATUS_FAIL
         return status_byte, out, op is not Op.SHUTDOWN
+
+    def _traced(
+        self, op: Op, handler, flags: int, payload, rolls: bool
+    ) -> Tuple[bytes, Optional[int]]:
+        """Run a handler under a server-side span (data-path ops only).
+
+        Queries (``_NO_ROLL``) stay span-free: an OBS_COLLECT span would
+        always close *after* the snapshot it serves and leak into the
+        next harvest.
+        """
+        if rolls:
+            with span(f"onfi.{op.name.lower()}"):
+                return handler(self, flags, payload)
+        return handler(self, flags, payload)
 
     def serve(self, reader: FrameReader, wfile: BinaryIO) -> None:
         """Serve frames until clean EOF, SHUTDOWN or broken framing."""
@@ -305,7 +366,15 @@ class ChipServer:
     # -- admin -----------------------------------------------------------
 
     def _op_hello(self, flags, payload):
-        _done(payload, 0)
+        # Payload: optionally one capability byte (absent = legacy
+        # client, no obs/trace).  The response echoes the accepted
+        # subset as a trailing byte.
+        if len(payload) == 0:
+            requested = 0
+        else:
+            requested = payload[0]
+            _done(payload, 1)
+        self.hello_flags = requested & HELLO_FLAGS_MASK
         geometry = self.chip.geometry
         out = (
             pack_i64(
@@ -316,6 +385,7 @@ class ChipServer:
             )
             + pack_u64(self.chip.seed)
             + pack_f64(self.chip.clock)
+            + bytes([self.hello_flags])
         )
         return out, None
 
@@ -335,6 +405,30 @@ class ChipServer:
             counters.partial_programs,
         ) + pack_f64(counters.busy_time_s, counters.energy_j)
         return out, None
+
+    def _op_obs_collect(self, flags, payload):
+        # Payload: optionally one u8 — nonzero resets the registry after
+        # the snapshot (delta-harvest mode, used by the fleet's per-round
+        # collection).  The snapshot's op_counters are always the chip's
+        # *cumulative* totals: they are core chip state, not registry
+        # state, so OBS_COLLECT answers them even with REPRO_OBS=0 and a
+        # reset never rewinds them.
+        if len(payload) == 0:
+            reset = False
+        else:
+            reset = payload[0] != 0
+            _done(payload, 1)
+        snapshot = self.registry.snapshot()
+        snapshot.op_counters = self.chip.counters.copy()
+        out = encode_snapshot(snapshot)
+        if reset:
+            self.registry.reset()
+        return out, None
+
+    def _op_obs_reset(self, flags, payload):
+        _done(payload, 0)
+        self.registry.reset()
+        return b"", None
 
     def _op_is_programmed(self, flags, payload):
         block, o = take_i64(payload, 0)
@@ -371,6 +465,8 @@ class ChipServer:
         Op.HELLO: _op_hello,
         Op.ADVANCE_TIME: _op_advance_time,
         Op.GET_COUNTERS: _op_get_counters,
+        Op.OBS_COLLECT: _op_obs_collect,
+        Op.OBS_RESET: _op_obs_reset,
         Op.IS_PROGRAMMED: _op_is_programmed,
         Op.BLOCK_PEC: _op_block_pec,
         Op.SHUTDOWN: _op_shutdown,
@@ -381,17 +477,24 @@ class ChipServer:
 # transports
 
 
-def serve_stream(chip: FlashChip, rfile: BinaryIO, wfile: BinaryIO) -> None:
+def serve_stream(
+    chip: FlashChip,
+    rfile: BinaryIO,
+    wfile: BinaryIO,
+    proc_label: str = "",
+) -> None:
     """Serve one connection given buffered read/write streams."""
-    ChipServer(chip).serve(FrameReader(rfile), wfile)
+    ChipServer(chip, proc_label=proc_label).serve(FrameReader(rfile), wfile)
 
 
-def serve_socket(chip: FlashChip, sock: socket.socket) -> None:
+def serve_socket(
+    chip: FlashChip, sock: socket.socket, proc_label: str = ""
+) -> None:
     """Serve one connected socket until the peer hangs up or SHUTDOWN."""
     rfile = sock.makefile("rb")
     wfile = sock.makefile("wb")
     try:
-        serve_stream(chip, rfile, wfile)
+        serve_stream(chip, rfile, wfile, proc_label=proc_label)
     except (BrokenPipeError, ConnectionResetError, OSError):
         pass  # the peer vanished mid-response; nothing left to answer
     finally:
@@ -453,10 +556,20 @@ def _serve_child(
     geometry: ChipGeometry,
     params: Optional[ChipParams],
     seed: int,
+    obs_enabled: bool,
+    proc_label: str,
 ) -> None:
-    """Process entry point: build the chip in the child and serve."""
+    """Process entry point: build the chip in the child and serve.
+
+    The parent's observability state is applied explicitly: fork
+    inherits the environment, but a parent that toggled recording
+    programmatically (``obs.set_enabled``) after a spawn-incompatible
+    env read would otherwise desynchronise.  Safe because this process
+    exists only to serve this chip.
+    """
+    set_enabled(obs_enabled)
     chip = FlashChip(geometry, params, seed=seed)
-    serve_socket(chip, conn)
+    serve_socket(chip, conn, proc_label=proc_label)
 
 
 def spawn_chip_server(
@@ -464,6 +577,7 @@ def spawn_chip_server(
     params: Optional[ChipParams] = None,
     seed: int = 0,
     backend: str = "process",
+    proc_label: Optional[str] = None,
 ) -> Tuple[socket.socket, ServerHandle]:
     """Start a chip server on one end of a socketpair.
 
@@ -476,18 +590,23 @@ def spawn_chip_server(
     """
     if backend not in ("process", "thread"):
         raise ValueError(f"unknown server backend {backend!r}")
+    if proc_label is None:
+        proc_label = f"chip:{seed}"
     client_end, server_end = socket.socketpair()
     if backend == "thread":
         chip = FlashChip(geometry, params, seed=seed)
         worker = threading.Thread(
-            target=serve_socket, args=(chip, server_end), daemon=True
+            target=serve_socket,
+            args=(chip, server_end),
+            kwargs={"proc_label": proc_label},
+            daemon=True,
         )
         worker.start()
         return client_end, ServerHandle(worker, chip=chip)
     context = multiprocessing.get_context("fork")
     worker = context.Process(
         target=_serve_child,
-        args=(server_end, geometry, params, seed),
+        args=(server_end, geometry, params, seed, _obs_enabled(), proc_label),
         daemon=True,
     )
     worker.start()

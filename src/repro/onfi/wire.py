@@ -84,6 +84,8 @@ class Op(IntEnum):
     GET_COUNTERS = 0xA2
     IS_PROGRAMMED = 0xA3
     BLOCK_PEC = 0xA4
+    OBS_COLLECT = 0xA5
+    OBS_RESET = 0xA6
     SHUTDOWN = 0xAF
 
 
@@ -94,6 +96,20 @@ FLAG_PARTIAL = 0x01
 #: Request flag: the payload starts with an explicit f64 read threshold
 #: (the vendor reference-shift applied to this operation only).
 FLAG_THRESHOLD = 0x02
+
+#: Request flag: the payload starts with a trace-parent prefix (u16
+#: length + UTF-8 span name) naming the client-side span this frame's
+#: server-side spans should stitch under.  Only ever set when the client
+#: negotiated tracing at HELLO *and* observability is enabled — with
+#: ``REPRO_OBS=0`` the flag stays clear and the frame carries zero extra
+#: bytes.  The prefix precedes a FLAG_THRESHOLD prefix when both are set.
+FLAG_TRACE = 0x04
+
+#: HELLO capability bits (u8 in the request payload; the server echoes
+#: the accepted subset as a trailing u8 in its response).
+HELLO_OBS = 0x01  # client may issue OBS_COLLECT / OBS_RESET
+HELLO_TRACE = 0x02  # client may prefix frames with FLAG_TRACE parents
+HELLO_FLAGS_MASK = HELLO_OBS | HELLO_TRACE
 
 #: Error payload kinds — ``u8`` codes mapping wire errors back onto the
 #: exact exception type the in-process chip raises.
@@ -369,6 +385,47 @@ def pack_locations(locations: Sequence[Tuple[int, int]]) -> bytes:
         dtype=np.int64,
     )
     return flat.tobytes()
+
+
+_U16 = struct.Struct("<H")
+
+#: Span names are short dotted paths; a length beyond this is corruption.
+MAX_TRACE_PARENT = 1 << 12
+
+
+def pack_trace_parent(name: str) -> bytes:
+    """Encode a trace-parent prefix: u16 length + UTF-8 span name."""
+    raw = name.encode("utf-8")
+    if len(raw) > MAX_TRACE_PARENT:
+        raise CommandError(
+            f"trace parent of {len(raw)} bytes exceeds the "
+            f"{MAX_TRACE_PARENT}-byte cap"
+        )
+    return _U16.pack(len(raw)) + raw
+
+
+def take_trace_parent(payload, offset: int) -> Tuple[str, int]:
+    """Decode a trace-parent prefix; returns (name, next offset)."""
+    if offset + 2 > len(payload):
+        raise CommandError(
+            f"payload truncated: wanted trace-parent length at offset "
+            f"{offset}, have {len(payload)} bytes"
+        )
+    (size,) = _U16.unpack_from(payload, offset)
+    offset += 2
+    if size > MAX_TRACE_PARENT:
+        raise CommandError(
+            f"trace parent of {size} bytes exceeds the "
+            f"{MAX_TRACE_PARENT}-byte cap"
+        )
+    end = offset + size
+    if end > len(payload):
+        raise CommandError(
+            f"payload truncated: trace parent promised {size} bytes, "
+            f"have {len(payload) - offset}"
+        )
+    name = bytes(payload[offset:end]).decode("utf-8", errors="replace")
+    return name, end
 
 
 def take_locations(payload, offset: int) -> list:

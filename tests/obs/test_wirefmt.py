@@ -1,0 +1,216 @@
+"""The binary ObsSnapshot codec: exact round-trips, hostile inputs.
+
+``encode_snapshot``/``decode_snapshot`` carry telemetry over the ONFI
+wire (OBS_COLLECT), so the bar is the transport's own: every float is
+IEEE-754 bit-exact after a round trip, every field survives, and
+malformed bytes raise ``ValueError`` instead of corrupting state.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nand.chip import OpCounters
+from repro.obs import OBS_WIRE_VERSION, decode_snapshot, encode_snapshot
+from repro.obs.metrics import HistStats, ObsSnapshot, ProfileEntry
+from repro.obs.trace import SpanRecord
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+#: Floats that stress the codec: subnormals, huge, tiny, negative zero.
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+names = st.text(
+    alphabet=st.characters(codec="utf-8", exclude_categories=("Cs",)),
+    min_size=0,
+    max_size=24,
+)
+
+
+def snapshot_strategy() -> st.SearchStrategy[ObsSnapshot]:
+    scalar_maps = st.dictionaries(names, finite_floats, max_size=4)
+    hists = st.dictionaries(
+        names,
+        st.builds(
+            HistStats,
+            count=st.integers(0, 2**40),
+            total=finite_floats,
+            min=finite_floats,
+            max=finite_floats,
+        ),
+        max_size=3,
+    )
+    profiles = st.dictionaries(
+        names,
+        st.builds(
+            ProfileEntry,
+            count=st.integers(0, 2**40),
+            total_s=finite_floats,
+            self_s=finite_floats,
+            min_s=finite_floats,
+            max_s=finite_floats,
+        ),
+        max_size=3,
+    )
+    attrs = st.dictionaries(
+        names,
+        st.one_of(
+            st.integers(-(2**31), 2**31),
+            finite_floats,
+            names,
+            st.booleans(),
+            st.none(),
+        ),
+        max_size=3,
+    )
+    spans = st.lists(
+        st.builds(
+            SpanRecord,
+            name=names,
+            start_s=finite_floats,
+            duration_s=finite_floats,
+            self_s=finite_floats,
+            depth=st.integers(0, 63),
+            parent=st.one_of(st.none(), names),
+            attrs=attrs,
+            error=st.one_of(st.none(), names),
+            proc=names,
+        ),
+        max_size=3,
+    )
+    op_counters = st.one_of(
+        st.none(),
+        st.builds(
+            OpCounters,
+            reads=st.integers(0, 2**40),
+            programs=st.integers(0, 2**40),
+            erases=st.integers(0, 2**40),
+            partial_programs=st.integers(0, 2**40),
+            busy_time_s=finite_floats,
+            energy_j=finite_floats,
+        ),
+    )
+    return st.builds(
+        ObsSnapshot,
+        counters=scalar_maps,
+        gauges=scalar_maps,
+        histograms=hists,
+        op_counters=op_counters,
+        profile=profiles,
+        spans=spans,
+        wall_s=finite_floats,
+    )
+
+
+def assert_bit_identical(a: ObsSnapshot, b: ObsSnapshot) -> None:
+    """Field-by-field equality with -0.0/0.0 and float identity exact."""
+
+    def key(x: float) -> bytes:
+        import struct
+
+        return struct.pack("<d", x)
+
+    assert {n: key(v) for n, v in a.counters.items()} == {
+        n: key(v) for n, v in b.counters.items()
+    }
+    assert {n: key(v) for n, v in a.gauges.items()} == {
+        n: key(v) for n, v in b.gauges.items()
+    }
+    assert set(a.histograms) == set(b.histograms)
+    for name, hist in a.histograms.items():
+        other = b.histograms[name]
+        assert hist.count == other.count
+        assert key(hist.total) == key(other.total)
+        assert key(hist.min) == key(other.min)
+        assert key(hist.max) == key(other.max)
+    assert (a.op_counters is None) == (b.op_counters is None)
+    if a.op_counters is not None:
+        assert a.op_counters == b.op_counters
+        assert key(a.op_counters.busy_time_s) == key(
+            b.op_counters.busy_time_s
+        )
+    assert set(a.profile) == set(b.profile)
+    for name, entry in a.profile.items():
+        other = b.profile[name]
+        assert entry.count == other.count
+        assert key(entry.total_s) == key(other.total_s)
+        assert key(entry.self_s) == key(other.self_s)
+    assert len(a.spans) == len(b.spans)
+    for left, right in zip(a.spans, b.spans):
+        assert left.name == right.name
+        assert left.parent == right.parent
+        assert left.proc == right.proc
+        assert left.depth == right.depth
+        assert left.error == right.error
+        assert key(left.duration_s) == key(right.duration_s)
+    assert key(a.wall_s) == key(b.wall_s)
+
+
+class TestRoundTrip:
+    def test_empty_snapshot(self):
+        out = decode_snapshot(encode_snapshot(ObsSnapshot()))
+        assert out.counters == {}
+        assert out.op_counters is None
+        assert out.spans == []
+
+    def test_known_values_survive_exactly(self):
+        snapshot = ObsSnapshot(
+            counters={"chip.reads": 3.0, "x": 0.1 + 0.2},
+            gauges={"depth": -0.0},
+            histograms={"lat": HistStats(2, 1e-9, 1e-9, 1.0)},
+            op_counters=OpCounters(1, 2, 3, 4, 0.125, 5e-324),
+            wall_s=math.pi,
+        )
+        out = decode_snapshot(encode_snapshot(snapshot))
+        assert_bit_identical(snapshot, out)
+
+    @settings(**SETTINGS)
+    @given(snapshot=snapshot_strategy())
+    def test_arbitrary_snapshots_round_trip(self, snapshot):
+        assert_bit_identical(
+            snapshot, decode_snapshot(encode_snapshot(snapshot))
+        )
+
+    def test_infinite_histogram_sentinels_survive(self):
+        # A never-observed histogram carries +inf/-inf min/max.
+        snapshot = ObsSnapshot(histograms={"empty": HistStats()})
+        out = decode_snapshot(encode_snapshot(snapshot))
+        assert out.histograms["empty"].min == float("inf")
+        assert out.histograms["empty"].max == float("-inf")
+
+
+class TestHostileBytes:
+    def test_wrong_version_rejected(self):
+        blob = bytearray(encode_snapshot(ObsSnapshot()))
+        blob[0] = OBS_WIRE_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            decode_snapshot(bytes(blob))
+
+    def test_truncation_rejected_everywhere(self):
+        blob = encode_snapshot(
+            ObsSnapshot(
+                counters={"a": 1.0},
+                op_counters=OpCounters(1, 1, 1, 1, 0.5, 0.25),
+                spans=[SpanRecord("s", 0.0, 1.0, 1.0, 0)],
+            )
+        )
+        for cut in range(len(blob)):
+            with pytest.raises(ValueError):
+                decode_snapshot(blob[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        blob = encode_snapshot(ObsSnapshot())
+        with pytest.raises(ValueError):
+            decode_snapshot(blob + b"\x00")
+
+    @settings(max_examples=50, deadline=None)
+    @given(junk=st.binary(max_size=64))
+    def test_random_bytes_never_crash_differently(self, junk):
+        try:
+            decode_snapshot(junk)
+        except ValueError:
+            pass  # the only acceptable failure mode

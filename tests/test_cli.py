@@ -172,6 +172,43 @@ def test_fleet_remote_checks_divergence(capsys):
     assert "bit-identical" in out and "DIVERGED" not in out
 
 
+def test_fleet_report_prints_slo_table(capsys):
+    assert main(["fleet", "--tenants", "3", "--shards", "2",
+                 "--ops", "3", "--report"]) == 0
+    out = capsys.readouterr().out
+    assert "SLO: round latency percentiles" in out
+    assert "p99.9" in out
+    # both schedulers appear as rows
+    assert "naive" in out and "coalesced" in out
+    # the per-kind latency table carries the deterministic columns
+    assert "p50 rnd" in out and "p99 rnd" in out
+
+
+def test_fleet_remote_report_includes_remote_rows(capsys):
+    assert main(["fleet", "--tenants", "2", "--shards", "2", "--ops", "3",
+                 "--scheduler", "coalesced", "--remote",
+                 "--remote-backend", "thread", "--report"]) == 0
+    out = capsys.readouterr().out
+    assert "coalesced:remote" in out
+
+
+def test_obs_trace_prints_stitched_tree(tmp_path, capsys, monkeypatch):
+    import repro.obs as obs
+
+    was = obs.is_enabled()
+    trace = tmp_path / "t.jsonl"
+    try:
+        assert main(["obs", "fig6", "--trace", str(trace)]) == 0
+    finally:
+        obs.set_enabled(was)
+        import os
+
+        os.environ.pop(obs.OBS_ENV, None)
+    out = capsys.readouterr().out
+    assert trace.is_file()
+    assert "stitched trace tree" in out
+
+
 def test_onfi_serve_once_round_trips_over_tcp():
     import os
     import re
