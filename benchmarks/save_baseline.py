@@ -7,7 +7,7 @@ benchmark (``bench_fleet.collect``), so later PRs can diff performance
 against one consistent machine snapshot::
 
     PYTHONPATH=src python benchmarks/save_baseline.py [output.json]
-    PYTHONPATH=src python benchmarks/save_baseline.py --no-chip --no-fleet --no-onfi
+    PYTHONPATH=src python benchmarks/save_baseline.py --no-chip --no-fleet --no-onfi --no-lint
 """
 
 from __future__ import annotations
@@ -44,6 +44,21 @@ DRIVERS = {
 }
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+LINT_OUTPUT = DEFAULT_OUTPUT.parent / "BENCH_lint.json"
+
+
+def collect_lint(root: Path) -> dict:
+    """Lint health snapshot: wall time and finding count over src/."""
+    from repro.lint import run_lint
+
+    result = run_lint([root / "src"], root=root)
+    return {
+        "wall_ms": round(result.wall_s * 1000.0, 2),
+        "findings_total": len(result.findings),
+        "suppressed": len(result.suppressed),
+        "modules_checked": result.modules_checked,
+    }
 
 
 def collect() -> dict:
@@ -91,8 +106,10 @@ def main(argv=None) -> int:
     with_chip = "--no-chip" not in argv
     with_fleet = "--no-fleet" not in argv
     with_onfi = "--no-onfi" not in argv
+    with_lint = "--no-lint" not in argv
     argv = [a for a in argv
-            if a not in ("--no-chip", "--no-fleet", "--no-onfi")]
+            if a not in ("--no-chip", "--no-fleet", "--no-onfi",
+                         "--no-lint")]
     output = Path(argv[0]) if argv else DEFAULT_OUTPUT
     baseline = collect()
     output.write_text(json.dumps(baseline, indent=2) + "\n")
@@ -119,6 +136,14 @@ def main(argv=None) -> int:
             json.dumps(onfi_report, indent=2) + "\n"
         )
         print(f"wrote {bench_onfi.DEFAULT_OUTPUT}")
+    if with_lint:
+        lint_report = collect_lint(DEFAULT_OUTPUT.parent)
+        LINT_OUTPUT.write_text(json.dumps(lint_report, indent=2) + "\n")
+        print(
+            f"wrote {LINT_OUTPUT} "
+            f"({lint_report['wall_ms']} ms, "
+            f"{lint_report['findings_total']} finding(s))"
+        )
     # Append a schema-versioned row to the bench trajectory, so
     # `repro-stash bench-report` can diff future runs against this one.
     root = DEFAULT_OUTPUT.parent

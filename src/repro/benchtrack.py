@@ -50,6 +50,7 @@ BENCH_FILES = {
     "onfi": "BENCH_onfi.json",
     "obs": "BENCH_obs.json",
     "parallel": "BENCH_parallel.json",
+    "lint": "BENCH_lint.json",
 }
 
 MetricValue = Union[float, bool]
@@ -100,6 +101,11 @@ CATALOGUE: Tuple[MetricSpec, ...] = (
     MetricSpec(
         "parallel", ("experiments", "*", "seconds", "1"), "lower", 100.0
     ),
+    # Static-analysis health: the full engine must stay fast enough to
+    # gate every CI run (hard 10 s bar) and the tree must stay clean
+    # (any unsuppressed finding is an absolute regression).
+    MetricSpec("lint", ("wall_ms",), "lower", 200.0, max_abs=10_000.0),
+    MetricSpec("lint", ("findings_total",), "lower", 100.0, max_abs=0.0),
 )
 
 

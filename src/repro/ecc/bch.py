@@ -852,7 +852,7 @@ def get_code(m: int, t: int) -> BchCode:
                 # Lock-guarded process-wide memo; the value is a pure
                 # function of the key, so double-build is benign and the
                 # thread backend can never observe divergent codecs.
-                _CODES[key] = code  # repro: noqa[DET002]
+                _CODES[key] = code
     return code
 
 

@@ -57,7 +57,7 @@ def get_field(m: int) -> "GF2m":
                 field = GF2m(m)
                 # Lock-guarded process-wide memo; exp/log tables are a
                 # pure function of m, so sharing across workers is sound.
-                _FIELDS[m] = field  # repro: noqa[DET002]
+                _FIELDS[m] = field
     return field
 
 

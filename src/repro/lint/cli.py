@@ -59,7 +59,9 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         default=None,
         metavar="RULE",
-        help="only run these rule codes (repeatable)",
+        help="only run these rules: exact codes (DET001), family "
+        "prefixes (WIRE), or comma-joined lists (WIRE,CONC,DET003); "
+        "repeatable",
     )
     parser.add_argument(
         "--ignore",

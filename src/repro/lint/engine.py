@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import re
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -181,6 +182,7 @@ class LintResult:
     suppressed: List[Finding]
     baselined: List[Finding]
     modules_checked: int
+    wall_s: float = 0.0  #: wall-clock spent parsing + checking
 
     @property
     def errors(self) -> List[Finding]:
@@ -215,13 +217,12 @@ def run_lint(
     it is stripped).  `select`/`ignore` filter rules by code; `baseline`
     grandfathers known findings.
     """
+    started = time.perf_counter()
     rules = all_rules()
     active = sorted(rules)
     if select:
-        unknown = set(select) - set(rules)
-        if unknown:
-            raise ValueError(f"unknown rule(s): {', '.join(sorted(unknown))}")
-        active = [code for code in active if code in set(select)]
+        chosen = expand_select(select, rules)
+        active = [code for code in active if code in chosen]
     if ignore:
         active = [code for code in active if code not in set(ignore)]
 
@@ -246,4 +247,32 @@ def run_lint(
         suppressed=[f for f in collected if f.suppressed],
         baselined=[f for f in collected if f.baselined],
         modules_checked=len(project.modules),
+        wall_s=time.perf_counter() - started,
     )
+
+
+def expand_select(
+    select: Sequence[str], rules: Dict[str, Rule]
+) -> Set[str]:
+    """Expand ``--select`` items into concrete rule codes.
+
+    An item may be an exact code (``DET001``), a rule family prefix
+    (``WIRE`` selects WIRE001–WIRE005), or a comma-joined list of
+    either (``WIRE,CONC,DET003``).  An item matching neither raises
+    ``ValueError`` so typos fail the run instead of silently selecting
+    nothing.
+    """
+    chosen: Set[str] = set()
+    for item in select:
+        for part in item.split(","):
+            code = part.strip()
+            if not code:
+                continue
+            if code in rules:
+                chosen.add(code)
+                continue
+            family = {c for c in rules if c.startswith(code)}
+            if not family:
+                raise ValueError(f"unknown rule or family: {code!r}")
+            chosen |= family
+    return chosen

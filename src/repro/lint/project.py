@@ -3,14 +3,17 @@
 The determinism rules need more than one file at a time: DET001/DET002
 apply to *any* function a :class:`repro.parallel.ParallelRunner` work
 unit can reach, wherever it lives.  :class:`Project` parses every target
-file once, indexes functions by bare name, extracts the direct-call
-edges of each function, finds the parallel dispatch sites
-(``ParallelRunner.map``/``map_with_obs``/``run_units``), and computes
-the transitive *parallel-reachable* set by breadth-first search.
+file once, indexes functions by bare name, records every call site's
+AST node, finds the parallel dispatch sites
+(``ParallelRunner.map``/``map_with_obs``/``run_units``), and exposes
+the transitive *parallel-reachable* set.
 
-Call resolution is deliberately name-based and conservative: a call
-``x.decode(...)`` is taken to possibly reach every project function
-named ``decode``.  Over-approximating reachability can only make the
+Call resolution lives in :mod:`repro.lint.dataflow`: it follows
+assignments (``x = Codec()``), instance attributes
+(``self.codec = Codec()``) and module aliases to the one method a call
+actually targets, falling back to the historical name-based
+over-approximation (every project function named ``decode``) only when
+no alias fact pins the receiver down.  The fallback can only make the
 determinism rules look at more code; the rules themselves flag narrow,
 high-signal constructs, so precision stays acceptable.
 """
@@ -20,7 +23,19 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .dataflow import DataflowAnalysis
 
 #: Bound at module level to one of these constructors => a module-level
 #: mutable container (DET002 watches writes to them).
@@ -68,6 +83,9 @@ class FunctionInfo:
     #: Bare names of everything this function calls (``f()`` and ``x.f()``
     #: both contribute ``f``).
     calls: Set[str] = field(default_factory=set)
+    #: Every call expression in the body, in source order, for the
+    #: alias-aware resolution in :mod:`repro.lint.dataflow`.
+    call_nodes: List[ast.Call] = field(default_factory=list)
     #: Parameter and locally-bound names (shadowing module state).
     local_names: Set[str] = field(default_factory=set)
     #: Names declared ``global`` inside the body.
@@ -95,6 +113,10 @@ class ModuleInfo:
     module_mutables: Set[str] = field(default_factory=set)
     #: Module-level names provably bound to sets of str/bytes constants.
     str_set_names: Set[str] = field(default_factory=set)
+    #: Module-level names bound to ``threading.Lock()`` / ``RLock()``,
+    #: mapped to ``"lock"`` or ``"rlock"`` (the CONC rules and the
+    #: flow-sensitive DET002 exemption key off these).
+    module_locks: Dict[str, str] = field(default_factory=dict)
 
     def dotted_source(self, node: ast.AST) -> Optional[str]:
         """Resolve a Name/Attribute chain to its imported dotted origin.
@@ -248,6 +270,7 @@ class _ModuleVisitor(ast.NodeVisitor):
     def visit_Call(self, node: ast.Call) -> None:
         if self._fn_stack:
             fn = self._fn_stack[-1]
+            fn.call_nodes.append(node)
             if isinstance(node.func, ast.Name):
                 fn.calls.add(node.func.id)
             elif isinstance(node.func, ast.Attribute):
@@ -297,6 +320,12 @@ class _ModuleVisitor(ast.NodeVisitor):
             self.module.module_mutables.update(names)
         if _is_str_set_literal(value):
             self.module.str_set_names.update(names)
+        if isinstance(value, ast.Call):
+            dotted = self.module.dotted_source(value.func)
+            if dotted in ("threading.Lock", "threading.RLock"):
+                kind = "rlock" if dotted.endswith("RLock") else "lock"
+                for name in names:
+                    self.module.module_locks[name] = kind
 
 
 @dataclass(slots=True)
@@ -314,6 +343,10 @@ class Project:
     def __init__(self, root: Path, modules: Dict[str, ModuleInfo]) -> None:
         self.root = root
         self.modules = modules
+        #: scratch space for expensive cross-module analyses (the wire
+        #: model, the lock graph) computed lazily by the rules that need
+        #: them and shared across the rule set for one run
+        self.analysis_cache: Dict[str, object] = {}
         #: bare function name -> [(module, function info)]
         self.functions_by_name: Dict[
             str, List[Tuple[ModuleInfo, FunctionInfo]]
@@ -336,6 +369,7 @@ class Project:
         for module in modules.values():
             self.dispatch_sites.extend(self._find_dispatch_sites(module))
         self._reachable: Optional[Set[Tuple[str, str]]] = None
+        self._dataflow: Optional["DataflowAnalysis"] = None
 
     # -- construction ---------------------------------------------------
 
@@ -416,35 +450,34 @@ class Project:
                 name = entry.attr
             yield DispatchSite(module.modname, node.lineno, name)
 
-    # -- reachability ---------------------------------------------------
+    # -- reachability and dataflow --------------------------------------
+
+    def dataflow(self) -> "DataflowAnalysis":
+        """The project-wide :class:`repro.lint.dataflow.DataflowAnalysis`.
+
+        Built once on first use (the taint fixpoint walks every function)
+        and cached; imported lazily to keep the module graph acyclic.
+        """
+        if self._dataflow is None:
+            from .dataflow import DataflowAnalysis
+
+            self._dataflow = DataflowAnalysis(self)
+        return self._dataflow
 
     def parallel_reachable(self) -> Set[Tuple[str, str]]:
         """``(modname, qualname)`` of every function a work unit may reach.
 
-        BFS over the name-based call graph, seeded with the functions
-        dispatched through :mod:`repro.parallel`.
+        BFS over the alias-aware call graph (see
+        :mod:`repro.lint.dataflow`), seeded with the functions dispatched
+        through :mod:`repro.parallel`, the fleet schedulers and the ONFI
+        wire boundary.  Unresolvable calls fall back to name matching.
         """
         if self._reachable is not None:
             return self._reachable
-        seen: Set[Tuple[str, str]] = set()
-        frontier: List[Tuple[ModuleInfo, FunctionInfo]] = []
+        from .dataflow import compute_reachable
 
-        def push(name: str) -> None:
-            for module, info in self.functions_by_name.get(name, ()):
-                key = (module.modname, info.qualname)
-                if key not in seen:
-                    seen.add(key)
-                    frontier.append((module, info))
-
-        for site in self.dispatch_sites:
-            if site.entry_name:
-                push(site.entry_name)
-        while frontier:
-            _, info = frontier.pop()
-            for callee in info.calls:
-                push(callee)
-        self._reachable = seen
-        return seen
+        self._reachable = compute_reachable(self)
+        return self._reachable
 
     def is_parallel_reachable(self, modname: str, qualname: str) -> bool:
         return (modname, qualname) in self.parallel_reachable()

@@ -7,6 +7,13 @@ a pure function of its arguments — randomness derived through
 :mod:`repro.rng` substreams, no wall-clock input, no shared mutable
 state, no hash-randomized iteration order.  These rules flag the
 constructs that break each leg statically.
+
+DET001 and DET002 are *flow-sensitive*: they consume the
+interprocedural taint analysis in :mod:`repro.lint.dataflow`.  A
+nondeterministic source is only a finding if its value reaches a
+work-unit return, module or instance state, or a wire frame; a
+lock-guarded module-state write whose value carries no taint (the
+double-checked memo-cache idiom) is exempt from DET002.
 """
 
 from __future__ import annotations
@@ -14,112 +21,40 @@ from __future__ import annotations
 import ast
 from typing import Iterator, Optional, Set, Tuple
 
+from ..dataflow import (
+    EXEMPT_PACKAGES,
+    MUTATOR_METHODS as _MUTATOR_METHODS,
+    SCOPE_PACKAGES,
+    exempt as _exempt,
+    lock_guarded_lines,
+)
 from ..engine import Rule, register
 from ..findings import Finding, Severity
 from ..project import FunctionInfo, ModuleInfo, Project
 
-#: Packages whose *entire* code is row-producing (checked even outside
-#: the parallel-reachable set).
-SCOPE_PACKAGES: Tuple[str, ...] = (
-    "repro.experiments",
-    "repro.fleet",
-    "repro.hiding",
-    "repro.nand",
-    "repro.onfi",
-)
-
-#: Modules exempt from DET001: the crypto layer *is* the sanctioned home
-#: of true entropy (key generation uses ``os.urandom`` by design).
-EXEMPT_PACKAGES: Tuple[str, ...] = ("repro.crypto",)
-
-#: ``numpy.random`` attributes that are fine: explicitly-seeded
-#: generator construction, not draws from the hidden global stream.
-_NP_RANDOM_ALLOWED = frozenset(
-    {
-        "default_rng",
-        "Generator",
-        "SeedSequence",
-        "RandomState",
-        "BitGenerator",
-        "PCG64",
-        "Philox",
-        "MT19937",
-        "SFC64",
-    }
-)
-
-#: Exact dotted origins that are nondeterministic inputs.
-_BANNED_EXACT = {
-    "time.time": "wall-clock time",
-    "time.time_ns": "wall-clock time",
-    "datetime.datetime.now": "wall-clock time",
-    "datetime.datetime.utcnow": "wall-clock time",
-    "datetime.datetime.today": "wall-clock time",
-    "datetime.date.today": "wall-clock time",
-    "os.urandom": "OS entropy",
-    "uuid.uuid1": "host/time-derived UUID",
-    "uuid.uuid4": "OS entropy",
-}
-
-#: Dotted prefixes that are nondeterministic wholesale.
-_BANNED_PREFIXES = {
-    "random.": "the global stdlib RNG",
-    "secrets.": "OS entropy",
-}
-
-#: Container methods that mutate their receiver in place.
-_MUTATOR_METHODS = frozenset(
-    {
-        "append",
-        "appendleft",
-        "add",
-        "update",
-        "setdefault",
-        "extend",
-        "extendleft",
-        "insert",
-        "remove",
-        "discard",
-        "clear",
-        "popitem",
-    }
-)
-
-
-def _in_scope_package(modname: str) -> bool:
-    return modname.startswith(SCOPE_PACKAGES)
-
-
-def _exempt(modname: str) -> bool:
-    return modname.startswith(EXEMPT_PACKAGES)
-
-
-def _classify_nondeterministic(dotted: str) -> Optional[str]:
-    """Why a dotted call origin is nondeterministic, or None if it isn't."""
-    if dotted in _BANNED_EXACT:
-        return _BANNED_EXACT[dotted]
-    for prefix, why in _BANNED_PREFIXES.items():
-        if dotted.startswith(prefix):
-            return why
-    if dotted.startswith("numpy.random."):
-        attr = dotted[len("numpy.random."):].partition(".")[0]
-        if attr not in _NP_RANDOM_ALLOWED:
-            return "the global numpy RNG stream"
-    return None
+__all__ = [
+    "SCOPE_PACKAGES",
+    "EXEMPT_PACKAGES",
+    "NondeterministicSourceRule",
+    "ParallelSharedStateRule",
+    "StrSetIterationRule",
+]
 
 
 @register
 class NondeterministicSourceRule(Rule):
-    """DET001: nondeterministic input reachable from row-producing code."""
+    """DET001: nondeterministic input whose value reaches produced rows."""
 
     code = "DET001"
     name = "nondeterministic-source"
     severity = Severity.ERROR
     description = (
-        "random.*, global np.random.*, wall-clock time or OS entropy in "
-        "experiments/, fleet/, hiding/, nand/, onfi/ or any function "
-        "reachable from a repro.parallel work unit, a fleet scheduler "
-        "dispatch (run_round/execute_round) or an ONFI wire dispatch "
+        "random.*, global np.random.*, wall-clock time or OS entropy "
+        "whose value flows (interprocedurally) into a work-unit return, "
+        "module or instance state, or a wire frame, from experiments/, "
+        "fleet/, hiding/, nand/, onfi/ or any function reachable from a "
+        "repro.parallel work unit, a fleet scheduler dispatch "
+        "(run_round/execute_round) or an ONFI wire dispatch "
         "(handle_frame/serve/_call/_post); derive randomness via "
         "repro.rng substreams"
     )
@@ -127,28 +62,22 @@ class NondeterministicSourceRule(Rule):
     def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
         if _exempt(module.modname):
             return
-        whole_module = _in_scope_package(module.modname)
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
+        hits = project.dataflow().det_hits()
+        for source in sorted(hits, key=lambda s: (s.line, s.col)):
+            if source.module != module.modname:
                 continue
-            dotted = module.dotted_source(node.func)
-            if dotted is None:
-                continue
-            why = _classify_nondeterministic(dotted)
-            if why is None:
-                continue
-            symbol = module.enclosing_function(node.lineno)
-            if not whole_module and not project.is_parallel_reachable(
-                module.modname, symbol
-            ):
-                continue
+            sinks = hits[source]
+            kinds = sorted({sink.kind for sink in sinks})
+            reached = " and ".join(kinds)
+            details = sorted({sink.detail for sink in sinks})[:2]
             yield self.finding(
                 module,
-                node.lineno,
-                node.col_offset,
-                f"call to {dotted}() draws from {why}; row-producing code "
-                f"must derive randomness from repro.rng substreams "
-                f"(seed + structured label)",
+                source.line,
+                source.col,
+                f"call to {source.dotted}() draws from {source.why} and "
+                f"its value reaches {reached} ({'; '.join(details)}); "
+                f"row-producing code must derive randomness from "
+                f"repro.rng substreams (seed + structured label)",
             )
 
 
@@ -231,7 +160,15 @@ def _module_state_writes(
 
 @register
 class ParallelSharedStateRule(Rule):
-    """DET002: module-state mutation inside a parallel work unit."""
+    """DET002: module-state mutation inside a parallel work unit.
+
+    Flow-sensitive exemption: a write that sits inside a ``with <lock>``
+    block *and* whose value carries no nondeterministic taint is the
+    double-checked memo-cache idiom — every worker that races to fill
+    the slot computes the same deterministic value, so rows cannot
+    diverge.  Those writes are CONC territory (lock discipline), not a
+    determinism bug.
+    """
 
     code = "DET002"
     name = "parallel-shared-state"
@@ -241,15 +178,23 @@ class ParallelSharedStateRule(Rule):
         "ParallelRunner work unit, a fleet scheduler dispatch or an ONFI "
         "wire dispatch — a cross-backend race; results would depend on "
         "worker scheduling (thread) or silently diverge from the parent "
-        "(process)"
+        "(process); lock-guarded writes of deterministic (untainted) "
+        "values are exempt"
     )
 
     def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
         reachable = project.parallel_reachable()
+        guarded = lock_guarded_lines(module)
+        tainted = project.dataflow().tainted_state_writes()
         for qualname, fn in sorted(module.functions.items()):
             if (module.modname, qualname) not in reachable:
                 continue
             for line, col, what in _module_state_writes(module, fn):
+                if (
+                    line in guarded
+                    and (module.modname, line) not in tainted
+                ):
+                    continue  # guarded deterministic memo-cache write
                 yield self.finding(
                     module,
                     line,

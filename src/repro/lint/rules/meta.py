@@ -1,0 +1,68 @@
+"""LINT000 — lint-hygiene rule.
+
+A ``# repro: noqa[RULE]`` comment naming an unknown or misspelled rule
+suppresses nothing, silently: the typo'd suppression stays in the file
+looking authoritative while the rule it meant to silence (or a future
+rule with the intended code) fires or, worse, the dead comment masks a
+real regression during review.  LINT000 tokenizes each module and warns
+on every noqa code the registry doesn't know.
+
+Tokenizing (rather than regexing raw source lines) matters: the noqa
+grammar is documented in docstrings — including the lint engine's own —
+and prose mentions must not count as suppressions here any more than
+they do in the engine.
+"""
+
+from __future__ import annotations
+
+import io
+import tokenize
+from typing import Iterator
+
+from ..engine import _NOQA_RE, Rule, all_rules, register
+from ..findings import Finding, Severity
+from ..project import ModuleInfo, Project
+
+__all__ = ["UnknownSuppressionRule"]
+
+
+@register
+class UnknownSuppressionRule(Rule):
+    """LINT000: ``# repro: noqa[...]`` naming an unregistered rule."""
+
+    code = "LINT000"
+    name = "unknown-suppression"
+    severity = Severity.WARNING
+    description = (
+        "a '# repro: noqa[RULE]' comment names a rule code the registry "
+        "doesn't know — the suppression is dead (typo, or the rule was "
+        "renamed) and silently masks nothing or the wrong thing"
+    )
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        known = set(all_rules())
+        source = "\n".join(module.lines) + "\n"
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(source).readline)
+            )
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(token.string)
+            if match is None:
+                continue
+            for raw in match.group(1).split(","):
+                code = raw.strip()
+                if code and code not in known:
+                    yield self.finding(
+                        module,
+                        token.start[0],
+                        token.start[1],
+                        f"noqa names unknown rule {code!r}; this "
+                        f"suppression is dead — fix the code or delete "
+                        f"the comment (known families: "
+                        f"{', '.join(sorted({c.rstrip('0123456789') for c in known}))})",
+                    )

@@ -1,0 +1,602 @@
+"""WIRE001–WIRE005 — wire-codec symmetry rules.
+
+The ONFI transport and the observability codec are hand-rolled binary
+protocols whose two halves live in different files (and run in
+different processes).  Nothing at runtime forces the client's packed
+request to match the shape the server parses — the round-trip tests
+sample a handful of opcodes, and a drifted codec fails *late*, as a
+corrupt field or a hung drain.  These rules prove the statically
+checkable symmetry obligations on every lint run, using the protocol
+model in :mod:`repro.lint.wiremodel`:
+
+* **WIRE001** — opcode coverage: every enum member has a distinct
+  value, exactly one dispatch arm, and at least one client call site;
+  dispatch keys and call sites name real members.
+* **WIRE002** — codec symmetry: each client site's packed request
+  shapes are accepted by the handler's parse, and each handler's
+  response shapes are parsed by the client.
+* **WIRE003** — kind-table bijection: error kind tuples have no
+  duplicate entries and are used on both the encode (``enumerate``)
+  and decode (subscript) sides.
+* **WIRE004** — flag bits: bits in a flag group are distinct powers of
+  two and each ``*_MASK`` equals the OR of its group.
+* **WIRE005** — framing constants: struct formats carry an explicit
+  byte order, ``MIN_LENGTH`` agrees with the header struct, and
+  literal offset advances match the struct width they step over.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import struct
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..engine import Rule, register
+from ..findings import Finding, Severity
+from ..project import ModuleInfo, Project
+from ..wiremodel import (
+    ClientSite,
+    DispatchArm,
+    DispatchTable,
+    StructFact,
+    WireModel,
+    format_paths,
+    handler_request_paths,
+    handler_response_paths,
+    literal_formats,
+    site_parse_paths,
+    site_request_paths,
+    struct_facts,
+    wire_model,
+)
+
+__all__ = [
+    "OpCoverageRule",
+    "CodecSymmetryRule",
+    "KindTableRule",
+    "FlagBitsRule",
+    "FramingConstantsRule",
+]
+
+
+@register
+class OpCoverageRule(Rule):
+    """WIRE001: every opcode dispatched exactly once and actually sent."""
+
+    code = "WIRE001"
+    name = "op-coverage"
+    severity = Severity.ERROR
+    description = (
+        "wire-protocol enum coverage: duplicate opcode values, members "
+        "without exactly one server dispatch arm, members no client ever "
+        "sends, and dispatch keys or call sites naming unknown members"
+    )
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        model = wire_model(project)
+        for key in sorted(model.enums):
+            enum = model.enums[key]
+            if enum.module is module:
+                yield from self._check_members(module, key, enum.name, model)
+            for table in model.tables_for(key):
+                if table.module is not module:
+                    continue
+                yield from self._check_table(module, enum.name, table)
+        for site_module, key, member, line, col in model.unknown_sites:
+            if site_module is module:
+                yield self.finding(
+                    module,
+                    line,
+                    col,
+                    f"call site names {key[1]}.{member}, which is not a "
+                    f"member of {key[1]} — the frame would raise at "
+                    f"attribute lookup or dispatch to nothing",
+                )
+
+    def _check_members(
+        self,
+        module: ModuleInfo,
+        key: Tuple[str, str],
+        enum_name: str,
+        model: WireModel,
+    ) -> Iterator[Finding]:
+        enum = model.enums[key]
+        tables = model.tables_for(key)
+        sites = model.sites_for(key)
+        by_value: Dict[int, str] = {}
+        arm_counts: Dict[str, int] = {}
+        for table in tables:
+            for arm in table.arms:
+                arm_counts[arm.member] = arm_counts.get(arm.member, 0) + 1
+        sent = {site.member for site in sites}
+        for name in enum.members:
+            member = enum.members[name]
+            if member.value is not None:
+                other = by_value.get(member.value)
+                if other is not None:
+                    yield self.finding(
+                        module,
+                        member.line,
+                        member.col,
+                        f"{enum_name}.{name} reuses value "
+                        f"0x{member.value:02X} already assigned to "
+                        f"{enum_name}.{other}; frames for the two opcodes "
+                        f"are indistinguishable on the wire",
+                    )
+                else:
+                    by_value[member.value] = name
+            if tables and arm_counts.get(name, 0) == 0:
+                yield self.finding(
+                    module,
+                    member.line,
+                    member.col,
+                    f"{enum_name}.{name} has no server dispatch arm; a "
+                    f"client sending it gets CommandError instead of "
+                    f"service",
+                )
+            if sites and name not in sent:
+                yield self.finding(
+                    module,
+                    member.line,
+                    member.col,
+                    f"{enum_name}.{name} is dispatched by the server but "
+                    f"no client call site ever sends it — dead protocol "
+                    f"surface or a missing client method",
+                )
+
+    def _check_table(
+        self, module: ModuleInfo, enum_name: str, table: DispatchTable
+    ) -> Iterator[Finding]:
+        seen: Set[str] = set()
+        for arm in table.arms:
+            if arm.member in seen:
+                yield self.finding(
+                    module,
+                    arm.line,
+                    arm.col,
+                    f"duplicate dispatch arm for {enum_name}.{arm.member} "
+                    f"in {table.class_name}; the later dict entry silently "
+                    f"wins",
+                )
+            seen.add(arm.member)
+        for member, line, col in table.unknown:
+            yield self.finding(
+                module,
+                line,
+                col,
+                f"dispatch table in {table.class_name} keys on "
+                f"{enum_name}.{member}, which is not a member of "
+                f"{enum_name}",
+            )
+
+
+@register
+class CodecSymmetryRule(Rule):
+    """WIRE002: client pack sequence must mirror server take sequence."""
+
+    code = "WIRE002"
+    name = "codec-symmetry"
+    severity = Severity.ERROR
+    description = (
+        "encoder/decoder symmetry per opcode: every payload shape a "
+        "client site can pack must be parsed by the server handler "
+        "(field count, width and order), and every response shape the "
+        "handler packs must be parsed at the call site; checked as wire "
+        "token sequences (i64/u64/f64/u8/i64v/u8v/snap) over all "
+        "branches"
+    )
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        model = wire_model(project)
+        for site in model.sites:
+            if site.module is not module:
+                continue
+            arm = self._sole_arm(model, site)
+            if arm is None:
+                continue
+            table, the_arm = arm
+            yield from self._check_request(module, site, table, the_arm)
+            yield from self._check_response(module, site, table, the_arm)
+
+    def _sole_arm(
+        self, model: WireModel, site: ClientSite
+    ) -> Optional[Tuple[DispatchTable, DispatchArm]]:
+        """The unique dispatch arm for a site's member, if unique."""
+        found: List[Tuple[DispatchTable, DispatchArm]] = []
+        for table in model.tables_for(site.enum):
+            for arm in table.arms:
+                if arm.member == site.member:
+                    found.append((table, arm))
+        if len(found) != 1:
+            return None  # missing/duplicated arms are WIRE001 territory
+        return found[0]
+
+    def _check_request(
+        self,
+        module: ModuleInfo,
+        site: ClientSite,
+        table: DispatchTable,
+        arm: DispatchArm,
+    ) -> Iterator[Finding]:
+        emitted = site_request_paths(site)
+        accepted = handler_request_paths(table, arm)
+        if emitted is None or accepted is None:
+            return
+        rejected = sorted(emitted - accepted)
+        if rejected:
+            yield self.finding(
+                module,
+                site.line,
+                site.col,
+                f"request codec mismatch for {site.enum[1]}.{site.member}: "
+                f"client packs {format_paths(frozenset(rejected))} but the "
+                f"handler {self._arm_name(arm)} parses "
+                f"{format_paths(accepted)}",
+            )
+
+    def _check_response(
+        self,
+        module: ModuleInfo,
+        site: ClientSite,
+        table: DispatchTable,
+        arm: DispatchArm,
+    ) -> Iterator[Finding]:
+        produced = handler_response_paths(table, arm)
+        parsed = site_parse_paths(site)
+        if produced is None or parsed is None:
+            return
+        unparsed = sorted(produced - parsed)
+        if unparsed:
+            yield self.finding(
+                module,
+                site.line,
+                site.col,
+                f"response codec mismatch for {site.enum[1]}.{site.member}: "
+                f"handler {self._arm_name(arm)} packs "
+                f"{format_paths(frozenset(unparsed))} but this site parses "
+                f"{format_paths(parsed)}",
+            )
+
+    @staticmethod
+    def _arm_name(arm: DispatchArm) -> str:
+        return arm.fn.name if arm.fn is not None else "<unresolved>"
+
+
+@register
+class KindTableRule(Rule):
+    """WIRE003: error kind tables are duplicate-free and two-sided."""
+
+    code = "WIRE003"
+    name = "kind-table"
+    severity = Severity.ERROR
+    description = (
+        "error kind-table bijection: a *KIND* tuple of exception types "
+        "maps codes to kinds positionally, so a duplicated entry makes "
+        "encode (enumerate) and decode (subscript) disagree; the table "
+        "must also be used on both sides"
+    )
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        for name, node, elements in self._kind_tables(module):
+            seen: Dict[str, int] = {}
+            for element in elements:
+                if element.id in seen:
+                    yield self.finding(
+                        module,
+                        element.lineno,
+                        element.col_offset,
+                        f"{name} lists {element.id} twice (positions "
+                        f"{seen[element.id]} and "
+                        f"{elements.index(element)}); the kind code is no "
+                        f"longer a bijection — decode returns the first, "
+                        f"encode maps both to the last",
+                    )
+                else:
+                    seen[element.id] = elements.index(element)
+            enumerated, subscripted = self._usages(module, name)
+            if not enumerated or not subscripted:
+                missing = "encode (enumerate)" if not enumerated else (
+                    "decode (subscript)"
+                )
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"{name} is never used on the {missing} side in its "
+                    f"defining module; one half of the kind codec is "
+                    f"missing or lives out of sync elsewhere",
+                )
+
+    @staticmethod
+    def _kind_tables(
+        module: ModuleInfo,
+    ) -> Iterator[Tuple[str, ast.stmt, List[ast.Name]]]:
+        for stmt in module.tree.body:
+            target: Optional[ast.expr] = None
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value = stmt.target, stmt.value
+            if (
+                not isinstance(target, ast.Name)
+                or "KIND" not in target.id
+                or not isinstance(value, (ast.Tuple, ast.List))
+                or not value.elts
+                or not all(isinstance(e, ast.Name) for e in value.elts)
+            ):
+                continue
+            elements = [e for e in value.elts if isinstance(e, ast.Name)]
+            yield target.id, stmt, elements
+
+    @staticmethod
+    def _usages(module: ModuleInfo, name: str) -> Tuple[bool, bool]:
+        enumerated = False
+        subscripted = False
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "enumerate"
+                and node.args
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id == name
+            ):
+                enumerated = True
+            if (
+                isinstance(node, ast.Subscript)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == name
+            ):
+                subscripted = True
+        return enumerated, subscripted
+
+
+@register
+class FlagBitsRule(Rule):
+    """WIRE004: flag bits are distinct powers of two; masks cover them."""
+
+    code = "WIRE004"
+    name = "flag-bits"
+    severity = Severity.ERROR
+    description = (
+        "wire flag constants: bits within a FLAG group must be distinct "
+        "powers of two (colliding bits make two features "
+        "indistinguishable in the frame header) and each *_MASK constant "
+        "must equal the OR of its group's bits"
+    )
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        consts, lines = self._int_consts(module)
+        groups: Dict[str, List[str]] = {}
+        masks: List[str] = []
+        for name in consts:
+            if "MASK" in name:
+                masks.append(name)
+                continue
+            if "FLAG" not in name and not any(
+                name.split("_")[0] == mask.split("_")[0] for mask in consts
+                if "MASK" in mask
+            ):
+                continue
+            groups.setdefault(name.split("_")[0], []).append(name)
+        for prefix in sorted(groups):
+            members = groups[prefix]
+            if len(members) < 2:
+                continue
+            by_value: Dict[int, str] = {}
+            for name in members:
+                value = consts[name]
+                line, col = lines[name]
+                if value <= 0 or value & (value - 1):
+                    yield self.finding(
+                        module,
+                        line,
+                        col,
+                        f"{name} = 0x{value:02X} is not a single bit; flag "
+                        f"constants must be powers of two so they OR "
+                        f"without interference",
+                    )
+                elif value in by_value:
+                    yield self.finding(
+                        module,
+                        line,
+                        col,
+                        f"{name} = 0x{value:02X} collides with "
+                        f"{by_value[value]}; the two flags are "
+                        f"indistinguishable in a frame header",
+                    )
+                else:
+                    by_value[value] = name
+        for mask in sorted(masks):
+            prefix = mask.split("_")[0]
+            members = groups.get(prefix, [])
+            if not members:
+                continue
+            expected = 0
+            for name in members:
+                expected |= consts[name]
+            if consts[mask] != expected:
+                line, col = lines[mask]
+                yield self.finding(
+                    module,
+                    line,
+                    col,
+                    f"{mask} = 0x{consts[mask]:02X} does not equal the OR "
+                    f"of its group's bits (0x{expected:02X}); "
+                    f"validation would accept or reject the wrong flag "
+                    f"combinations",
+                )
+
+    @staticmethod
+    def _int_consts(
+        module: ModuleInfo,
+    ) -> Tuple[Dict[str, int], Dict[str, Tuple[int, int]]]:
+        consts: Dict[str, int] = {}
+        lines: Dict[str, Tuple[int, int]] = {}
+
+        def resolve(node: ast.AST) -> Optional[int]:
+            if isinstance(node, ast.Constant) and isinstance(node.value, int):
+                return node.value
+            if isinstance(node, ast.Name):
+                return consts.get(node.id)
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+                left = resolve(node.left)
+                right = resolve(node.right)
+                if left is None or right is None:
+                    return None
+                return left | right
+            return None
+
+        for stmt in module.tree.body:
+            if (
+                not isinstance(stmt, ast.Assign)
+                or len(stmt.targets) != 1
+                or not isinstance(stmt.targets[0], ast.Name)
+            ):
+                continue
+            value = resolve(stmt.value)
+            if value is None:
+                continue
+            name = stmt.targets[0].id
+            consts[name] = value
+            lines[name] = (stmt.lineno, stmt.col_offset)
+        return consts, lines
+
+
+#: Leading field of a struct format: optional byte order, one count, one
+#: conversion character.
+_FIRST_FIELD = re.compile(r"^[<>!=@]?\s*(\d*)([a-zA-Z])")
+
+
+@register
+class FramingConstantsRule(Rule):
+    """WIRE005: framing constants agree with the struct formats used."""
+
+    code = "WIRE005"
+    name = "framing-constants"
+    severity = Severity.ERROR
+    description = (
+        "struct framing hygiene: wire format strings must pin an "
+        "explicit byte order (< > or !), a module's MIN_LENGTH must "
+        "equal its HEADER struct size minus the length field, and "
+        "literal offset advances around NAME.unpack_from must step by "
+        "exactly that struct's size"
+    )
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        facts = struct_facts(module)
+        for fmt, line, col in literal_formats(module):
+            head = fmt.lstrip()
+            if head and head[0] not in "<>!":
+                yield self.finding(
+                    module,
+                    line,
+                    col,
+                    f"struct format {fmt!r} has no explicit byte order; "
+                    f"native order/alignment makes the frame layout "
+                    f"platform-dependent — prefix with '<'",
+                )
+        yield from self._check_header(module, facts)
+        yield from self._check_offsets(module, facts)
+
+    def _check_header(
+        self, module: ModuleInfo, facts: Dict[str, StructFact]
+    ) -> Iterator[Finding]:
+        min_length: Optional[int] = None
+        min_line = 0
+        min_col = 0
+        for stmt in module.tree.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == "MIN_LENGTH"
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, int)
+            ):
+                min_length = stmt.value.value
+                min_line, min_col = stmt.lineno, stmt.col_offset
+        if min_length is None:
+            return
+        for name in sorted(facts):
+            fact = facts[name]
+            if "HEADER" not in fact.name or fact.size is None:
+                continue
+            match = _FIRST_FIELD.match(fact.fmt.lstrip())
+            if match is None or (match.group(1) not in ("", "1")):
+                continue
+            try:
+                first_size = struct.calcsize(f"<{match.group(2)}")
+            except struct.error:
+                continue
+            expected = fact.size - first_size
+            if min_length != expected:
+                yield self.finding(
+                    module,
+                    min_line,
+                    min_col,
+                    f"MIN_LENGTH = {min_length} disagrees with "
+                    f"{fact.name} ({fact.fmt!r}, {fact.size} bytes after "
+                    f"a {first_size}-byte length field ⇒ expected "
+                    f"{expected}); short frames would be mis-framed",
+                )
+
+    def _check_offsets(
+        self, module: ModuleInfo, facts: Dict[str, StructFact]
+    ) -> Iterator[Finding]:
+        for qualname in sorted(module.functions):
+            fn = module.functions[qualname]
+            used: Dict[str, int] = {}
+            offset_names: Set[str] = set()
+            for call in fn.call_nodes:
+                func = call.func
+                if (
+                    not isinstance(func, ast.Attribute)
+                    or func.attr != "unpack_from"
+                    or not isinstance(func.value, ast.Name)
+                ):
+                    continue
+                fact = facts.get(func.value.id)
+                if fact is None or fact.size is None:
+                    continue
+                used[func.value.id] = fact.size
+                if len(call.args) >= 2 and isinstance(call.args[1], ast.Name):
+                    offset_names.add(call.args[1].id)
+            if len(used) != 1 or not offset_names:
+                continue
+            (size,) = used.values()
+            (struct_name,) = used.keys()
+            assert isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            for node in ast.walk(fn.node):
+                step: Optional[int] = None
+                line = 0
+                col = 0
+                if (
+                    isinstance(node, ast.BinOp)
+                    and isinstance(node.op, ast.Add)
+                    and isinstance(node.left, ast.Name)
+                    and node.left.id in offset_names
+                    and isinstance(node.right, ast.Constant)
+                    and isinstance(node.right.value, int)
+                ):
+                    step, line, col = node.right.value, node.lineno, node.col_offset
+                elif (
+                    isinstance(node, ast.AugAssign)
+                    and isinstance(node.op, ast.Add)
+                    and isinstance(node.target, ast.Name)
+                    and node.target.id in offset_names
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, int)
+                ):
+                    step, line, col = node.value.value, node.lineno, node.col_offset
+                if step is not None and step != size:
+                    yield self.finding(
+                        module,
+                        line,
+                        col,
+                        f"offset advances by {step} in {qualname}() but "
+                        f"{struct_name} unpacks {size} bytes; subsequent "
+                        f"fields would be read misaligned",
+                    )

@@ -1,0 +1,828 @@
+"""Static model of the hand-rolled binary wire protocols (WIRE rules).
+
+The ONFI transport (:mod:`repro.onfi.wire`) and the observability codec
+(:mod:`repro.obs.wirefmt`) are symmetric by construction: every client
+``pack_*`` sequence must mirror the server ``take_*`` sequence field for
+field, every opcode needs exactly one dispatch arm and at least one call
+site, and the framing constants must agree with the struct formats they
+describe.  Runtime round-trip tests sample that symmetry; this module
+*proves* the statically checkable part of it by extracting a protocol
+model from the AST:
+
+* **Enums** — ``IntEnum`` subclasses and their integer members.
+* **Dispatch tables** — class-level ``{Op.X: _op_x, ...}`` dict
+  literals mapping opcodes to handler methods.
+* **Client sites** — ``self._call(Op.X, flags, payload)`` /
+  ``self._post(...)`` call expressions issuing frames.
+* **Token paths** — each opcode's payload as a sequence of wire tokens
+  (``i64``/``u64``/``f64``/``u8``/``i64v``/``u8v``/``snap``), computed
+  on both sides: the client's packed request vs. the handler's parsed
+  request, and the handler's packed response vs. the client's parse.
+
+Control flow produces *path sets*: an ``if`` contributes the union of
+its branch paths, a branch that only raises is a rejected-validation
+path and drops out, and helper methods (``_threshold_prefix`` /
+``_threshold_from``) splice in their own alternatives.  A construct the
+tokenizer cannot prove out (loops over the payload, computed formats)
+marks that side unanalyzable and the symmetry check skips it — the
+rules only report mismatches they can exhibit.
+"""
+
+from __future__ import annotations
+
+import ast
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from .project import FunctionInfo, ModuleInfo, Project
+
+#: One payload shape: the ordered wire tokens of a frame body.
+TokenPath = Tuple[str, ...]
+
+#: All shapes one side can produce/accept (alternatives from branches).
+PathSet = FrozenSet[TokenPath]
+
+#: The single empty path — an empty payload.
+EMPTY_PATHS: PathSet = frozenset({()})
+
+#: ``(modname, ClassName)`` of an ``IntEnum`` definition.
+EnumKey = Tuple[str, str]
+
+#: pack helpers -> (token, arity mode).  ``args`` emits one token per
+#: positional argument (``pack_i64(block, page)`` is two i64 fields);
+#: ``one`` emits a single token regardless.
+_PACKERS: Dict[str, Tuple[str, str]] = {
+    "pack_i64": ("i64", "args"),
+    "pack_f64": ("f64", "args"),
+    "pack_u64": ("u64", "one"),
+    "pack_i64_array": ("i64v", "one"),
+    "pack_locations": ("i64v", "one"),
+    "pack_u8_array": ("u8v", "one"),
+    "u8_payload": ("u8v", "one"),
+    "encode_snapshot": ("snap", "one"),
+}
+
+#: unpack helpers -> token.  ``i64v`` deliberately covers counted,
+#: tail and location arrays: all are raw little-endian i64 runs on the
+#: wire, and which bookkeeping the decoder uses is not a wire fact.
+_TAKERS: Dict[str, str] = {
+    "take_i64": "i64",
+    "take_u64": "u64",
+    "take_f64": "f64",
+    "take_i64_array": "i64v",
+    "take_i64_count": "i64v",
+    "take_locations": "i64v",
+    "take_u8_matrix": "u8v",
+    "decode_snapshot": "snap",
+}
+
+#: Helper-method recursion ceiling for payload-consuming helpers.
+_MAX_HELPER_DEPTH = 5
+
+
+class _Unanalyzable(Exception):
+    """A construct the tokenizer cannot prove out (skip, don't guess)."""
+
+
+def _concat(left: Set[TokenPath], right: Set[TokenPath]) -> Set[TokenPath]:
+    return {a + b for a in left for b in right}
+
+
+def format_paths(paths: PathSet) -> str:
+    """Render a path set for findings: ``f64? + i64 + i64``-style."""
+    rendered = sorted(" + ".join(path) if path else "(empty)" for path in paths)
+    return " | ".join(rendered)
+
+
+# ----------------------------------------------------------------------
+# protocol model dataclasses
+
+
+@dataclass(slots=True)
+class EnumMember:
+    """One ``NAME = 0x..`` member of an IntEnum."""
+
+    name: str
+    value: Optional[int]
+    line: int
+    col: int
+
+
+@dataclass(slots=True)
+class EnumModel:
+    """One IntEnum class definition."""
+
+    module: ModuleInfo
+    name: str
+    line: int
+    members: Dict[str, EnumMember]
+
+
+@dataclass(slots=True)
+class DispatchArm:
+    """One ``Op.X: _op_x`` entry of a dispatch table."""
+
+    member: str
+    line: int
+    col: int
+    fn: Optional[FunctionInfo]  #: the handler method, when resolvable
+
+
+@dataclass(slots=True)
+class DispatchTable:
+    """A class-level ``{Op.X: handler}`` dict literal."""
+
+    module: ModuleInfo
+    class_name: str
+    enum: EnumKey
+    line: int
+    arms: List[DispatchArm] = field(default_factory=list)
+    #: ``(member, line, col)`` keys naming no member of the enum.
+    unknown: List[Tuple[str, int, int]] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class ClientSite:
+    """One ``self._call(Op.X, ...)`` / ``self._post(Op.X, ...)`` site."""
+
+    module: ModuleInfo
+    fn: FunctionInfo
+    call: ast.Call
+    enum: EnumKey
+    member: str
+    posted: bool  #: ``_post`` (ack-only) vs ``_call`` (sync response)
+    line: int
+    col: int
+
+
+@dataclass(slots=True)
+class WireModel:
+    """Everything the WIRE rules consume, extracted once per project."""
+
+    enums: Dict[EnumKey, EnumModel] = field(default_factory=dict)
+    tables: List[DispatchTable] = field(default_factory=list)
+    sites: List[ClientSite] = field(default_factory=list)
+    #: Call sites naming no member of their enum: (module, enum, member,
+    #: line, col).
+    unknown_sites: List[Tuple[ModuleInfo, EnumKey, str, int, int]] = field(
+        default_factory=list
+    )
+
+    def tables_for(self, enum: EnumKey) -> List[DispatchTable]:
+        return [t for t in self.tables if t.enum == enum]
+
+    def sites_for(self, enum: EnumKey) -> List[ClientSite]:
+        return [s for s in self.sites if s.enum == enum]
+
+
+def wire_model(project: Project) -> WireModel:
+    """The project's wire-protocol model, built once and cached."""
+    cached = project.analysis_cache.get("wire_model")
+    if isinstance(cached, WireModel):
+        return cached
+    model = _build(project)
+    project.analysis_cache["wire_model"] = model
+    return model
+
+
+# ----------------------------------------------------------------------
+# extraction
+
+
+def _is_int_enum(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        if isinstance(base, ast.Name) and base.id in ("IntEnum", "IntFlag"):
+            return True
+        if isinstance(base, ast.Attribute) and base.attr in (
+            "IntEnum",
+            "IntFlag",
+        ):
+            return True
+    return False
+
+
+def _enum_ref(
+    module: ModuleInfo, enums: Dict[EnumKey, EnumModel], node: ast.AST
+) -> Optional[EnumKey]:
+    """Resolve an expression naming an enum class to its key."""
+    if not isinstance(node, ast.Name):
+        return None
+    local: EnumKey = (module.modname, node.id)
+    if local in enums:
+        return local
+    dotted = module.dotted_source(node)
+    if dotted is not None:
+        modname, _, cls = dotted.rpartition(".")
+        if (modname, cls) in enums:
+            return (modname, cls)
+    return None
+
+
+def _callee_name(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _build(project: Project) -> WireModel:
+    model = WireModel()
+    for module in sorted(project.modules.values(), key=lambda m: m.modname):
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and _is_int_enum(node):
+                members: Dict[str, EnumMember] = {}
+                for stmt in node.body:
+                    if (
+                        isinstance(stmt, ast.Assign)
+                        and len(stmt.targets) == 1
+                        and isinstance(stmt.targets[0], ast.Name)
+                    ):
+                        value: Optional[int] = None
+                        if isinstance(stmt.value, ast.Constant) and isinstance(
+                            stmt.value.value, int
+                        ):
+                            value = stmt.value.value
+                        name = stmt.targets[0].id
+                        members[name] = EnumMember(
+                            name, value, stmt.lineno, stmt.col_offset
+                        )
+                model.enums[(module.modname, node.name)] = EnumModel(
+                    module, node.name, node.lineno, members
+                )
+    for module in sorted(project.modules.values(), key=lambda m: m.modname):
+        _collect_tables(module, model)
+        _collect_sites(module, model)
+    return model
+
+
+def _collect_tables(module: ModuleInfo, model: WireModel) -> None:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for stmt in node.body:
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                value = stmt.value
+            if not isinstance(value, ast.Dict) or not value.keys:
+                continue
+            per_enum: Dict[EnumKey, DispatchTable] = {}
+            resolved = 0
+            for key, val in zip(value.keys, value.values):
+                if key is None or not isinstance(key, ast.Attribute):
+                    continue
+                enum_key = _enum_ref(module, model.enums, key.value)
+                if enum_key is None:
+                    continue
+                resolved += 1
+                table = per_enum.get(enum_key)
+                if table is None:
+                    table = DispatchTable(
+                        module, node.name, enum_key, stmt.lineno
+                    )
+                    per_enum[enum_key] = table
+                fn: Optional[FunctionInfo] = None
+                if isinstance(val, ast.Name):
+                    fn = module.functions.get(f"{node.name}.{val.id}")
+                if key.attr in model.enums[enum_key].members:
+                    table.arms.append(
+                        DispatchArm(key.attr, key.lineno, key.col_offset, fn)
+                    )
+                else:
+                    table.unknown.append(
+                        (key.attr, key.lineno, key.col_offset)
+                    )
+            # Require a majority of enum-member keys so incidental dicts
+            # with one opcode-valued key don't register as tables.
+            if resolved and resolved * 2 >= len(value.keys):
+                model.tables.extend(
+                    per_enum[k] for k in sorted(per_enum)
+                )
+
+
+def _collect_sites(module: ModuleInfo, model: WireModel) -> None:
+    for qualname in sorted(module.functions):
+        fn = module.functions[qualname]
+        for call in fn.call_nodes:
+            func = call.func
+            if (
+                not isinstance(func, ast.Attribute)
+                or func.attr not in ("_call", "_post")
+                or not call.args
+            ):
+                continue
+            first = call.args[0]
+            if not isinstance(first, ast.Attribute):
+                continue
+            enum_key = _enum_ref(module, model.enums, first.value)
+            if enum_key is None:
+                continue
+            if first.attr in model.enums[enum_key].members:
+                model.sites.append(
+                    ClientSite(
+                        module,
+                        fn,
+                        call,
+                        enum_key,
+                        first.attr,
+                        func.attr == "_post",
+                        call.lineno,
+                        call.col_offset,
+                    )
+                )
+            else:
+                model.unknown_sites.append(
+                    (module, enum_key, first.attr, call.lineno, call.col_offset)
+                )
+
+
+# ----------------------------------------------------------------------
+# consume side: take_* sequences through a handler / a client parse
+
+
+@dataclass(slots=True)
+class _ConsumeCtx:
+    """Scanning context: whose payload, which class hosts helpers."""
+
+    module: ModuleInfo
+    class_name: Optional[str]
+    payload: str
+    depth: int = 0
+
+
+def _mentions_payload(call: ast.Call, payload: str) -> bool:
+    for arg in call.args:
+        for sub in ast.walk(arg):
+            if isinstance(sub, ast.Name) and sub.id == payload:
+                return True
+    return False
+
+
+def _helper_consume(
+    name: str, call: ast.Call, ctx: _ConsumeCtx
+) -> Set[TokenPath]:
+    """Splice in a ``self._helper(..., payload, ...)`` method's paths."""
+    if ctx.class_name is None or ctx.depth >= _MAX_HELPER_DEPTH:
+        raise _Unanalyzable
+    fn = ctx.module.functions.get(f"{ctx.class_name}.{name}")
+    if fn is None or not isinstance(
+        fn.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+    ):
+        raise _Unanalyzable
+    position: Optional[int] = None
+    for index, arg in enumerate(call.args):
+        if isinstance(arg, ast.Name) and arg.id == ctx.payload:
+            position = index
+            break
+    if position is None:
+        raise _Unanalyzable
+    params = [a.arg for a in fn.node.args.posonlyargs + fn.node.args.args]
+    helper_index = position + 1  # bound method: self occupies slot 0
+    if helper_index >= len(params):
+        raise _Unanalyzable
+    sub_ctx = _ConsumeCtx(
+        ctx.module, ctx.class_name, params[helper_index], ctx.depth + 1
+    )
+    done, live = _consume_stmts(fn.node.body, sub_ctx)
+    return done | live
+
+
+def _consume_expr(node: Optional[ast.AST], ctx: _ConsumeCtx) -> Set[TokenPath]:
+    """Token paths consumed while evaluating `node` (in source order)."""
+    if node is None:
+        return {()}
+    if isinstance(node, ast.Call):
+        name = _callee_name(node.func)
+        if (
+            name is not None
+            and name in _TAKERS
+            and _mentions_payload(node, ctx.payload)
+        ):
+            return {(_TAKERS[name],)}
+        if (
+            name is not None
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in ("self", "cls")
+            and _mentions_payload(node, ctx.payload)
+        ):
+            return _helper_consume(name, node, ctx)
+    if isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Load):
+        base = node.value
+        if isinstance(base, ast.Name) and base.id == ctx.payload:
+            if isinstance(node.slice, ast.Slice):
+                raise _Unanalyzable
+            return {("u8",)}
+    paths: Set[TokenPath] = {()}
+    for child in ast.iter_child_nodes(node):
+        paths = _concat(paths, _consume_expr(child, ctx))
+    return paths
+
+
+def _handler_blocks(stmt: ast.stmt) -> Iterator[List[ast.stmt]]:
+    if isinstance(stmt, ast.Try):
+        for handler in stmt.handlers:
+            yield handler.body
+
+
+def _consume_stmts(
+    stmts: List[ast.stmt], ctx: _ConsumeCtx
+) -> Tuple[Set[TokenPath], Set[TokenPath]]:
+    """``(done, live)`` paths through a statement block.
+
+    ``done`` paths hit a ``return``; ``live`` paths fall off the end.
+    A path ending in ``raise`` is a rejected validation and is dropped.
+    """
+    live: Set[TokenPath] = {()}
+    done: Set[TokenPath] = set()
+    for stmt in stmts:
+        if not live:
+            break
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue  # nested defs do not execute inline
+        if isinstance(stmt, ast.Raise):
+            live = set()
+            break
+        if isinstance(stmt, ast.Return):
+            done |= _concat(live, _consume_expr(stmt.value, ctx))
+            live = set()
+            break
+        if isinstance(stmt, ast.If):
+            pre = _concat(live, _consume_expr(stmt.test, ctx))
+            body_done, body_live = _consume_stmts(stmt.body, ctx)
+            else_done, else_live = _consume_stmts(stmt.orelse, ctx)
+            done |= _concat(pre, body_done | else_done)
+            live = _concat(pre, body_live | else_live)
+        elif isinstance(stmt, ast.Try):
+            body_done, body_live = _consume_stmts(
+                list(stmt.body) + list(stmt.orelse) + list(stmt.finalbody),
+                ctx,
+            )
+            for block in _handler_blocks(stmt):
+                h_done, h_live = _consume_stmts(block, ctx)
+                body_done |= h_done
+                body_live |= h_live
+            done |= _concat(live, body_done)
+            live = _concat(live, body_live)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            pre = live
+            for item in stmt.items:
+                pre = _concat(pre, _consume_expr(item.context_expr, ctx))
+            body_done, body_live = _consume_stmts(stmt.body, ctx)
+            done |= _concat(pre, body_done)
+            live = _concat(pre, body_live)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            # A loop that consumes payload tokens has a data-dependent
+            # shape we cannot prove; one that doesn't is harmless.
+            probe = _ConsumeCtx(
+                ctx.module, ctx.class_name, ctx.payload, ctx.depth
+            )
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Call):
+                    name = _callee_name(sub.func)
+                    if name in _TAKERS and _mentions_payload(
+                        sub, probe.payload
+                    ):
+                        raise _Unanalyzable
+        else:
+            live = _concat(live, _consume_expr(stmt, ctx))
+    return done, live
+
+
+def consume_paths(
+    stmts: List[ast.stmt],
+    module: ModuleInfo,
+    class_name: Optional[str],
+    payload: str,
+) -> Optional[PathSet]:
+    """All take-token paths through `stmts`, or None if unprovable."""
+    ctx = _ConsumeCtx(module, class_name, payload)
+    try:
+        done, live = _consume_stmts(stmts, ctx)
+    except (_Unanalyzable, RecursionError):
+        return None
+    return frozenset(done | live)
+
+
+def handler_request_paths(
+    table: DispatchTable, arm: DispatchArm
+) -> Optional[PathSet]:
+    """The payload shapes a dispatch arm's handler accepts."""
+    fn = arm.fn
+    if fn is None or not isinstance(
+        fn.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+    ):
+        return None
+    params = [a.arg for a in fn.node.args.posonlyargs + fn.node.args.args]
+    if len(params) < 3:
+        return None
+    return consume_paths(
+        fn.node.body, table.module, table.class_name, params[-1]
+    )
+
+
+# ----------------------------------------------------------------------
+# emit side: pack_* sequences in a payload expression
+
+
+def _emit_expr(
+    node: ast.AST, env: Dict[str, Optional[PathSet]]
+) -> Optional[PathSet]:
+    """Token paths a payload expression serialises, or None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, bytes):
+        return frozenset({tuple("u8" for _ in node.value)})
+    if isinstance(node, ast.Call):
+        name = _callee_name(node.func)
+        if name is not None and name in _PACKERS:
+            token, mode = _PACKERS[name]
+            if mode == "args":
+                if any(isinstance(a, ast.Starred) for a in node.args):
+                    return None
+                return frozenset({tuple(token for _ in node.args)})
+            return frozenset({(token,)})
+        if (
+            name == "bytes"
+            and len(node.args) == 1
+            and isinstance(node.args[0], (ast.List, ast.Tuple))
+        ):
+            count = len(node.args[0].elts)
+            return frozenset({tuple("u8" for _ in range(count))})
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        left = _emit_expr(node.left, env)
+        right = _emit_expr(node.right, env)
+        if left is None or right is None:
+            return None
+        return frozenset(_concat(set(left), set(right)))
+    if isinstance(node, ast.IfExp):
+        body = _emit_expr(node.body, env)
+        orelse = _emit_expr(node.orelse, env)
+        if body is None or orelse is None:
+            return None
+        return body | orelse
+    if isinstance(node, ast.Name):
+        return env.get(node.id)
+    return None
+
+
+def _producer_returns(
+    fn: FunctionInfo, width: int
+) -> Optional[List[List[ast.expr]]]:
+    """Return-tuple elements of a helper returning a `width`-tuple."""
+    if not isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return None
+    rows: List[List[ast.expr]] = []
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Return):
+            if not isinstance(node.value, ast.Tuple) or len(
+                node.value.elts
+            ) != width:
+                return None
+            rows.append(list(node.value.elts))
+    return rows or None
+
+
+def emit_env(
+    fn: FunctionInfo, module: ModuleInfo, class_name: Optional[str]
+) -> Dict[str, Optional[PathSet]]:
+    """Local bindings usable inside a site's payload expression.
+
+    ``prefix = <packable expr>`` binds directly; ``flags, prefix =
+    self._threshold_prefix(...)`` binds each tuple slot to the union of
+    the helper's return-tuple elements (tokenized independently).
+    """
+    env: Dict[str, Optional[PathSet]] = {}
+    if not isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return env
+    for stmt in fn.node.body:
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            continue
+        target = stmt.targets[0]
+        if isinstance(target, ast.Name):
+            env[target.id] = _emit_expr(stmt.value, env)
+            continue
+        if not isinstance(target, ast.Tuple) or not isinstance(
+            stmt.value, ast.Call
+        ):
+            continue
+        func = stmt.value.func
+        if (
+            class_name is None
+            or not isinstance(func, ast.Attribute)
+            or not isinstance(func.value, ast.Name)
+            or func.value.id not in ("self", "cls")
+        ):
+            continue
+        helper = module.functions.get(f"{class_name}.{func.attr}")
+        if helper is None:
+            continue
+        rows = _producer_returns(helper, len(target.elts))
+        for index, elt in enumerate(target.elts):
+            if not isinstance(elt, ast.Name):
+                continue
+            if rows is None:
+                env[elt.id] = None
+                continue
+            union: Set[TokenPath] = set()
+            ok = True
+            for row in rows:
+                slot = _emit_expr(row[index], {})
+                if slot is None:
+                    ok = False
+                    break
+                union |= slot
+            env[elt.id] = frozenset(union) if ok else None
+    return env
+
+
+def site_request_paths(site: ClientSite) -> Optional[PathSet]:
+    """The payload shapes a client site can put on the wire."""
+    if len(site.call.args) < 3:
+        if site.call.keywords:
+            return None
+        return EMPTY_PATHS
+    class_name = _owner_class(site.fn)
+    env = emit_env(site.fn, site.module, class_name)
+    return _emit_expr(site.call.args[2], env)
+
+
+def _owner_class(fn: FunctionInfo) -> Optional[str]:
+    head, _, _ = fn.qualname.rpartition(".")
+    return head or None
+
+
+def handler_response_paths(
+    table: DispatchTable, arm: DispatchArm
+) -> Optional[PathSet]:
+    """The response payload shapes a handler can emit.
+
+    Handlers return ``(payload, status_override)``; the first element of
+    every return is tokenized against the handler's simple local
+    bindings.  Any non-2-tuple return makes the response unprovable.
+    """
+    fn = arm.fn
+    if fn is None or not isinstance(
+        fn.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+    ):
+        return None
+    env: Dict[str, Optional[PathSet]] = {}
+    for stmt in fn.node.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+        ):
+            env[stmt.targets[0].id] = _emit_expr(stmt.value, env)
+    union: Set[TokenPath] = set()
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        if not isinstance(node.value, ast.Tuple) or len(
+            node.value.elts
+        ) != 2:
+            return None
+        slot = _emit_expr(node.value.elts[0], env)
+        if slot is None:
+            return None
+        union |= slot
+    return frozenset(union) if union else None
+
+
+def site_parse_paths(site: ClientSite) -> Optional[PathSet]:
+    """The response shapes a client site's caller can decode.
+
+    A posted (ack-only) site and a bare ``self._call(...)`` expression
+    statement both accept exactly the empty payload; a ``_, payload =
+    self._call(...)`` binding accepts whatever the statements after it
+    parse out of ``payload``.
+    """
+    if site.posted:
+        return EMPTY_PATHS
+    if not isinstance(site.fn.node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return None
+    located = _locate_stmt(list(site.fn.node.body), site.call)
+    if located is None:
+        return None
+    block, index = located
+    stmt = block[index]
+    if isinstance(stmt, ast.Expr) and stmt.value is site.call:
+        return EMPTY_PATHS
+    if (
+        isinstance(stmt, ast.Assign)
+        and len(stmt.targets) == 1
+        and isinstance(stmt.targets[0], ast.Tuple)
+        and len(stmt.targets[0].elts) == 2
+        and isinstance(stmt.targets[0].elts[1], ast.Name)
+        and stmt.value is site.call
+    ):
+        payload = stmt.targets[0].elts[1].id
+        return consume_paths(
+            block[index + 1:], site.module, _owner_class(site.fn), payload
+        )
+    return None
+
+
+def _locate_stmt(
+    stmts: List[ast.stmt], call: ast.Call
+) -> Optional[Tuple[List[ast.stmt], int]]:
+    """The innermost statement list and index containing `call`."""
+    for index, stmt in enumerate(stmts):
+        if not any(node is call for node in ast.walk(stmt)):
+            continue
+        blocks: List[List[ast.stmt]] = []
+        for name in ("body", "orelse", "finalbody"):
+            child = getattr(stmt, name, None)
+            if isinstance(child, list):
+                blocks.append(child)
+        if isinstance(stmt, ast.Try):
+            blocks.extend(h.body for h in stmt.handlers)
+        for block in blocks:
+            found = _locate_stmt(block, call)
+            if found is not None:
+                return found
+        return stmts, index
+    return None
+
+
+# ----------------------------------------------------------------------
+# struct-format facts (WIRE005)
+
+
+@dataclass(slots=True)
+class StructFact:
+    """One module-level ``NAME = struct.Struct("<fmt")`` binding."""
+
+    name: str
+    fmt: str
+    line: int
+    col: int
+    size: Optional[int]  #: None when the format does not calcsize
+
+
+def struct_facts(module: ModuleInfo) -> Dict[str, StructFact]:
+    """Module-level struct bindings with literal formats."""
+    facts: Dict[str, StructFact] = {}
+    for stmt in module.tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = list(stmt.targets), stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if (
+            value is None
+            or not isinstance(value, ast.Call)
+            or _callee_name(value.func) != "Struct"
+            or len(value.args) != 1
+            or not isinstance(value.args[0], ast.Constant)
+            or not isinstance(value.args[0].value, str)
+        ):
+            continue
+        fmt = value.args[0].value
+        size: Optional[int] = None
+        try:
+            size = struct.calcsize(fmt)
+        except struct.error:
+            size = None
+        for target in targets:
+            if isinstance(target, ast.Name):
+                facts[target.id] = StructFact(
+                    target.id, fmt, stmt.lineno, stmt.col_offset, size
+                )
+    return facts
+
+
+def literal_formats(module: ModuleInfo) -> Iterator[Tuple[str, int, int]]:
+    """Every literal struct format string used in the module.
+
+    Yields ``(format_head, line, col)`` — for f-strings the head is the
+    leading literal chunk (enough to check explicit endianness).
+    """
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _callee_name(node.func)
+        if name not in ("Struct", "pack", "unpack", "unpack_from", "calcsize"):
+            continue
+        if name != "Struct":
+            # Only struct-module calls, not e.g. a local ``pack``.
+            if not (
+                isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "struct"
+            ):
+                continue
+        if not node.args:
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            yield first.value, first.lineno, first.col_offset
+        elif isinstance(first, ast.JoinedStr) and first.values:
+            head = first.values[0]
+            if isinstance(head, ast.Constant) and isinstance(head.value, str):
+                yield head.value, first.lineno, first.col_offset

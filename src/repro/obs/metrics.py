@@ -439,7 +439,7 @@ def _handle(kind: str, name: str, factory: Callable[[str], Any]) -> Any:
                 # Lock-guarded memo of name -> handle; handles are
                 # stateless (updates route to the current registry), so
                 # cache hits in workers cannot leak state across units.
-                _HANDLES[key] = handle  # repro: noqa[DET002]
+                _HANDLES[key] = handle
     return handle
 
 

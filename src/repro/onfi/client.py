@@ -491,6 +491,30 @@ class RemoteChip:
             raise CommandError("OBS_COLLECT answered no op counters")
         return ops
 
+    def get_counters(self) -> OpCounters:
+        """The op counters over the dedicated GET_COUNTERS opcode.
+
+        Unlike :attr:`counters` this does not drag the whole telemetry
+        snapshot across the wire — it is the cheap fixed-width query the
+        protocol always dispatched but no client method exposed (the
+        WIRE001 dead-surface finding).
+        """
+        _, payload = self._call(Op.GET_COUNTERS)
+        reads, o = take_i64(payload, 0)
+        programs, o = take_i64(payload, o)
+        erases, o = take_i64(payload, o)
+        partial_programs, o = take_i64(payload, o)
+        busy_time_s, o = take_f64(payload, o)
+        energy_j, o = take_f64(payload, o)
+        return OpCounters(
+            reads=reads,
+            programs=programs,
+            erases=erases,
+            partial_programs=partial_programs,
+            busy_time_s=busy_time_s,
+            energy_j=energy_j,
+        )
+
     def is_page_programmed(self, block: int, page: int) -> bool:
         _, payload = self._call(
             Op.IS_PROGRAMMED, 0, pack_i64(block, page)

@@ -1,0 +1,340 @@
+"""WIRE001–WIRE005 fixture tests.
+
+Each test builds a miniature three-module protocol (wire constants +
+codec helpers, a dispatching server, a packing client) mirroring the
+real ``repro.onfi`` layout, then either leaves it faithful (negative:
+zero findings) or seeds one asymmetry (positive: the rule names it).
+"""
+
+import textwrap
+
+from .conftest import codes, lint
+
+
+def src(text: str) -> str:
+    return textwrap.dedent(text).lstrip("\n")
+
+
+WIRE = src(
+    """
+    import struct
+    from enum import IntEnum
+
+    HEADER = struct.Struct("<IBBH")
+    MIN_LENGTH = 4
+    _I64 = struct.Struct("<q")
+    _F64 = struct.Struct("<d")
+
+    FLAG_A = 0x01
+    FLAG_B = 0x02
+    FLAG_MASK = FLAG_A | FLAG_B
+
+
+    class ProtoError(Exception):
+        pass
+
+
+    class CommandError(ProtoError):
+        pass
+
+
+    ERROR_KINDS = (
+        ProtoError,
+        CommandError,
+        ValueError,
+    )
+
+
+    class Op(IntEnum):
+        PING = 0x01
+        ADD = 0x02
+        SCALE = 0x03
+        STOP = 0x0F
+
+
+    def take_i64(payload, offset):
+        if offset + 8 > len(payload):
+            raise CommandError("short frame")
+        return _I64.unpack_from(payload, offset)[0], offset + 8
+
+
+    def take_f64(payload, offset):
+        if offset + 8 > len(payload):
+            raise CommandError("short frame")
+        return _F64.unpack_from(payload, offset)[0], offset + 8
+
+
+    def pack_i64(*values):
+        return struct.pack(f"<{len(values)}q", *values)
+
+
+    def pack_f64(*values):
+        return struct.pack(f"<{len(values)}d", *values)
+
+
+    def encode_error(exc):
+        for code, kind in enumerate(ERROR_KINDS):
+            if type(exc) is kind:
+                return pack_i64(code)
+        return pack_i64(0)
+
+
+    def decode_error(payload):
+        kind, _ = take_i64(payload, 0)
+        return ERROR_KINDS[kind]
+    """
+)
+
+SERVER = src(
+    """
+    from .wire import FLAG_A, Op, pack_i64, take_f64, take_i64
+
+
+    class Server:
+        def _op_ping(self, flags, payload):
+            return b"", None
+
+        def _op_add(self, flags, payload):
+            a, o = take_i64(payload, 0)
+            b, o = take_i64(payload, o)
+            return pack_i64(a + b), None
+
+        def _op_scale(self, flags, payload):
+            a, o = take_i64(payload, 0)
+            if flags & FLAG_A:
+                f, o = take_f64(payload, o)
+            return b"", None
+
+        def _op_stop(self, flags, payload):
+            return b"", None
+
+        _HANDLERS = {
+            Op.PING: _op_ping,
+            Op.ADD: _op_add,
+            Op.SCALE: _op_scale,
+            Op.STOP: _op_stop,
+        }
+    """
+)
+
+CLIENT = src(
+    """
+    from .wire import FLAG_A, Op, pack_f64, pack_i64, take_i64
+
+
+    class Client:
+        def _call(self, op, flags=0, payload=b""):
+            return 0, b""
+
+        def _post(self, op, flags=0, payload=b""):
+            return None
+
+        def ping(self):
+            self._call(Op.PING)
+
+        def add(self, a, b):
+            _, payload = self._call(Op.ADD, 0, pack_i64(a, b))
+            value, _ = take_i64(payload, 0)
+            return value
+
+        def scale(self, a, factor=None):
+            extra = b"" if factor is None else pack_f64(factor)
+            flags = 0 if factor is None else FLAG_A
+            self._post(Op.SCALE, flags, pack_i64(a) + extra)
+
+        def stop(self):
+            self._post(Op.STOP)
+    """
+)
+
+
+def trio(project, wire=WIRE, server=SERVER, client=CLIENT):
+    return project({
+        "src/proto/wire.py": wire,
+        "src/proto/server.py": server,
+        "src/proto/client.py": client,
+    })
+
+
+class TestWire001:
+    def test_faithful_trio_is_clean(self, project):
+        assert codes(lint(trio(project), select=["WIRE001"])) == []
+
+    def test_duplicate_opcode_value(self, project):
+        wire = WIRE.replace("STOP = 0x0F", "STOP = 0x01")
+        findings = lint(trio(project, wire=wire), select=["WIRE001"])
+        assert codes(findings) == ["WIRE001"]
+        assert "reuses value" in findings[0].message
+
+    def test_member_without_dispatch_arm(self, project):
+        server = SERVER.replace("        Op.STOP: _op_stop,\n", "")
+        findings = lint(trio(project, server=server), select=["WIRE001"])
+        assert codes(findings) == ["WIRE001"]
+        assert "no server dispatch arm" in findings[0].message
+
+    def test_member_without_client_site(self, project):
+        client = CLIENT.replace(
+            "    def stop(self):\n        self._post(Op.STOP)\n", ""
+        )
+        findings = lint(trio(project, client=client), select=["WIRE001"])
+        assert codes(findings) == ["WIRE001"]
+        assert "no client call site" in findings[0].message
+
+    def test_duplicate_dispatch_arm(self, project):
+        server = SERVER.replace(
+            "        Op.STOP: _op_stop,",
+            "        Op.STOP: _op_stop,\n        Op.PING: _op_stop,",
+        )
+        findings = lint(trio(project, server=server), select=["WIRE001"])
+        assert codes(findings) == ["WIRE001"]
+        assert "duplicate dispatch arm" in findings[0].message
+
+    def test_unknown_member_in_table(self, project):
+        server = SERVER.replace(
+            "        Op.STOP: _op_stop,",
+            "        Op.STOP: _op_stop,\n        Op.BOGUS: _op_stop,",
+        )
+        findings = lint(trio(project, server=server), select=["WIRE001"])
+        assert codes(findings) == ["WIRE001"]
+        assert "not a member" in findings[0].message
+
+    def test_unknown_member_at_call_site(self, project):
+        client = CLIENT.replace(
+            "self._post(Op.STOP)", "self._post(Op.HALT)"
+        )
+        findings = lint(trio(project, client=client), select=["WIRE001"])
+        # Op.HALT is unknown at the site AND Op.STOP loses its only site.
+        assert codes(findings) == ["WIRE001", "WIRE001"]
+        assert any("Op.HALT" in f.message for f in findings)
+
+
+class TestWire002:
+    def test_faithful_trio_is_clean(self, project):
+        assert codes(lint(trio(project), select=["WIRE002"])) == []
+
+    def test_client_packs_too_few_fields(self, project):
+        client = CLIENT.replace("pack_i64(a, b)", "pack_i64(a)")
+        findings = lint(trio(project, client=client), select=["WIRE002"])
+        assert codes(findings) == ["WIRE002"]
+        assert "request codec mismatch" in findings[0].message
+
+    def test_server_parses_wrong_width(self, project):
+        server = SERVER.replace(
+            "b, o = take_i64(payload, o)", "b, o = take_f64(payload, o)"
+        )
+        findings = lint(trio(project, server=server), select=["WIRE002"])
+        assert codes(findings) == ["WIRE002"]
+        assert "request codec mismatch" in findings[0].message
+
+    def test_server_response_has_extra_field(self, project):
+        server = SERVER.replace("pack_i64(a + b)", "pack_i64(a + b, a)")
+        findings = lint(trio(project, server=server), select=["WIRE002"])
+        assert codes(findings) == ["WIRE002"]
+        assert "response codec mismatch" in findings[0].message
+
+    def test_posted_op_must_answer_empty(self, project):
+        server = SERVER.replace(
+            "    def _op_stop(self, flags, payload):\n"
+            "        return b\"\", None",
+            "    def _op_stop(self, flags, payload):\n"
+            "        return pack_i64(1), None",
+        )
+        findings = lint(trio(project, server=server), select=["WIRE002"])
+        assert codes(findings) == ["WIRE002"]
+        assert "response codec mismatch" in findings[0].message
+
+    def test_branch_union_covers_optional_field(self, project):
+        # SCALE's optional f64 (client IfExp vs. server flag branch) is
+        # faithful in the base fixture; dropping the server branch must
+        # surface the now-unparseable long form.
+        server = SERVER.replace(
+            "        if flags & FLAG_A:\n"
+            "            f, o = take_f64(payload, o)\n",
+            "",
+        )
+        findings = lint(trio(project, server=server), select=["WIRE002"])
+        assert codes(findings) == ["WIRE002"]
+        assert "f64" in findings[0].message
+
+
+class TestWire003:
+    def test_faithful_trio_is_clean(self, project):
+        assert codes(lint(trio(project), select=["WIRE003"])) == []
+
+    def test_duplicate_kind_entry(self, project):
+        wire = WIRE.replace(
+            "    ProtoError,\n    CommandError,",
+            "    ProtoError,\n    ProtoError,",
+        )
+        findings = lint(trio(project, wire=wire), select=["WIRE003"])
+        assert codes(findings) == ["WIRE003"]
+        assert "twice" in findings[0].message
+
+    def test_one_sided_kind_table(self, project):
+        wire = WIRE.replace(
+            "def encode_error(exc):\n"
+            "    for code, kind in enumerate(ERROR_KINDS):\n"
+            "        if type(exc) is kind:\n"
+            "            return pack_i64(code)\n"
+            "    return pack_i64(0)\n",
+            "",
+        )
+        findings = lint(trio(project, wire=wire), select=["WIRE003"])
+        assert codes(findings) == ["WIRE003"]
+        assert "encode (enumerate)" in findings[0].message
+
+
+class TestWire004:
+    def test_faithful_trio_is_clean(self, project):
+        assert codes(lint(trio(project), select=["WIRE004"])) == []
+
+    def test_colliding_flag_bits(self, project):
+        wire = WIRE.replace("FLAG_B = 0x02", "FLAG_B = 0x01")
+        findings = lint(trio(project, wire=wire), select=["WIRE004"])
+        # The collision also breaks FLAG_MASK's expected OR.
+        assert "WIRE004" in codes(findings)
+        assert any("collides" in f.message for f in findings)
+
+    def test_non_power_of_two_flag(self, project):
+        wire = WIRE.replace("FLAG_B = 0x02", "FLAG_B = 0x03")
+        findings = lint(trio(project, wire=wire), select=["WIRE004"])
+        assert any("not a single bit" in f.message for f in findings)
+
+    def test_mask_not_or_of_group(self, project):
+        wire = WIRE.replace(
+            "FLAG_MASK = FLAG_A | FLAG_B", "FLAG_MASK = FLAG_A"
+        )
+        findings = lint(trio(project, wire=wire), select=["WIRE004"])
+        assert codes(findings) == ["WIRE004"]
+        assert "does not equal the OR" in findings[0].message
+
+
+class TestWire005:
+    def test_faithful_trio_is_clean(self, project):
+        assert codes(lint(trio(project), select=["WIRE005"])) == []
+
+    def test_native_byte_order_format(self, project):
+        wire = WIRE.replace('"<q"', '"q"')
+        findings = lint(trio(project, wire=wire), select=["WIRE005"])
+        assert codes(findings) == ["WIRE005"]
+        assert "no explicit byte order" in findings[0].message
+
+    def test_min_length_disagrees_with_header(self, project):
+        wire = WIRE.replace("MIN_LENGTH = 4", "MIN_LENGTH = 6")
+        findings = lint(trio(project, wire=wire), select=["WIRE005"])
+        assert codes(findings) == ["WIRE005"]
+        assert "MIN_LENGTH = 6" in findings[0].message
+
+    def test_header_format_disagrees_with_min_length(self, project):
+        wire = WIRE.replace('"<IBBH"', '"<IBBI"')
+        findings = lint(trio(project, wire=wire), select=["WIRE005"])
+        assert codes(findings) == ["WIRE005"]
+
+    def test_offset_advance_mismatch(self, project):
+        wire = WIRE.replace(
+            "return _I64.unpack_from(payload, offset)[0], offset + 8",
+            "return _I64.unpack_from(payload, offset)[0], offset + 4",
+        )
+        findings = lint(trio(project, wire=wire), select=["WIRE005"])
+        assert codes(findings) == ["WIRE005"]
+        assert "advances by 4" in findings[0].message

@@ -1,0 +1,120 @@
+"""Mutation testing the WIRE rules against the *real* ONFI modules.
+
+Each case copies ``src/repro/onfi/{wire,server,client}.py`` verbatim
+into a throwaway project, seeds exactly one protocol drift (flipped
+opcode, dropped dispatch arm, wrong-width unpack, dropped field,
+colliding flag bit, bad framing constant, ...) with a textual
+replacement that is asserted to apply, and checks that at least one
+WIRE rule catches it.  The unmutated control copy must lint clean —
+the rules' power comes paired with zero false positives on the
+faithful protocol.
+"""
+
+from pathlib import Path
+from typing import Tuple
+
+import pytest
+
+from .conftest import codes, lint
+
+ONFI = Path(__file__).resolve().parents[2] / "src" / "repro" / "onfi"
+
+#: (filename, original text, mutated text, rule expected to catch it)
+MUTATIONS: Tuple[Tuple[str, str, str, str], ...] = (
+    # opcode value collision: ERASE becomes indistinguishable from READ
+    ("wire.py", "ERASE = 0x60", "ERASE = 0x00", "WIRE001"),
+    # dispatch arm dropped: ERASE frames fall through to CommandError
+    ("server.py", "        Op.ERASE: _op_erase,\n", "", "WIRE001"),
+    # client sends the wrong opcode: IS_PROGRAMMED is orphaned
+    ("client.py", "Op.IS_PROGRAMMED", "Op.BLOCK_PEC", "WIRE001"),
+    # server drops a request field: READ parses one i64 where two arrive
+    (
+        "server.py",
+        "        threshold, o = self._threshold_from(flags, payload, 0)\n"
+        "        block, o = take_i64(payload, o)\n"
+        "        page, o = take_i64(payload, o)\n"
+        "        _done(payload, o)\n"
+        "        bits = self.chip.read_page(block, page, threshold=threshold)",
+        "        threshold, o = self._threshold_from(flags, payload, 0)\n"
+        "        block, o = take_i64(payload, o)\n"
+        "        _done(payload, o)\n"
+        "        bits = self.chip.read_page(block, 0, threshold=threshold)",
+        "WIRE002",
+    ),
+    # width swap: PARTIAL_PROGRAM reads the f64 fraction as an i64
+    (
+        "server.py",
+        "        fraction, o = take_f64(payload, o)\n"
+        "        precision, o = take_f64(payload, o)",
+        "        fraction, o = take_i64(payload, o)\n"
+        "        precision, o = take_f64(payload, o)",
+        "WIRE002",
+    ),
+    # response field dropped: GET_COUNTERS answers one f64, not two
+    (
+        "server.py",
+        "pack_f64(counters.busy_time_s, counters.energy_j)",
+        "pack_f64(counters.busy_time_s)",
+        "WIRE002",
+    ),
+    # error kind-table duplicate: encode/decode no longer a bijection
+    (
+        "wire.py",
+        "    ProgramError,\n    EraseError,\n    WearOutError,",
+        "    ProgramError,\n    ProgramError,\n    WearOutError,",
+        "WIRE003",
+    ),
+    # flag bit collision: THRESHOLD aliases PARTIAL in frame headers
+    ("wire.py", "FLAG_THRESHOLD = 0x02", "FLAG_THRESHOLD = 0x01", "WIRE004"),
+    # mask drift: HELLO_FLAGS_MASK stops covering HELLO_TRACE
+    (
+        "wire.py",
+        "HELLO_FLAGS_MASK = HELLO_OBS | HELLO_TRACE",
+        "HELLO_FLAGS_MASK = HELLO_OBS",
+        "WIRE004",
+    ),
+    # framing constant drift: MIN_LENGTH disagrees with the header
+    ("wire.py", "MIN_LENGTH = 4", "MIN_LENGTH = 6", "WIRE005"),
+    # header format widened without touching MIN_LENGTH
+    ('wire.py', '"<IBBH"', '"<IBBI"', "WIRE005"),
+    # offset advance out of step with the struct width
+    (
+        "wire.py",
+        "    return _U64.unpack_from(payload, offset)[0], offset + 8",
+        "    return _U64.unpack_from(payload, offset)[0], offset + 4",
+        "WIRE005",
+    ),
+)
+
+
+def copy_onfi(project, mutate=None):
+    """The real ONFI trio, optionally with one textual mutation."""
+    files = {}
+    for name in ("wire.py", "server.py", "client.py"):
+        source = (ONFI / name).read_text(encoding="utf-8")
+        if mutate is not None and mutate[0] == name:
+            _, old, new, _ = mutate
+            assert old in source, f"mutation target vanished from {name}"
+            source = source.replace(old, new, 1)
+            assert source != (ONFI / name).read_text(encoding="utf-8")
+        files[f"src/repro/onfi/{name}"] = source
+    return project(files)
+
+
+def test_faithful_copy_is_clean(project):
+    root = copy_onfi(project)
+    assert codes(lint(root, select=["WIRE"])) == []
+
+
+@pytest.mark.parametrize(
+    "mutation",
+    MUTATIONS,
+    ids=[f"{m[3]}-{m[0]}-{i}" for i, m in enumerate(MUTATIONS)],
+)
+def test_seeded_mutation_is_caught(project, mutation):
+    root = copy_onfi(project, mutate=mutation)
+    found = codes(lint(root, select=["WIRE"]))
+    assert mutation[3] in found, (
+        f"mutation {mutation[1]!r} -> {mutation[2]!r} escaped: "
+        f"rules fired {found or 'nothing'}"
+    )

@@ -148,6 +148,18 @@ def test_counters_and_clock_track_exactly(remote, local, geometry):
     assert local.is_page_programmed(2, 1) == remote.is_page_programmed(2, 1)
 
 
+def test_get_counters_matches_snapshot_counters(remote, local, geometry):
+    # The dedicated GET_COUNTERS opcode and the OBS_COLLECT-borne
+    # ``counters`` property must answer the same totals bit-for-bit.
+    bits = page_bits(geometry, 1)
+    for chip in (local, remote):
+        chip.program_page(1, 0, bits)
+        chip.read_page(1, 0)
+        chip.erase_block(1)
+    assert remote.get_counters() == remote.counters
+    assert remote.get_counters() == local.counters
+
+
 def test_error_parity_types_and_messages(remote, local, geometry):
     operations = [
         lambda c: c.read_page(0, geometry.pages_per_block),
